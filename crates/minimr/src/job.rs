@@ -1,0 +1,124 @@
+//! The user-code interface: map, combine, reduce.
+
+use crate::types::Pair;
+use bytes::Bytes;
+
+/// A map/reduce job. The `combine` function must be associative and
+/// commutative over each key's values — it is what agg boxes execute
+/// on-path (the paper's `Combiner.reduce(Key, List<Value>)` interface).
+pub trait Job: Send + Sync + 'static {
+    /// Short job name (also the application name on the platform).
+    fn name(&self) -> &'static str;
+
+    /// Map one input record to intermediate pairs.
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Pair));
+
+    /// Partially merge the values of one key. The default implementation
+    /// performs no combining (identity), which models jobs like TeraSort
+    /// whose data cannot be reduced.
+    fn combine(&self, _key: &[u8], values: Vec<Bytes>) -> Vec<Bytes> {
+        values
+    }
+
+    /// Final reduction of one key at the reducer.
+    fn reduce(&self, key: &[u8], values: Vec<Bytes>) -> Vec<Pair>;
+}
+
+/// Group a flat pair list by key (sorted), preserving per-key value order.
+pub fn group_by_key(pairs: Vec<Pair>) -> Vec<(Bytes, Vec<Bytes>)> {
+    let mut map: std::collections::BTreeMap<Bytes, Vec<Bytes>> = std::collections::BTreeMap::new();
+    for p in pairs {
+        map.entry(p.key).or_default().push(p.value);
+    }
+    map.into_iter().collect()
+}
+
+/// Run the combiner over a flat pair list: group, combine each key,
+/// flatten back. This is the aggregation step executed at agg boxes, at
+/// map side (Hadoop's map-side combine) and at the reducer merge.
+pub fn combine_pairs(job: &dyn Job, pairs: Vec<Pair>) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for (key, values) in group_by_key(pairs) {
+        for v in job.combine(&key, values) {
+            out.push(Pair {
+                key: key.clone(),
+                value: v,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{parse_u64, u64_value};
+
+    struct Count;
+    impl Job for Count {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Pair)) {
+            emit(Pair::new(record.to_vec(), u64_value(1)));
+        }
+        fn combine(&self, _key: &[u8], values: Vec<Bytes>) -> Vec<Bytes> {
+            let sum: u64 = values.iter().filter_map(|v| parse_u64(v)).sum();
+            vec![u64_value(sum)]
+        }
+        fn reduce(&self, key: &[u8], values: Vec<Bytes>) -> Vec<Pair> {
+            self.combine(key, values)
+                .into_iter()
+                .map(|v| Pair::new(key.to_vec(), v))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn group_by_key_sorts_and_groups() {
+        let pairs = vec![
+            Pair::new("b", "1"),
+            Pair::new("a", "2"),
+            Pair::new("b", "3"),
+        ];
+        let grouped = group_by_key(pairs);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0.as_ref(), b"a");
+        assert_eq!(grouped[1].1.len(), 2);
+    }
+
+    #[test]
+    fn combine_pairs_reduces_duplicates() {
+        let j = Count;
+        let pairs = vec![
+            Pair::new("x", u64_value(1)),
+            Pair::new("x", u64_value(1)),
+            Pair::new("y", u64_value(1)),
+        ];
+        let combined = combine_pairs(&j, pairs);
+        assert_eq!(combined.len(), 2);
+        let x = combined.iter().find(|p| p.key.as_ref() == b"x").unwrap();
+        assert_eq!(parse_u64(&x.value).unwrap(), 2);
+    }
+
+    #[test]
+    fn default_combine_is_identity() {
+        struct NoCombine;
+        impl Job for NoCombine {
+            fn name(&self) -> &'static str {
+                "id"
+            }
+            fn map(&self, _r: &[u8], _e: &mut dyn FnMut(Pair)) {}
+            fn reduce(&self, key: &[u8], values: Vec<Bytes>) -> Vec<Pair> {
+                values
+                    .into_iter()
+                    .map(|v| Pair::new(key.to_vec(), v))
+                    .collect()
+            }
+        }
+        let j = NoCombine;
+        let pairs = vec![Pair::new("x", "1"), Pair::new("x", "2")];
+        let combined = combine_pairs(&j, pairs.clone());
+        assert_eq!(combined, pairs);
+    }
+}

@@ -1,0 +1,80 @@
+//! The five benchmark jobs of the paper's Fig. 22, with synthetic input
+//! generators: WordCount (WC), AdPredictor (AP), PageRank (PR), UserVisits
+//! (UV) and TeraSort (TS).
+
+mod adpredictor;
+mod pagerank;
+mod terasort;
+mod uservisits;
+mod wordcount;
+
+pub use adpredictor::{adpredictor_input, AdPredictor};
+pub use pagerank::{pagerank_input, PageRank};
+pub use terasort::{terasort_input, TeraSort};
+pub use uservisits::{uservisits_input, UserVisits};
+pub use wordcount::{wordcount_input, WordCount};
+
+use crate::job::Job;
+use std::sync::Arc;
+
+/// Benchmark identifiers as the paper labels them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// WordCount.
+    WC,
+    /// AdPredictor (Bayesian click-through learning).
+    AP,
+    /// PageRank (one iteration).
+    PR,
+    /// UserVisits (revenue per IP prefix).
+    UV,
+    /// TeraSort (identity reduce; no data reduction).
+    TS,
+}
+
+impl Benchmark {
+    /// All five benchmarks, in the paper's presentation order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::WC,
+        Benchmark::AP,
+        Benchmark::PR,
+        Benchmark::UV,
+        Benchmark::TS,
+    ];
+
+    /// Two-letter label used in Fig. 22's table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Benchmark::WC => "WC",
+            Benchmark::AP => "AP",
+            Benchmark::PR => "PR",
+            Benchmark::UV => "UV",
+            Benchmark::TS => "TS",
+        }
+    }
+
+    /// Instantiate the job.
+    pub fn job(&self) -> Arc<dyn Job> {
+        match self {
+            Benchmark::WC => Arc::new(WordCount),
+            Benchmark::AP => Arc::new(AdPredictor::default()),
+            Benchmark::PR => Arc::new(PageRank),
+            Benchmark::UV => Arc::new(UserVisits),
+            Benchmark::TS => Arc::new(TeraSort),
+        }
+    }
+
+    /// Generate per-mapper inputs totalling roughly `total_bytes`.
+    pub fn input(&self, mappers: usize, total_bytes: usize, seed: u64) -> Vec<Vec<bytes::Bytes>> {
+        let per = total_bytes / mappers.max(1);
+        match self {
+            // Default WordCount repetition gives roughly the paper's
+            // alpha = 10 % regime.
+            Benchmark::WC => wordcount_input(mappers, per, 2_000, seed),
+            Benchmark::AP => adpredictor_input(mappers, per, 3_000, seed),
+            Benchmark::PR => pagerank_input(mappers, per, seed),
+            Benchmark::UV => uservisits_input(mappers, per, 2_000, seed),
+            Benchmark::TS => terasort_input(mappers, per, seed),
+        }
+    }
+}

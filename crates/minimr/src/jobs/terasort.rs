@@ -1,0 +1,108 @@
+//! TeraSort: the sorting benchmark with an identity reduce. Its data
+//! cannot be aggregated (output ratio 1), which is why the paper's Fig. 22
+//! shows no NetAgg benefit for TS — included to verify that behaviour.
+
+use crate::job::Job;
+use crate::types::Pair;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key and value sizes of the classic 100-byte TeraSort record.
+const KEY_LEN: usize = 10;
+const VALUE_LEN: usize = 90;
+
+/// The TeraSort job.
+pub struct TeraSort;
+
+impl Job for TeraSort {
+    fn name(&self) -> &'static str {
+        "terasort"
+    }
+
+    fn map(&self, record: &[u8], emit: &mut dyn FnMut(Pair)) {
+        if record.len() < KEY_LEN {
+            return;
+        }
+        emit(Pair::new(
+            record[..KEY_LEN].to_vec(),
+            record[KEY_LEN..].to_vec(),
+        ));
+    }
+
+    // Identity combine (inherited default): sorting cannot reduce data.
+
+    fn reduce(&self, key: &[u8], values: Vec<Bytes>) -> Vec<Pair> {
+        values
+            .into_iter()
+            .map(|v| Pair::new(key.to_vec(), v))
+            .collect()
+    }
+}
+
+/// Random 100-byte records.
+pub fn terasort_input(mappers: usize, bytes_per_mapper: usize, seed: u64) -> Vec<Vec<Bytes>> {
+    let records = bytes_per_mapper / (KEY_LEN + VALUE_LEN);
+    let mut out = Vec::with_capacity(mappers);
+    for m in 0..mappers {
+        let mut rng = StdRng::seed_from_u64(seed ^ (m as u64) << 5);
+        let mut split = Vec::with_capacity(records);
+        for _ in 0..records {
+            let mut rec = vec![0u8; KEY_LEN + VALUE_LEN];
+            for b in rec.iter_mut().take(KEY_LEN) {
+                *b = rng.random_range(b'A'..=b'Z');
+            }
+            for b in rec.iter_mut().skip(KEY_LEN) {
+                *b = rng.random_range(b'a'..=b'z');
+            }
+            split.push(Bytes::from(rec));
+        }
+        out.push(split);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::combine_pairs;
+
+    #[test]
+    fn map_splits_key_value() {
+        let j = TeraSort;
+        let rec: Vec<u8> = (0..100).collect();
+        let mut pairs = Vec::new();
+        j.map(&rec, &mut |p| pairs.push(p));
+        assert_eq!(pairs[0].key.len(), 10);
+        assert_eq!(pairs[0].value.len(), 90);
+    }
+
+    #[test]
+    fn combine_does_not_reduce() {
+        let j = TeraSort;
+        let pairs = vec![Pair::new("k", "a"), Pair::new("k", "b")];
+        assert_eq!(combine_pairs(&j, pairs).len(), 2);
+    }
+
+    #[test]
+    fn reduce_is_identity_per_key() {
+        let j = TeraSort;
+        let out = j.reduce(b"key", vec![Bytes::from_static(b"v1"), Bytes::from_static(b"v2")]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn records_sort_by_key() {
+        let inputs = terasort_input(1, 10_000, 9);
+        let j = TeraSort;
+        let mut pairs = Vec::new();
+        for r in &inputs[0] {
+            j.map(r, &mut |p| pairs.push(p));
+        }
+        pairs.sort();
+        for w in pairs.windows(2) {
+            assert!(w[0].key <= w[1].key);
+        }
+        assert_eq!(pairs.len(), 100);
+    }
+}

@@ -1,0 +1,116 @@
+//! NetAgg integration: the combiner-based aggregation function agg boxes
+//! execute for map/reduce jobs (the paper's Hadoop aggregation wrapper —
+//! `Combiner.reduce(Key, List<Value>)` — plus the sequence-file
+//! serialiser; together the Hadoop-specific code of Table 1).
+
+use crate::job::{combine_pairs, Job};
+use crate::seqfile;
+use crate::types::Pair;
+use bytes::Bytes;
+use netagg_core::{AggError, AggregationFunction};
+use std::sync::Arc;
+
+/// Wraps a job's combiner as a platform aggregation function over
+/// sequence-file-encoded pair batches.
+pub struct CombinerAgg {
+    job: Arc<dyn Job>,
+}
+
+impl CombinerAgg {
+    /// Wrap `job`'s combiner for execution on agg boxes.
+    pub fn new(job: Arc<dyn Job>) -> Self {
+        Self { job }
+    }
+}
+
+impl AggregationFunction for CombinerAgg {
+    type Item = Vec<Pair>;
+
+    fn deserialize(&self, payload: &Bytes) -> Result<Vec<Pair>, AggError> {
+        seqfile::decode(payload)
+    }
+
+    fn serialize(&self, item: &Vec<Pair>) -> Bytes {
+        seqfile::encode(item)
+    }
+
+    fn aggregate(&self, items: Vec<Vec<Pair>>) -> Vec<Pair> {
+        let flat: Vec<Pair> = items.into_iter().flatten().collect();
+        combine_pairs(self.job.as_ref(), flat)
+    }
+
+    fn empty(&self) -> Vec<Pair> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{parse_u64, u64_value};
+    use netagg_core::DynAggregator;
+
+    struct Count;
+    impl Job for Count {
+        fn name(&self) -> &'static str {
+            "count"
+        }
+        fn map(&self, record: &[u8], emit: &mut dyn FnMut(Pair)) {
+            emit(Pair::new(record.to_vec(), u64_value(1)));
+        }
+        fn combine(&self, _key: &[u8], values: Vec<Bytes>) -> Vec<Bytes> {
+            vec![u64_value(values.iter().filter_map(|v| parse_u64(v)).sum())]
+        }
+        fn reduce(&self, key: &[u8], values: Vec<Bytes>) -> Vec<Pair> {
+            self.combine(key, values)
+                .into_iter()
+                .map(|v| Pair::new(key.to_vec(), v))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn combiner_agg_sums_across_batches() {
+        let agg = CombinerAgg::new(Arc::new(Count));
+        let a = vec![Pair::new("w", u64_value(2)), Pair::new("x", u64_value(1))];
+        let b = vec![Pair::new("w", u64_value(3))];
+        let out = agg.aggregate(vec![a, b]);
+        assert_eq!(out.len(), 2);
+        let w = out.iter().find(|p| p.key.as_ref() == b"w").unwrap();
+        assert_eq!(parse_u64(&w.value).unwrap(), 5);
+    }
+
+    #[test]
+    fn serialization_roundtrips_through_dyn_interface() {
+        let agg = netagg_core::AggWrapper::new(CombinerAgg::new(Arc::new(Count)));
+        let batch = seqfile::encode(&[Pair::new("k", u64_value(1)), Pair::new("k", u64_value(4))]);
+        let out = agg.aggregate_serialized(vec![batch.clone(), batch]).unwrap();
+        let pairs = seqfile::decode(&out).unwrap();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(parse_u64(&pairs[0].value).unwrap(), 10);
+    }
+
+    #[test]
+    fn combiner_agg_satisfies_the_platform_laws() {
+        let agg = CombinerAgg::new(Arc::new(Count));
+        let batches: Vec<Bytes> = [
+            vec![Pair::new("w", u64_value(2)), Pair::new("x", u64_value(1))],
+            vec![Pair::new("w", u64_value(3)), Pair::new("a", u64_value(9))],
+            vec![],
+            vec![Pair::new("x", u64_value(4))],
+        ]
+        .iter()
+        .map(|b| seqfile::encode(b))
+        .collect();
+        netagg_core::laws::assert_laws(&agg, &batches);
+    }
+
+    #[test]
+    fn aggregation_is_associative() {
+        let agg = CombinerAgg::new(Arc::new(Count));
+        let mk = |n: u64| vec![Pair::new("k", u64_value(n))];
+        let left = agg.aggregate(vec![agg.aggregate(vec![mk(1), mk(2)]), mk(3)]);
+        let right = agg.aggregate(vec![mk(1), agg.aggregate(vec![mk(2), mk(3)])]);
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,272 @@
+//! Sequence-file-style binary key/value serialisation.
+//!
+//! Records are `[key_len u32][key][val_len u32][val]`, concatenated. Two
+//! readers are provided:
+//!
+//! * [`decode`] — strict: the buffer must contain whole records (what agg
+//!   boxes use, since shims cut chunks at record boundaries);
+//! * [`SeqChunkDecoder`] — incremental: tolerates records split across
+//!   arbitrary chunk boundaries by carrying the partial tail to the next
+//!   chunk, the situation the paper's Hadoop deserialiser must handle when
+//!   chunks are cut at byte granularity.
+
+use crate::types::Pair;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netagg_core::AggError;
+
+/// Append one record.
+pub fn encode_record(dst: &mut BytesMut, pair: &Pair) {
+    dst.put_u32(pair.key.len() as u32);
+    dst.put_slice(&pair.key);
+    dst.put_u32(pair.value.len() as u32);
+    dst.put_slice(&pair.value);
+}
+
+/// Serialise a batch of pairs.
+pub fn encode(pairs: &[Pair]) -> Bytes {
+    let size: usize = pairs.iter().map(Pair::wire_size).sum();
+    let mut b = BytesMut::with_capacity(size);
+    for p in pairs {
+        encode_record(&mut b, p);
+    }
+    b.freeze()
+}
+
+/// Strict decode: the payload must contain exactly whole records.
+pub fn decode(payload: &Bytes) -> Result<Vec<Pair>, AggError> {
+    let mut src = payload.clone();
+    let mut out = Vec::new();
+    while src.has_remaining() {
+        out.push(decode_one(&mut src)?);
+    }
+    Ok(out)
+}
+
+fn decode_one(src: &mut Bytes) -> Result<Pair, AggError> {
+    if src.remaining() < 4 {
+        return Err(AggError::Corrupt("truncated key length".into()));
+    }
+    let klen = src.get_u32() as usize;
+    if src.remaining() < klen + 4 {
+        return Err(AggError::Corrupt("truncated key/value length".into()));
+    }
+    let key = src.split_to(klen);
+    let vlen = src.get_u32() as usize;
+    if src.remaining() < vlen {
+        return Err(AggError::Corrupt("truncated value".into()));
+    }
+    let value = src.split_to(vlen);
+    Ok(Pair { key, value })
+}
+
+/// Incremental decoder tolerating records split across chunks.
+#[derive(Debug, Default)]
+pub struct SeqChunkDecoder {
+    carry: BytesMut,
+}
+
+impl SeqChunkDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one chunk; returns the whole records now available. A record
+    /// straddling the chunk end is buffered until the next feed.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<Pair>, AggError> {
+        self.carry.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            let avail = self.carry.len();
+            if avail < 4 {
+                break;
+            }
+            let klen =
+                u32::from_be_bytes([self.carry[0], self.carry[1], self.carry[2], self.carry[3]])
+                    as usize;
+            if avail < 4 + klen + 4 {
+                break;
+            }
+            let vlen = u32::from_be_bytes([
+                self.carry[4 + klen],
+                self.carry[5 + klen],
+                self.carry[6 + klen],
+                self.carry[7 + klen],
+            ]) as usize;
+            if avail < 8 + klen + vlen {
+                break;
+            }
+            self.carry.advance(4);
+            let key = self.carry.split_to(klen).freeze();
+            self.carry.advance(4);
+            let value = self.carry.split_to(vlen).freeze();
+            out.push(Pair { key, value });
+        }
+        Ok(out)
+    }
+
+    /// Bytes of the incomplete trailing record still buffered.
+    pub fn pending(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// The stream is finished; error if a partial record remains.
+    pub fn finish(&self) -> Result<(), AggError> {
+        if self.carry.is_empty() {
+            Ok(())
+        } else {
+            Err(AggError::Corrupt(format!(
+                "{} bytes of partial record at end of stream",
+                self.carry.len()
+            )))
+        }
+    }
+}
+
+/// Split a batch of pairs into chunks of at most `target` serialised bytes,
+/// always cutting at record boundaries (what the worker shims ship).
+pub fn chunk_pairs(pairs: &[Pair], target: usize) -> Vec<Bytes> {
+    let mut chunks = Vec::new();
+    let mut current = BytesMut::new();
+    for p in pairs {
+        if !current.is_empty() && current.len() + p.wire_size() > target {
+            chunks.push(current.split().freeze());
+        }
+        encode_record(&mut current, p);
+    }
+    if !current.is_empty() {
+        chunks.push(current.freeze());
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pair(k: &str, v: &str) -> Pair {
+        Pair::new(k.to_string(), v.to_string())
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let pairs = vec![pair("a", "1"), pair("bb", ""), pair("", "x")];
+        assert_eq!(decode(&encode(&pairs)).unwrap(), pairs);
+    }
+
+    #[test]
+    fn strict_decode_rejects_partial_record() {
+        let pairs = vec![pair("key", "value")];
+        let enc = encode(&pairs);
+        for cut in 1..enc.len() {
+            let partial = enc.slice(0..cut);
+            assert!(decode(&partial).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn chunk_decoder_handles_arbitrary_splits() {
+        let pairs: Vec<Pair> = (0..50)
+            .map(|i| pair(&format!("key{i}"), &format!("value-{i}")))
+            .collect();
+        let enc = encode(&pairs);
+        // Feed in awkward 7-byte slices.
+        let mut dec = SeqChunkDecoder::new();
+        let mut got = Vec::new();
+        for chunk in enc.chunks(7) {
+            got.extend(dec.feed(chunk).unwrap());
+        }
+        dec.finish().unwrap();
+        assert_eq!(got, pairs);
+    }
+
+    #[test]
+    fn chunk_decoder_reports_dangling_tail() {
+        let enc = encode(&[pair("k", "v")]);
+        let mut dec = SeqChunkDecoder::new();
+        dec.feed(&enc[..enc.len() - 1]).unwrap();
+        assert!(dec.pending() > 0);
+        assert!(dec.finish().is_err());
+        dec.feed(&enc[enc.len() - 1..]).unwrap();
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn chunking_respects_target_and_boundaries() {
+        let pairs: Vec<Pair> = (0..100).map(|i| pair(&format!("k{i}"), "0123456789")).collect();
+        let chunks = chunk_pairs(&pairs, 64);
+        assert!(chunks.len() > 1);
+        let mut all = Vec::new();
+        for c in &chunks {
+            // Every chunk decodes standalone: cuts are at record boundaries.
+            all.extend(decode(c).unwrap());
+        }
+        assert_eq!(all, pairs);
+        for c in &chunks[..chunks.len() - 1] {
+            assert!(c.len() <= 64 + 30, "chunk of {} bytes", c.len());
+        }
+    }
+
+    #[test]
+    fn oversized_record_gets_its_own_chunk() {
+        let big = pair("k", &"x".repeat(1000));
+        let chunks = chunk_pairs(&[pair("a", "b"), big.clone()], 64);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(decode(&chunks[1]).unwrap(), vec![big]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(pairs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..20),
+             proptest::collection::vec(any::<u8>(), 0..40)),
+            0..30
+        )) {
+            let pairs: Vec<Pair> = pairs
+                .into_iter()
+                .map(|(k, v)| Pair::new(k, v))
+                .collect();
+            prop_assert_eq!(decode(&encode(&pairs)).unwrap(), pairs);
+        }
+
+        #[test]
+        fn prop_chunk_decoder_any_split(
+            pairs in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..10),
+                 proptest::collection::vec(any::<u8>(), 0..10)),
+                1..20
+            ),
+            split in 1usize..32
+        ) {
+            let pairs: Vec<Pair> = pairs
+                .into_iter()
+                .map(|(k, v)| Pair::new(k, v))
+                .collect();
+            let enc = encode(&pairs);
+            let mut dec = SeqChunkDecoder::new();
+            let mut got = Vec::new();
+            for chunk in enc.chunks(split) {
+                got.extend(dec.feed(chunk).unwrap());
+            }
+            dec.finish().unwrap();
+            prop_assert_eq!(got, pairs);
+        }
+
+        #[test]
+        fn prop_chunking_preserves_pairs(
+            n in 1usize..80,
+            target in 16usize..256
+        ) {
+            let pairs: Vec<Pair> = (0..n)
+                .map(|i| Pair::new(format!("key-{i}"), vec![i as u8; i % 17]))
+                .collect();
+            let chunks = chunk_pairs(&pairs, target);
+            let mut all = Vec::new();
+            for c in &chunks {
+                all.extend(decode(c).unwrap());
+            }
+            prop_assert_eq!(all, pairs);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Shuffle helpers: key partitioning and tree selection hashing.
+
+use crate::types::Pair;
+
+/// FNV-1a over the key: the hash used both for reducer partitioning and
+/// (modulo the tree count) for spreading keys over aggregation trees in
+/// keyed mode.
+pub fn key_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Partition pairs over `n` buckets by key hash (Hadoop's hash
+/// partitioner). With one reducer the single bucket is everything; the
+/// function generalises the framework to multi-reducer jobs.
+pub fn partition(pairs: Vec<Pair>, n: usize) -> Vec<Vec<Pair>> {
+    let mut out = vec![Vec::new(); n.max(1)];
+    let n = n.max(1) as u64;
+    for p in pairs {
+        let b = (key_hash(&p.key) % n) as usize;
+        out[b].push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_partition() {
+        let pairs = vec![
+            Pair::new("alpha", "1"),
+            Pair::new("beta", "2"),
+            Pair::new("alpha", "3"),
+        ];
+        let parts = partition(pairs, 4);
+        let with_alpha: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.iter().any(|x| x.key.as_ref() == b"alpha"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(with_alpha.len(), 1);
+        assert_eq!(
+            parts[with_alpha[0]]
+                .iter()
+                .filter(|p| p.key.as_ref() == b"alpha")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn partition_covers_all_pairs() {
+        let pairs: Vec<Pair> = (0..100).map(|i| Pair::new(format!("k{i}"), "")).collect();
+        let parts = partition(pairs.clone(), 7);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        // Reasonably spread.
+        assert!(parts.iter().filter(|p| !p.is_empty()).count() >= 5);
+    }
+
+    #[test]
+    fn zero_partitions_clamps_to_one() {
+        let parts = partition(vec![Pair::new("a", "b")], 0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 1);
+    }
+
+    #[test]
+    fn hash_differs_between_keys() {
+        assert_ne!(key_hash(b"a"), key_hash(b"b"));
+        assert_eq!(key_hash(b"same"), key_hash(b"same"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the map/reduce framework's correctness
+//! conditions: combiner associativity, partition stability, and
+//! end-to-end agreement between combined and uncombined execution.
+
+use bytes::Bytes;
+use minimr::job::{combine_pairs, group_by_key};
+use minimr::jobs::{Benchmark, WordCount};
+use minimr::shuffle::{key_hash, partition};
+use minimr::types::{parse_u64, u64_value, Pair};
+use proptest::prelude::*;
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<Pair>> {
+    proptest::collection::vec(
+        (0u8..20, 1u64..100).prop_map(|(k, v)| Pair::new(format!("key{k}"), u64_value(v))),
+        0..60,
+    )
+}
+
+fn totals(pairs: &[Pair]) -> std::collections::BTreeMap<Bytes, u64> {
+    let mut m = std::collections::BTreeMap::new();
+    for p in pairs {
+        *m.entry(p.key.clone()).or_insert(0) += parse_u64(&p.value).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Combining preserves per-key totals and is idempotent.
+    #[test]
+    fn combine_preserves_totals(pairs in pairs_strategy()) {
+        let before = totals(&pairs);
+        let once = combine_pairs(&WordCount, pairs);
+        prop_assert_eq!(&totals(&once), &before);
+        let twice = combine_pairs(&WordCount, once.clone());
+        prop_assert_eq!(&totals(&twice), &before);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    /// Combining in any grouping yields the same result as combining all
+    /// at once (the on-path aggregation correctness condition).
+    #[test]
+    fn combine_is_associative(pairs in pairs_strategy(), cut_sel in any::<usize>()) {
+        let all_at_once = combine_pairs(&WordCount, pairs.clone());
+        let cut = cut_sel % (pairs.len() + 1);
+        let (a, b) = pairs.split_at(cut);
+        let staged = combine_pairs(
+            &WordCount,
+            combine_pairs(&WordCount, a.to_vec())
+                .into_iter()
+                .chain(combine_pairs(&WordCount, b.to_vec()))
+                .collect(),
+        );
+        prop_assert_eq!(all_at_once, staged);
+    }
+
+    /// Partitioning is stable per key and covers all pairs exactly once.
+    #[test]
+    fn partition_is_a_partition(pairs in pairs_strategy(), n in 1usize..9) {
+        let parts = partition(pairs.clone(), n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), pairs.len());
+        for (i, part) in parts.iter().enumerate() {
+            for p in part {
+                prop_assert_eq!((key_hash(&p.key) % n as u64) as usize, i);
+            }
+        }
+    }
+
+    /// group_by_key loses nothing and sorts keys.
+    #[test]
+    fn group_by_key_is_lossless(pairs in pairs_strategy()) {
+        let grouped = group_by_key(pairs.clone());
+        let total: usize = grouped.iter().map(|(_, vs)| vs.len()).sum();
+        prop_assert_eq!(total, pairs.len());
+        for w in grouped.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+}
+
+/// Map-side combine changes the shuffle volume but never the job output,
+/// across all five benchmarks.
+#[test]
+fn map_side_combine_does_not_change_results() {
+    for bench in Benchmark::ALL {
+        let job = bench.job();
+        let inputs = bench.input(3, 30_000, 9);
+        let run = |combine: bool| -> Vec<Pair> {
+            // Reference in-process pipeline without the network: map all
+            // splits, optionally combine per split, merge, reduce.
+            let mut merged = Vec::new();
+            for split in &inputs {
+                let mut pairs = Vec::new();
+                for rec in split {
+                    job.map(rec, &mut |p| pairs.push(p));
+                }
+                if combine {
+                    pairs = combine_pairs(job.as_ref(), pairs);
+                }
+                merged.extend(pairs);
+            }
+            let mut out = Vec::new();
+            for (key, values) in group_by_key(merged) {
+                out.extend(job.reduce(&key, values));
+            }
+            out.sort();
+            out
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            minimr::types::outputs_equivalent(&with, &without),
+            "{}: combine changed the result",
+            bench.label()
+        );
+    }
+}

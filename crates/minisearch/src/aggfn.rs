@@ -1,0 +1,251 @@
+//! The search engine's aggregation functions (Section 4.2.1).
+//!
+//! * [`TopK`] — the standard distributed-search merge: keep the globally
+//!   best `k` documents.
+//! * [`Sample`] — the paper's computationally *cheap* function: return a
+//!   deterministic sample of the merged documents sized by the output
+//!   ratio `alpha` (which therefore controls data reduction).
+//! * [`Categorise`] — the paper's *CPU-intensive* function: classify each
+//!   document into its majority base category by parsing the snippet for
+//!   category markers, and return the top-k per category.
+//!
+//! All three are associative and commutative, so they can run at any agg
+//! box of the tree.
+
+use crate::corpus::BASE_CATEGORIES;
+use crate::score::{ScoredDoc, SearchResults};
+use bytes::Bytes;
+use netagg_core::{AggError, AggregationFunction};
+
+/// Shared serialisation for all search aggregation functions.
+pub trait SearchAgg {
+    /// Merge partial result lists into one.
+    fn merge(&self, parts: Vec<SearchResults>) -> SearchResults;
+}
+
+macro_rules! impl_agg_fn {
+    ($ty:ty) => {
+        impl AggregationFunction for $ty {
+            type Item = SearchResults;
+
+            fn deserialize(&self, payload: &Bytes) -> Result<SearchResults, AggError> {
+                SearchResults::decode(payload)
+            }
+
+            fn serialize(&self, item: &SearchResults) -> Bytes {
+                item.encode()
+            }
+
+            fn aggregate(&self, items: Vec<SearchResults>) -> SearchResults {
+                self.merge(items)
+            }
+
+            fn empty(&self) -> SearchResults {
+                SearchResults::default()
+            }
+        }
+    };
+}
+
+/// Global top-k merge.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    /// Number of documents to keep.
+    pub k: usize,
+}
+
+impl TopK {
+    /// Keep the best `k` documents.
+    pub fn new(k: usize) -> Self {
+        Self { k }
+    }
+}
+
+impl SearchAgg for TopK {
+    fn merge(&self, parts: Vec<SearchResults>) -> SearchResults {
+        SearchResults::merge_topk(parts, self.k)
+    }
+}
+impl_agg_fn!(TopK);
+
+/// Deterministic sampling with output ratio `alpha`: keeps
+/// `ceil(alpha x merged)` documents, chosen by a hash of the document id so
+/// the function stays commutative/associative (a random choice would not
+/// be).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Output ratio in `[0, 1]`.
+    pub alpha: f64,
+}
+
+impl Sample {
+    /// Keep an `alpha` fraction of the merged documents.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        Self { alpha }
+    }
+}
+
+impl SearchAgg for Sample {
+    fn merge(&self, parts: Vec<SearchResults>) -> SearchResults {
+        let mut docs: Vec<ScoredDoc> = parts.into_iter().flat_map(|p| p.docs).collect();
+        // Deterministic priority per document: hash of the id. Taking the
+        // alpha-fraction with smallest hash commutes across groupings.
+        docs.sort_by_key(|d| (netagg_core::protocol_hash(d.doc as u64), d.doc));
+        // ceil keeps at least one document whenever any input is non-empty.
+        let keep = ((docs.len() as f64) * self.alpha).ceil() as usize;
+        docs.truncate(keep);
+        SearchResults { docs }
+    }
+}
+impl_agg_fn!(Sample);
+
+/// CPU-intensive classification: parse each snippet's `category:` markers,
+/// classify the document into its majority base category, return the top-k
+/// per category.
+#[derive(Debug, Clone)]
+pub struct Categorise {
+    /// Documents kept per base category.
+    pub k_per_category: usize,
+}
+
+impl Categorise {
+    /// Keep the best `k_per_category` documents of each base category.
+    pub fn new(k_per_category: usize) -> Self {
+        Self { k_per_category }
+    }
+
+    /// Majority base category of a snippet (the deliberately string-heavy
+    /// inner loop that makes this function CPU-bound, as in the paper).
+    pub fn classify(snippet: &str) -> usize {
+        let mut counts = [0u32; BASE_CATEGORIES.len()];
+        for token in snippet.split_whitespace() {
+            let Some(name) = token.strip_prefix("category:") else {
+                continue;
+            };
+            for (i, cat) in BASE_CATEGORIES.iter().enumerate() {
+                // Character-wise comparison (string parsing cost).
+                if name.len() == cat.len()
+                    && name.chars().zip(cat.chars()).all(|(a, b)| a == b)
+                {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+impl SearchAgg for Categorise {
+    fn merge(&self, parts: Vec<SearchResults>) -> SearchResults {
+        let mut per_cat: Vec<Vec<ScoredDoc>> = vec![Vec::new(); BASE_CATEGORIES.len()];
+        for p in parts {
+            for d in p.docs {
+                let cat = Self::classify(&d.snippet);
+                per_cat[cat].push(d);
+            }
+        }
+        let mut out = Vec::new();
+        for mut docs in per_cat {
+            docs.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.doc.cmp(&b.doc))
+            });
+            docs.truncate(self.k_per_category);
+            out.extend(docs);
+        }
+        SearchResults { docs: out }
+    }
+}
+impl_agg_fn!(Categorise);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, score: f64, snippet: &str) -> ScoredDoc {
+        ScoredDoc {
+            doc: id,
+            score,
+            snippet: snippet.to_string(),
+        }
+    }
+
+    fn part(docs: Vec<ScoredDoc>) -> SearchResults {
+        SearchResults { docs }
+    }
+
+    #[test]
+    fn sample_respects_alpha() {
+        let s = Sample::new(0.25);
+        let parts = vec![part((0..100).map(|i| doc(i, 1.0, "")).collect())];
+        let out = s.merge(parts);
+        assert_eq!(out.docs.len(), 25);
+    }
+
+    #[test]
+    fn sample_is_associative() {
+        let s = Sample::new(0.5);
+        let a = part((0..10).map(|i| doc(i, 1.0, "")).collect());
+        let b = part((10..20).map(|i| doc(i, 1.0, "")).collect());
+        let c = part((20..30).map(|i| doc(i, 1.0, "")).collect());
+        let left = s.merge(vec![s.merge(vec![a.clone(), b.clone()]), c.clone()]);
+        let right = s.merge(vec![a, s.merge(vec![b, c])]);
+        // Same document set (order may differ only deterministically).
+        let mut l: Vec<u32> = left.docs.iter().map(|d| d.doc).collect();
+        let mut r: Vec<u32> = right.docs.iter().map(|d| d.doc).collect();
+        l.sort_unstable();
+        r.sort_unstable();
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn sample_alpha_one_keeps_everything() {
+        let s = Sample::new(1.0);
+        let out = s.merge(vec![part((0..7).map(|i| doc(i, 1.0, "")).collect())]);
+        assert_eq!(out.docs.len(), 7);
+    }
+
+    #[test]
+    fn classify_finds_majority_category() {
+        let snippet = "category:science category:science category:arts words";
+        assert_eq!(
+            Categorise::classify(snippet),
+            BASE_CATEGORIES.iter().position(|c| *c == "science").unwrap()
+        );
+    }
+
+    #[test]
+    fn categorise_returns_topk_per_category() {
+        let c = Categorise::new(1);
+        let sci = "category:science";
+        let art = "category:arts";
+        let out = c.merge(vec![part(vec![
+            doc(1, 1.0, sci),
+            doc(2, 3.0, sci),
+            doc(3, 2.0, art),
+        ])]);
+        assert_eq!(out.docs.len(), 2);
+        assert!(out.docs.iter().any(|d| d.doc == 2));
+        assert!(out.docs.iter().any(|d| d.doc == 3));
+    }
+
+    #[test]
+    fn topk_agg_function_roundtrip() {
+        let f = TopK::new(2);
+        let a = part(vec![doc(1, 5.0, ""), doc(2, 1.0, "")]);
+        let b = part(vec![doc(3, 3.0, "")]);
+        let out = f.aggregate(vec![a, b]);
+        assert_eq!(out.docs.iter().map(|d| d.doc).collect::<Vec<_>>(), vec![1, 3]);
+        let ser = f.serialize(&out);
+        assert_eq!(f.deserialize(&ser).unwrap(), out);
+        assert!(f.empty().docs.is_empty());
+    }
+}

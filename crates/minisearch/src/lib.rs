@@ -1,0 +1,70 @@
+//! A distributed full-text search engine — the Apache Solr substitute used
+//! by the NetAgg testbed evaluation (Section 3.3 / 4.2.1 of the paper).
+//!
+//! Architecture (mirroring Solr's distributed mode):
+//!
+//! * a [`frontend::Frontend`] (master) receives client queries and fans
+//!   sub-queries out to backends;
+//! * [`backend::Backend`]s (workers) each hold one shard of the inverted
+//!   index and return their top-k partial results;
+//! * partial results are merged by an associative, commutative aggregation
+//!   function: plain top-k merge ([`aggfn::TopK`]), the paper's cheap
+//!   [`aggfn::Sample`] (output-ratio controlled) or its CPU-intensive
+//!   [`aggfn::Categorise`].
+//!
+//! With NetAgg deployed, backend shims redirect partial results to on-path
+//! agg boxes ([`netagg`]); without it, they flow directly to the frontend
+//! — the same code path the paper's "plain Solr" baseline takes.
+//!
+//! The corpus is synthetic ([`corpus`]): Zipf-distributed vocabulary and
+//! explicit category markers substitute for the paper's Wikipedia snapshot
+//! while exercising identical code paths (indexing, BM25 scoring, top-k
+//! merge, category classification).
+
+//! # Quick example
+//!
+//! ```
+//! use minisearch::corpus::CorpusConfig;
+//! use minisearch::frontend::FrontendConfig;
+//! use minisearch::netagg::{SearchCluster, SearchFunction};
+//! use netagg_core::prelude::*;
+//! use netagg_net::ChannelTransport;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! // Four backends behind one agg box.
+//! let transport = Arc::new(ChannelTransport::new());
+//! let mut deployment =
+//!     NetAggDeployment::launch(transport.clone(), &ClusterSpec::single_rack(4, 1)).unwrap();
+//! let mut cluster = SearchCluster::launch(
+//!     &mut deployment,
+//!     transport,
+//!     &CorpusConfig { num_docs: 200, ..CorpusConfig::default() },
+//!     SearchFunction::TopK { k: 10 },
+//!     FrontendConfig { backend_k: 20, timeout: Duration::from_secs(10) },
+//!     1.0,
+//! )
+//! .unwrap();
+//! let out = cluster.frontend.query(&[minisearch::corpus::word(0)]).unwrap();
+//! assert!(out.results.docs.len() <= 10);
+//! cluster.shutdown();
+//! deployment.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggfn;
+pub mod backend;
+pub mod corpus;
+pub mod frontend;
+pub mod index;
+pub mod netagg;
+pub mod score;
+pub mod tokenize;
+
+pub use aggfn::{Categorise, Sample, SearchAgg, TopK};
+pub use backend::Backend;
+pub use corpus::{Corpus, CorpusConfig, Document};
+pub use frontend::{Frontend, QueryOutcome};
+pub use index::InvertedIndex;
+pub use score::{ScoredDoc, SearchResults};

@@ -1,0 +1,136 @@
+//! NetAgg integration: the application-specific code needed to run the
+//! search engine on the aggregation platform.
+//!
+//! This module (plus the `impl AggregationFunction` adapters in
+//! [`crate::aggfn`] and the result codec in [`crate::score`]) is the
+//! search-engine analogue of the paper's Table 1 line counts: the
+//! serialiser/deserialiser, the aggregation wrapper around the query
+//! component, and the shim wiring.
+
+use crate::aggfn::{Categorise, Sample, TopK};
+use crate::backend::Backend;
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::frontend::{Frontend, FrontendConfig};
+use crate::index::{GlobalStats, InvertedIndex};
+use netagg_core::prelude::*;
+use netagg_core::runtime::NetAggDeployment;
+use netagg_net::Transport;
+use std::sync::Arc;
+
+/// Which aggregation function the deployment runs (Section 4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchFunction {
+    /// Global top-k merge.
+    TopK {
+        /// Documents kept overall.
+        k: usize,
+    },
+    /// Cheap sampling with output ratio `alpha`.
+    Sample {
+        /// Output ratio in `[0, 1]`.
+        alpha: f64,
+    },
+    /// CPU-intensive per-category classification.
+    Categorise {
+        /// Documents kept per base category.
+        k_per_category: usize,
+    },
+}
+
+/// A fully wired search cluster (frontend + backends + shims), with or
+/// without agg boxes depending on the deployment's [`ClusterSpec`].
+pub struct SearchCluster {
+    /// The application id the cluster registered.
+    pub app: AppId,
+    /// The running frontend.
+    pub frontend: Arc<Frontend>,
+    /// The running backends, one per worker.
+    pub backends: Vec<Backend>,
+    /// Vocabulary size of the generated corpus (for query generation).
+    pub corpus_vocabulary: usize,
+}
+
+impl SearchCluster {
+    /// Register the search application on `deployment`, build and shard the
+    /// corpus, and start the frontend and backends.
+    pub fn launch(
+        deployment: &mut NetAggDeployment,
+        transport: Arc<dyn Transport>,
+        corpus_cfg: &CorpusConfig,
+        function: SearchFunction,
+        frontend_cfg: FrontendConfig,
+        share: f64,
+    ) -> Result<Self, AggError> {
+        let agg: Arc<dyn DynAggregator> = match function {
+            SearchFunction::TopK { k } => Arc::new(AggWrapper::new(TopK::new(k))),
+            SearchFunction::Sample { alpha } => Arc::new(AggWrapper::new(Sample::new(alpha))),
+            SearchFunction::Categorise { k_per_category } => {
+                Arc::new(AggWrapper::new(Categorise::new(k_per_category)))
+            }
+        };
+        let app = deployment.register_app("minisearch", agg, share);
+        let master = deployment.master_shim(app);
+
+        let workers: Vec<u32> = deployment
+            .tree_specs()
+            .first()
+            .map(|s| {
+                let mut w: Vec<u32> = s
+                    .worker_assignment
+                    .keys()
+                    .copied()
+                    .chain(s.direct_workers.iter().copied())
+                    .collect();
+                w.sort_unstable();
+                w
+            })
+            .unwrap_or_default();
+
+        let corpus = Corpus::generate(corpus_cfg);
+        let shards = corpus.shards(workers.len().max(1));
+        let indexes: Vec<Arc<InvertedIndex>> = shards
+            .iter()
+            .map(|docs| Arc::new(InvertedIndex::build(docs)))
+            .collect();
+        // Corpus-global statistics keep distributed ranking identical to a
+        // single index (and identical between plain and NetAgg modes).
+        let stats = Arc::new(GlobalStats::from_shards(indexes.iter().map(Arc::as_ref)));
+        let mut backends = Vec::new();
+        for (i, &w) in workers.iter().enumerate() {
+            let shim = deployment.worker_shim(app, w);
+            backends.push(
+                Backend::start_with_stats(
+                    transport.clone(),
+                    app,
+                    w,
+                    indexes[i].clone(),
+                    Some(stats.clone()),
+                    shim,
+                )
+                .map_err(AggError::from)?,
+            );
+        }
+        let frontend = Frontend::start(
+            transport,
+            app,
+            master,
+            workers,
+            frontend_cfg,
+        )
+        .map_err(AggError::from)?;
+        Ok(Self {
+            app,
+            frontend,
+            backends,
+            corpus_vocabulary: corpus_cfg.vocabulary,
+        })
+    }
+
+    /// Stop the frontend and all backends. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.frontend.shutdown();
+        for b in &mut self.backends {
+            b.shutdown();
+        }
+    }
+}

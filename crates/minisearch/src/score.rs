@@ -1,0 +1,350 @@
+//! BM25 scoring and the wire-serialisable search-result type.
+
+use crate::index::{GlobalStats, InvertedIndex};
+use bytes::{BufMut, Bytes, BytesMut};
+use netagg_core::AggError;
+use netagg_net::wire;
+
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// One scored document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredDoc {
+    /// Document identifier.
+    pub doc: u32,
+    /// BM25 relevance score.
+    pub score: f64,
+    /// Snippet text (carries the category markers for `categorise`).
+    pub snippet: String,
+}
+
+/// A (partial) search result list, sorted by descending score.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchResults {
+    /// Scored documents, best first.
+    pub docs: Vec<ScoredDoc>,
+}
+
+impl SearchResults {
+    /// Serialise to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32(self.docs.len() as u32);
+        for d in &self.docs {
+            b.put_u32(d.doc);
+            b.put_f64(d.score);
+            wire::put_str(&mut b, &d.snippet);
+        }
+        b.freeze()
+    }
+
+    /// Parse the wire format, validating lengths before allocating.
+    pub fn decode(payload: &Bytes) -> Result<Self, AggError> {
+        let mut src = payload.clone();
+        let n = wire::get_u32(&mut src).map_err(|e| AggError::Corrupt(e.to_string()))?;
+        // Validate the untrusted count against the bytes actually present
+        // (each document needs at least 16 bytes) before allocating.
+        if (n as usize).saturating_mul(16) > src.len() {
+            return Err(AggError::Corrupt(format!(
+                "claimed {n} docs but only {} bytes follow",
+                src.len()
+            )));
+        }
+        let mut docs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let doc = wire::get_u32(&mut src).map_err(|e| AggError::Corrupt(e.to_string()))?;
+            let score = wire::get_f64(&mut src).map_err(|e| AggError::Corrupt(e.to_string()))?;
+            let snippet = wire::get_str(&mut src).map_err(|e| AggError::Corrupt(e.to_string()))?;
+            docs.push(ScoredDoc {
+                doc,
+                score,
+                snippet,
+            });
+        }
+        Ok(Self { docs })
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        4 + self
+            .docs
+            .iter()
+            .map(|d| 4 + 8 + 4 + d.snippet.len())
+            .sum::<usize>()
+    }
+
+    fn sort(&mut self) {
+        self.docs.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+    }
+
+    /// Merge several partial lists, keeping the global top-k.
+    pub fn merge_topk(parts: Vec<SearchResults>, k: usize) -> SearchResults {
+        let mut all = SearchResults {
+            docs: parts.into_iter().flat_map(|p| p.docs).collect(),
+        };
+        all.sort();
+        all.docs.truncate(k);
+        all
+    }
+}
+
+/// Disjunctive (OR) vs conjunctive (AND) matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// A document matches if it contains *any* query term (BM25 default).
+    #[default]
+    Any,
+    /// A document matches only if it contains *every* query term.
+    All,
+}
+
+impl QueryMode {
+    /// Wire encoding of the mode.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            QueryMode::Any => 0,
+            QueryMode::All => 1,
+        }
+    }
+
+    /// Parse the wire encoding (unknown values fall back to `Any`).
+    pub fn from_byte(b: u8) -> Self {
+        if b == 1 {
+            QueryMode::All
+        } else {
+            QueryMode::Any
+        }
+    }
+}
+
+/// Execute a query against a shard with shard-local statistics.
+pub fn search(index: &InvertedIndex, terms: &[String], k: usize) -> SearchResults {
+    search_with(index, None, terms, k)
+}
+
+/// Execute a query against a shard. With `stats`, BM25 uses corpus-global
+/// document frequencies and average length, making distributed top-k merge
+/// exactly equal to a single-index search.
+pub fn search_with(
+    index: &InvertedIndex,
+    stats: Option<&GlobalStats>,
+    terms: &[String],
+    k: usize,
+) -> SearchResults {
+    search_mode(index, stats, terms, k, QueryMode::Any)
+}
+
+/// Execute a query with an explicit [`QueryMode`]. Under `All`, documents
+/// missing any query term are filtered out before ranking.
+pub fn search_mode(
+    index: &InvertedIndex,
+    stats: Option<&GlobalStats>,
+    terms: &[String],
+    k: usize,
+    mode: QueryMode,
+) -> SearchResults {
+    let n = stats.map(|g| g.num_docs).unwrap_or(index.num_docs()) as f64;
+    let avg = stats
+        .map(|g| g.avg_doc_len())
+        .unwrap_or(index.avg_doc_len())
+        .max(1.0);
+    let mut scores: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for term in terms {
+        let Some(postings) = index.postings(term) else {
+            continue;
+        };
+        let df = stats
+            .map(|g| g.doc_freq.get(term).copied().unwrap_or(0))
+            .unwrap_or(postings.len()) as f64;
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+        for p in postings {
+            let tf = p.tf as f64;
+            let dl = index.doc_len(p.doc) as f64;
+            let s = idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg));
+            *scores.entry(p.doc).or_insert(0.0) += s;
+        }
+    }
+    // Conjunctive filtering: keep documents matched by every present term.
+    let matched: Box<dyn Fn(u32) -> bool> = match mode {
+        QueryMode::Any => Box::new(|_| true),
+        QueryMode::All => {
+            let mut per_doc: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
+            let mut distinct = std::collections::HashSet::new();
+            for term in terms {
+                if !distinct.insert(term.as_str()) {
+                    continue;
+                }
+                if let Some(postings) = index.postings(term) {
+                    for p in postings {
+                        *per_doc.entry(p.doc).or_insert(0) += 1;
+                    }
+                }
+            }
+            let needed = distinct.len();
+            Box::new(move |doc| per_doc.get(&doc).copied().unwrap_or(0) == needed)
+        }
+    };
+    let mut results = SearchResults {
+        docs: scores
+            .into_iter()
+            .filter(|(doc, _)| matched(*doc))
+            .map(|(doc, score)| ScoredDoc {
+                doc,
+                score,
+                snippet: index.snippet(doc).to_string(),
+            })
+            .collect(),
+    };
+    results.sort();
+    results.docs.truncate(k);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    fn doc(id: u32, body: &str) -> Document {
+        Document {
+            id,
+            title: String::new(),
+            body: body.to_string(),
+            base_category: 0,
+        }
+    }
+
+    #[test]
+    fn relevant_docs_rank_higher() {
+        let idx = InvertedIndex::build(&[
+            doc(0, "rust network aggregation middlebox"),
+            doc(1, "rust rust rust network"),
+            doc(2, "unrelated words entirely here"),
+        ]);
+        let r = search(&idx, &["rust".into()], 10);
+        assert_eq!(r.docs.len(), 2);
+        assert_eq!(r.docs[0].doc, 1, "higher tf ranks first");
+        assert!(r.docs[0].score > r.docs[1].score);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let docs: Vec<Document> = (0..20)
+            .map(|i| doc(i, &format!("common word{i}")))
+            .collect();
+        let idx = InvertedIndex::build(&docs);
+        let r = search(&idx, &["common".into()], 5);
+        assert_eq!(r.docs.len(), 5);
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let idx = InvertedIndex::build(&[doc(0, "something")]);
+        let r = search(&idx, &["nothinghere".into()], 5);
+        assert!(r.docs.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = SearchResults {
+            docs: vec![
+                ScoredDoc {
+                    doc: 7,
+                    score: 1.25,
+                    snippet: "category:science words".into(),
+                },
+                ScoredDoc {
+                    doc: 9,
+                    score: 0.5,
+                    snippet: String::new(),
+                },
+            ],
+        };
+        let d = SearchResults::decode(&r.encode()).unwrap();
+        assert_eq!(d, r);
+        assert!(r.wire_size() >= 16);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let r = SearchResults {
+            docs: vec![ScoredDoc {
+                doc: 1,
+                score: 2.0,
+                snippet: "abc".into(),
+            }],
+        };
+        let enc = r.encode();
+        let bad = enc.slice(0..enc.len() - 1);
+        assert!(SearchResults::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn conjunctive_mode_requires_all_terms() {
+        let idx = InvertedIndex::build(&[
+            doc(0, "alpha beta gamma"),
+            doc(1, "alpha beta"),
+            doc(2, "alpha"),
+            doc(3, "beta"),
+        ]);
+        let terms = vec!["alpha".to_string(), "beta".to_string()];
+        let any = search_mode(&idx, None, &terms, 10, QueryMode::Any);
+        let all = search_mode(&idx, None, &terms, 10, QueryMode::All);
+        assert_eq!(any.docs.len(), 4);
+        let mut all_ids: Vec<u32> = all.docs.iter().map(|d| d.doc).collect();
+        all_ids.sort_unstable();
+        assert_eq!(all_ids, vec![0, 1]);
+        // Duplicate terms must not change the required count.
+        let dup = vec!["alpha".to_string(), "alpha".to_string()];
+        let d = search_mode(&idx, None, &dup, 10, QueryMode::All);
+        assert_eq!(d.docs.len(), 3);
+        // A term missing everywhere empties the conjunction.
+        let none = vec!["alpha".to_string(), "zzz".to_string()];
+        assert!(search_mode(&idx, None, &none, 10, QueryMode::All).docs.is_empty());
+    }
+
+    #[test]
+    fn merge_topk_is_global() {
+        let a = SearchResults {
+            docs: vec![
+                ScoredDoc { doc: 1, score: 3.0, snippet: String::new() },
+                ScoredDoc { doc: 2, score: 1.0, snippet: String::new() },
+            ],
+        };
+        let b = SearchResults {
+            docs: vec![ScoredDoc { doc: 3, score: 2.0, snippet: String::new() }],
+        };
+        let m = SearchResults::merge_topk(vec![a, b], 2);
+        assert_eq!(m.docs.iter().map(|d| d.doc).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let part = |doc: u32, score: f64| SearchResults {
+            docs: vec![ScoredDoc {
+                doc,
+                score,
+                snippet: String::new(),
+            }],
+        };
+        let (a, b, c) = (part(1, 3.0), part(2, 2.0), part(3, 1.0));
+        let left = SearchResults::merge_topk(
+            vec![SearchResults::merge_topk(vec![a.clone(), b.clone()], 10), c.clone()],
+            2,
+        );
+        let right = SearchResults::merge_topk(
+            vec![a.clone(), SearchResults::merge_topk(vec![c.clone(), b.clone()], 10)],
+            2,
+        );
+        let swapped = SearchResults::merge_topk(vec![c, b, a], 2);
+        assert_eq!(left, right);
+        assert_eq!(left, swapped);
+    }
+}

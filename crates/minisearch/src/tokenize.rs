@@ -1,0 +1,59 @@
+//! Tokenisation: lowercase alphanumeric terms with a small stopword list.
+
+/// Words too common to index.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "that", "the", "to", "was", "with",
+];
+
+/// Whether `term` is on the stopword list.
+pub fn is_stopword(term: &str) -> bool {
+    STOPWORDS.contains(&term)
+}
+
+/// Split text into lowercase alphanumeric terms, dropping stopwords.
+/// `category:` markers are kept intact (used by the categorise function).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let term: String = raw
+            .chars()
+            .filter(|c| c.is_alphanumeric() || *c == ':')
+            .flat_map(|c| c.to_lowercase())
+            .collect();
+        if term.is_empty() || is_stopword(&term) {
+            continue;
+        }
+        out.push(term);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn drops_stopwords() {
+        assert_eq!(tokenize("the cat and the hat"), vec!["cat", "hat"]);
+    }
+
+    #[test]
+    fn keeps_category_markers() {
+        assert_eq!(
+            tokenize("text category:Science more"),
+            vec!["text", "category:science", "more"]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ,,, !!!").is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the search engine's aggregation semantics: all
+//! three aggregation functions must be associative and commutative (the
+//! platform's correctness precondition), the codec total, and sharded
+//! search equivalent to unsharded search.
+
+use bytes::Bytes;
+use minisearch::aggfn::{Categorise, Sample, SearchAgg, TopK};
+use minisearch::corpus::{Corpus, CorpusConfig, BASE_CATEGORIES};
+use minisearch::index::{GlobalStats, InvertedIndex};
+use minisearch::score::{search, search_with, ScoredDoc, SearchResults};
+use proptest::prelude::*;
+
+fn doc_strategy() -> impl Strategy<Value = ScoredDoc> {
+    (
+        0u32..500,
+        0.0f64..100.0,
+        proptest::sample::select(BASE_CATEGORIES.to_vec()),
+    )
+        .prop_map(|(doc, score, cat)| ScoredDoc {
+            doc,
+            score,
+            snippet: format!("category:{cat} some words"),
+        })
+}
+
+fn parts_strategy() -> impl Strategy<Value = Vec<SearchResults>> {
+    proptest::collection::vec(
+        proptest::collection::vec(doc_strategy(), 0..12)
+            .prop_map(|docs| SearchResults { docs }),
+        1..6,
+    )
+}
+
+fn doc_ids(r: &SearchResults) -> Vec<u32> {
+    let mut v: Vec<u32> = r.docs.iter().map(|d| d.doc).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging in any grouping/order yields the same document set, for all
+    /// three aggregation functions.
+    #[test]
+    fn aggregation_functions_are_associative_and_commutative(
+        parts in parts_strategy(),
+        pivot in any::<usize>(),
+    ) {
+        fn check<A: SearchAgg>(agg: &A, parts: &[SearchResults], pivot: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+            let all_at_once = agg.merge(parts.to_vec());
+            let cut = 1 + pivot % parts.len().max(1);
+            let (a, b) = parts.split_at(cut.min(parts.len()));
+            let staged = agg.merge(vec![
+                agg.merge(a.to_vec()),
+                agg.merge(b.to_vec()),
+            ]);
+            let mut rev = parts.to_vec();
+            rev.reverse();
+            let reversed = agg.merge(rev);
+            (doc_ids(&all_at_once), doc_ids(&staged), doc_ids(&reversed))
+        }
+        for k in [1usize, 3, 100] {
+            let (x, y, z) = check(&TopK::new(k), &parts, pivot);
+            prop_assert_eq!(&x, &y, "TopK({}) grouping", k);
+            prop_assert_eq!(&x, &z, "TopK({}) order", k);
+        }
+        let (x, y, z) = check(&Categorise::new(2), &parts, pivot);
+        prop_assert_eq!(&x, &y, "Categorise grouping");
+        prop_assert_eq!(&x, &z, "Categorise order");
+        // Sample is deliberately only *weakly* associative: re-sampling
+        // already-sampled data compounds the ratio (true of the paper's
+        // sample function as well), so tree shape may change the kept set.
+        // The invariants are: order-independence for a fixed grouping, and
+        // output always a subset of the input union.
+        for alpha in [0.1, 0.5, 1.0] {
+            let agg = Sample::new(alpha);
+            let a = agg.merge(parts.clone());
+            let mut rev = parts.clone();
+            rev.reverse();
+            let b = agg.merge(rev);
+            prop_assert_eq!(doc_ids(&a), doc_ids(&b), "Sample({}) order", alpha);
+            let union: std::collections::HashSet<u32> =
+                parts.iter().flat_map(|p| p.docs.iter().map(|d| d.doc)).collect();
+            prop_assert!(a.docs.iter().all(|d| union.contains(&d.doc)));
+            // Full-ratio sampling keeps everything regardless of grouping.
+            if alpha == 1.0 {
+                let (x, y, z) = check(&agg, &parts, pivot);
+                prop_assert_eq!(&x, &y);
+                prop_assert_eq!(&x, &z);
+            }
+        }
+    }
+
+    /// The result codec roundtrips arbitrary result lists and never panics
+    /// on arbitrary bytes.
+    #[test]
+    fn results_codec_roundtrips(
+        docs in proptest::collection::vec(doc_strategy(), 0..20),
+        garbage in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let r = SearchResults { docs };
+        let decoded = SearchResults::decode(&r.encode()).unwrap();
+        prop_assert_eq!(decoded, r);
+        let _ = SearchResults::decode(&Bytes::from(garbage));
+    }
+
+    /// TopK keeps the k highest-scoring documents.
+    #[test]
+    fn topk_keeps_the_best(
+        docs in proptest::collection::vec(doc_strategy(), 1..40),
+        k in 1usize..10,
+    ) {
+        let merged = TopK::new(k).merge(vec![SearchResults { docs: docs.clone() }]);
+        prop_assert!(merged.docs.len() <= k);
+        let worst_kept = merged.docs.last().map(|d| d.score).unwrap_or(f64::MIN);
+        let dropped_best = docs
+            .iter()
+            .filter(|d| !merged.docs.iter().any(|m| m.doc == d.doc && m.score == d.score))
+            .map(|d| d.score)
+            .fold(f64::MIN, f64::max);
+        prop_assert!(worst_kept >= dropped_best - 1e-12);
+    }
+}
+
+/// Sharded search returns the same top-k as searching one combined index
+/// (the distributed-search correctness property the platform relies on).
+#[test]
+fn sharded_topk_equals_unsharded() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 300,
+        vocabulary: 800,
+        mean_words: 40,
+        markers_per_doc: 3,
+        seed: 21,
+    });
+    let full = InvertedIndex::build(&corpus.docs);
+    let shards: Vec<InvertedIndex> = corpus
+        .shards(4)
+        .iter()
+        .map(|docs| InvertedIndex::build(docs))
+        .collect();
+    // With corpus-global statistics (distributed IDF), sharded top-k is
+    // *exactly* the single-index top-k; with shard-local statistics it can
+    // legitimately diverge (the classic Solr artifact).
+    let global = GlobalStats::from_shards(shards.iter());
+    assert_eq!(global.num_docs, full.num_docs());
+    for q in 0..40 {
+        let terms = vec![
+            minisearch::corpus::word(q * 3 % 100),
+            minisearch::corpus::word(q % 17),
+        ];
+        let direct = search(&full, &terms, 10);
+        let partials: Vec<SearchResults> = shards
+            .iter()
+            .map(|s| search_with(s, Some(&global), &terms, 10))
+            .collect();
+        let merged = SearchResults::merge_topk(partials, 10);
+        let ids = |r: &SearchResults| r.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
+        assert_eq!(
+            ids(&direct),
+            ids(&merged),
+            "query {terms:?} diverges despite global statistics"
+        );
+    }
+}

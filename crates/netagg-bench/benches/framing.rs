@@ -1,0 +1,31 @@
+//! Criterion bench: frame codec throughput (the KryoNet-equivalent layer).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netagg_net::framing::{encode_frame, FrameDecoder};
+
+fn bench_framing(c: &mut Criterion) {
+    let payload = vec![0xabu8; 16 * 1024];
+    let frames = 64usize;
+    let mut g = c.benchmark_group("framing");
+    g.throughput(Throughput::Bytes((payload.len() * frames) as u64));
+    g.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::new();
+            for _ in 0..frames {
+                encode_frame(&payload, &mut buf).unwrap();
+            }
+            let mut dec = FrameDecoder::new();
+            dec.feed(&buf);
+            let mut n = 0;
+            while let Some(f) = dec.next_frame().unwrap() {
+                n += f.len();
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_framing);
+criterion_main!(benches);

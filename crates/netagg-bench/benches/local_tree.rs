@@ -1,0 +1,53 @@
+//! Criterion bench: local aggregation tree throughput (complements the
+//! paper's Fig. 15 micro-benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use minimr::jobs::WordCount;
+use minimr::netagg::CombinerAgg;
+use minimr::seqfile;
+use minimr::types::{u64_value, Pair};
+use netagg_core::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
+use netagg_core::aggbox::tree::LocalAggTree;
+use netagg_core::protocol::AppId;
+use netagg_core::AggWrapper;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn batch(pairs: usize) -> bytes::Bytes {
+    let distinct = (pairs / 10).max(1);
+    let items: Vec<Pair> = (0..pairs)
+        .map(|i| Pair::new(format!("word{:06}", i % distinct), u64_value(1)))
+        .collect();
+    seqfile::encode(&items)
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_agg_tree");
+    let b = batch(512);
+    let batches = 32usize;
+    g.throughput(Throughput::Bytes((b.len() * batches) as u64));
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bench, &threads| {
+            bench.iter(|| {
+                let sched = Arc::new(TaskScheduler::new(SchedulerConfig {
+                    threads,
+                    ..SchedulerConfig::default()
+                }));
+                sched.register_app(AppId(1), 1.0);
+                let tree = LocalAggTree::new(
+                    Arc::new(AggWrapper::new(CombinerAgg::new(Arc::new(WordCount)))),
+                    8,
+                );
+                for _ in 0..batches {
+                    tree.push(&sched, AppId(1), b.clone());
+                }
+                tree.end_input(&sched, AppId(1));
+                tree.wait_complete(Duration::from_secs(60)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: one full fluid-simulation run (dominated by the
+//! heap-based max-min allocator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netagg_sim::{run_experiment, ExperimentConfig, Strategy};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for (label, strategy) in [("rack", Strategy::RackLevel), ("netagg", Strategy::NetAgg)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = ExperimentConfig::quick();
+                cfg.workload.num_flows = 300;
+                cfg.strategy = strategy;
+                run_experiment(&cfg).makespan
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

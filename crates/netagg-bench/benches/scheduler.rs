@@ -1,0 +1,36 @@
+//! Criterion bench: cooperative scheduler dispatch overhead and fairness
+//! machinery under multi-application load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netagg_core::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
+use netagg_core::protocol::AppId;
+use std::time::Duration;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    let tasks = 5_000u64;
+    g.throughput(Throughput::Elements(tasks));
+    for apps in [1u16, 4] {
+        g.bench_with_input(BenchmarkId::new("apps", apps), &apps, |b, &apps| {
+            b.iter(|| {
+                let s = TaskScheduler::new(SchedulerConfig {
+                    threads: 2,
+                    adaptive: true,
+                    ema_alpha: 0.2,
+                    seed: 1,
+                });
+                for a in 0..apps {
+                    s.register_app(AppId(a), 1.0);
+                }
+                for i in 0..tasks {
+                    s.submit(AppId((i % apps as u64) as u16), Box::new(|| {}));
+                }
+                assert!(s.wait_idle(Duration::from_secs(60)));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

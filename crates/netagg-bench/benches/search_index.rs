@@ -1,0 +1,30 @@
+//! Criterion bench: index build and BM25 query throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minisearch::corpus::{Corpus, CorpusConfig};
+use minisearch::index::InvertedIndex;
+use minisearch::score::search;
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 800,
+        vocabulary: 5_000,
+        mean_words: 80,
+        markers_per_doc: 4,
+        seed: 3,
+    });
+    let mut g = c.benchmark_group("search");
+    g.sample_size(20);
+    g.bench_function("build_index", |b| {
+        b.iter(|| InvertedIndex::build(&corpus.docs));
+    });
+    let idx = InvertedIndex::build(&corpus.docs);
+    let terms: Vec<String> = vec!["x1".into(), "x5".into(), "x42".into()];
+    g.bench_function("bm25_query_top100", |b| {
+        b.iter(|| search(&idx, &terms, 100));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

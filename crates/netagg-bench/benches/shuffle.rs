@@ -1,0 +1,25 @@
+//! Criterion bench: sequence-file codec and combiner throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minimr::job::combine_pairs;
+use minimr::jobs::WordCount;
+use minimr::seqfile;
+use minimr::types::{u64_value, Pair};
+
+fn bench_shuffle(c: &mut Criterion) {
+    let pairs: Vec<Pair> = (0..10_000)
+        .map(|i| Pair::new(format!("word{:06}", i % 1_000), u64_value(1)))
+        .collect();
+    let encoded = seqfile::encode(&pairs);
+    let mut g = c.benchmark_group("shuffle");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("seqfile_encode", |b| b.iter(|| seqfile::encode(&pairs)));
+    g.bench_function("seqfile_decode", |b| b.iter(|| seqfile::decode(&encoded).unwrap()));
+    g.bench_function("combine_wordcount", |b| {
+        b.iter(|| combine_pairs(&WordCount, pairs.clone()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Search-engine testbed figures (Fig. 16–21): the emulated counterpart of
+//! the paper's Solr evaluation.
+
+use crate::Options;
+use minisearch::corpus::CorpusConfig;
+use minisearch::netagg::SearchFunction;
+use netagg_bench::emu::{drive_search, search_testbed, SearchTestbed, TestbedConfig};
+use netagg_bench::table::{f, rate, Table};
+use std::time::Duration;
+
+fn corpus() -> CorpusConfig {
+    CorpusConfig {
+        num_docs: 1_500,
+        vocabulary: 5_000,
+        mean_words: 80,
+        markers_per_doc: 4,
+        seed: 2012,
+    }
+}
+
+/// Backends return generous partial lists so result traffic dominates.
+const BACKEND_K: u32 = 400;
+
+fn drive(tb: &SearchTestbed, clients: u32, opts: &Options) -> netagg_bench::emu::LoadResult {
+    drive_search(tb, clients, Duration::from_secs_f64(opts.drive_secs))
+}
+
+fn with_testbed<T>(cfg: TestbedConfig, function: SearchFunction, run: impl FnOnce(&SearchTestbed) -> T) -> T {
+    let mut tb = search_testbed(cfg, &corpus(), function, BACKEND_K);
+    let out = run(&tb);
+    tb.cluster.shutdown();
+    tb.deployment.shutdown();
+    out
+}
+
+fn client_sweep(opts: &Options) -> Vec<u32> {
+    match opts.scale {
+        netagg_bench::sim::SimScale::Quick => vec![1, 4, 8],
+        _ => vec![1, 2, 4, 8, 16, 32],
+    }
+}
+
+/// Fig. 16: throughput vs number of clients, plain vs NetAgg (sample,
+/// alpha = 5 %).
+pub fn fig16(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 16: search throughput vs clients (sample, alpha=5%)",
+        &["clients", "plain", "netagg", "speedup"],
+    );
+    let function = SearchFunction::Sample { alpha: 0.05 };
+    for clients in client_sweep(opts) {
+        let plain = with_testbed(
+            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        let netagg = with_testbed(TestbedConfig::default(), function, |tb| {
+            drive(tb, clients, opts)
+        });
+        t.row(vec![
+            clients.to_string(),
+            rate(plain.throughput),
+            rate(netagg.throughput),
+            f(netagg.throughput / plain.throughput.max(1.0)),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 17: 99th-percentile query latency vs number of clients.
+pub fn fig17(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 17: 99th percentile query latency vs clients (sample, alpha=5%)",
+        &["clients", "plain p99 (ms)", "netagg p99 (ms)"],
+    );
+    let function = SearchFunction::Sample { alpha: 0.05 };
+    for clients in client_sweep(opts) {
+        let plain = with_testbed(
+            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        let netagg = with_testbed(TestbedConfig::default(), function, |tb| {
+            drive(tb, clients, opts)
+        });
+        t.row(vec![
+            clients.to_string(),
+            f(plain.p99_latency.as_secs_f64() * 1e3),
+            f(netagg.p99_latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 18: throughput vs output ratio alpha at a fixed client load.
+pub fn fig18(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 18: search throughput vs output ratio (fixed client load)",
+        &["alpha", "plain", "netagg"],
+    );
+    let clients = *client_sweep(opts).last().unwrap();
+    for alpha in [0.05, 0.10, 0.25, 0.50, 1.00] {
+        let function = SearchFunction::Sample { alpha };
+        let plain = with_testbed(
+            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        let netagg = with_testbed(TestbedConfig::default(), function, |tb| {
+            drive(tb, clients, opts)
+        });
+        t.row(vec![
+            format!("{alpha:.2}"),
+            rate(plain.throughput),
+            rate(netagg.throughput),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 19: throughput vs backends per rack, one rack vs two racks.
+pub fn fig19(opts: &Options) {
+    let mut t = Table::new(
+        "Fig 19: aggregate throughput vs backends per rack (1 vs 2 racks)",
+        &["backends/rack", "1 rack", "2 racks"],
+    );
+    let clients = *client_sweep(opts).last().unwrap();
+    let function = SearchFunction::Sample { alpha: 0.05 };
+    let sweep: Vec<u32> = match opts.scale {
+        netagg_bench::sim::SimScale::Quick => vec![2, 4],
+        _ => vec![2, 4, 6, 8],
+    };
+    for backends in sweep {
+        let one = with_testbed(
+            TestbedConfig {
+                racks: 1,
+                workers_per_rack: backends,
+                ..TestbedConfig::default()
+            },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        let two = with_testbed(
+            TestbedConfig {
+                racks: 2,
+                workers_per_rack: backends,
+                ..TestbedConfig::default()
+            },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        t.row(vec![
+            backends.to_string(),
+            rate(one.throughput),
+            rate(two.throughput),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 20: agg-box scale-out under the CPU-intensive categorise function.
+pub fn fig20(opts: &Options) {
+    crate::micro_figs::print_core_note();
+    let mut t = Table::new(
+        "Fig 20: box scale-out, CPU-intensive categorise (2 threads/box)",
+        &["clients", "1 box", "2 boxes"],
+    );
+    let function = SearchFunction::Categorise { k_per_category: 20 };
+    for clients in client_sweep(opts) {
+        let one = with_testbed(
+            TestbedConfig {
+                box_threads: 2,
+                ..TestbedConfig::default()
+            },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        let two = with_testbed(
+            TestbedConfig {
+                box_threads: 2,
+                boxes_per_rack: 2,
+                num_trees: 2,
+                ..TestbedConfig::default()
+            },
+            function,
+            |tb| drive(tb, clients, opts),
+        );
+        t.row(vec![
+            clients.to_string(),
+            rate(one.throughput),
+            rate(two.throughput),
+        ]);
+    }
+    t.print();
+}
+
+/// Fig. 21: agg-box scale-up — throughput vs CPU cores (scheduler
+/// threads), cheap sample vs CPU-intensive categorise.
+pub fn fig21(opts: &Options) {
+    crate::micro_figs::print_core_note();
+    let mut t = Table::new(
+        "Fig 21: box throughput vs scheduler threads (sample vs categorise)",
+        &["threads", "sample", "categorise"],
+    );
+    let clients = *client_sweep(opts).last().unwrap();
+    let threads_sweep: Vec<usize> = match opts.scale {
+        netagg_bench::sim::SimScale::Quick => vec![1, 4],
+        _ => vec![1, 2, 4, 8],
+    };
+    for threads in threads_sweep {
+        let sample = with_testbed(
+            TestbedConfig {
+                box_threads: threads,
+                ..TestbedConfig::default()
+            },
+            SearchFunction::Sample { alpha: 0.05 },
+            |tb| drive(tb, clients, opts),
+        );
+        let categorise = with_testbed(
+            TestbedConfig {
+                box_threads: threads,
+                ..TestbedConfig::default()
+            },
+            SearchFunction::Categorise { k_per_category: 20 },
+            |tb| drive(tb, clients, opts),
+        );
+        t.row(vec![
+            threads.to_string(),
+            rate(sample.throughput),
+            rate(categorise.throughput),
+        ]);
+    }
+    t.print();
+}

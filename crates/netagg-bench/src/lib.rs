@@ -1,0 +1,15 @@
+//! Shared harness utilities for regenerating the paper's tables and
+//! figures: simulation sweep helpers, emulated-testbed builders and a
+//! plain-text table printer.
+
+pub mod emu;
+pub mod sim;
+pub mod table;
+
+/// Default bandwidth scale of the emulated testbed: a "1 Gbps" edge link
+/// becomes 1.25 MB/s so experiments finish in seconds while every capacity
+/// ratio (edge : box = 1 : 10) is preserved.
+pub const DEFAULT_BW_SCALE: f64 = 1e-2;
+
+/// Emulated "1 Gbps" in bytes/s (before scaling).
+pub const GBPS: f64 = 1e9 / 8.0;

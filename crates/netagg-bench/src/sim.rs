@@ -1,0 +1,100 @@
+//! Simulation sweep helpers: run configurations over several seeds and
+//! report seed-averaged metrics, normalised against the rack-level
+//! baseline as the paper does.
+
+use netagg_sim::metrics::FlowClass;
+use netagg_sim::{run_experiment, ExperimentConfig, SimResult, Strategy};
+
+/// Scale of the sweeps: `quick` shrinks workloads for CI, `full` uses the
+/// paper-scale topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimScale {
+    Quick,
+    Default,
+    Paper,
+}
+
+impl SimScale {
+    pub fn base_config(&self) -> ExperimentConfig {
+        match self {
+            // Flow counts are calibrated so the fabric is contended (the
+            // paper starts all flows at once as a worst case and sizes the
+            // workload to a loaded edge); under-loading the fabric inverts
+            // the comparison because on-path boxes concentrate traffic.
+            SimScale::Quick => {
+                let mut c = ExperimentConfig::default_scale();
+                c.workload.num_flows = 1_200;
+                c
+            }
+            SimScale::Default => {
+                let mut c = ExperimentConfig::default_scale();
+                c.workload.num_flows = 2_400;
+                c
+            }
+            SimScale::Paper => {
+                let mut c = ExperimentConfig::paper();
+                c.workload.num_flows = 9_000;
+                c
+            }
+        }
+    }
+
+    pub fn seeds(&self) -> u64 {
+        match self {
+            SimScale::Quick => 2,
+            SimScale::Default => 3,
+            SimScale::Paper => 3,
+        }
+    }
+}
+
+/// Run a configuration over `seeds` seeds; return the mean 99th-percentile
+/// FCT of `class`.
+pub fn mean_p99(cfg: &ExperimentConfig, class: FlowClass, seeds: u64) -> f64 {
+    let mut total = 0.0;
+    for s in 0..seeds {
+        let mut c = cfg.clone();
+        c.workload.seed = 42 + s * 1_000;
+        total += run_experiment(&c).fct_p99(class);
+    }
+    total / seeds as f64
+}
+
+/// 99th FCT of `cfg` relative to the same workload under rack-level
+/// aggregation (the paper's normalisation).
+pub fn p99_relative_to_rack(cfg: &ExperimentConfig, class: FlowClass, seeds: u64) -> f64 {
+    let mut rack = cfg.clone();
+    rack.strategy = Strategy::RackLevel;
+    let rack_p99 = mean_p99(&rack, class, seeds);
+    let this = mean_p99(cfg, class, seeds);
+    this / rack_p99
+}
+
+/// One full run for CDF-style figures (single seed, deterministic).
+pub fn single_run(cfg: &ExperimentConfig) -> SimResult {
+    run_experiment(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_p99_is_positive_and_stable() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.workload.num_flows = 150;
+        let a = mean_p99(&cfg, FlowClass::All, 2);
+        let b = mean_p99(&cfg, FlowClass::All, 2);
+        assert!(a > 0.0);
+        assert_eq!(a, b, "same seeds give identical results");
+    }
+
+    #[test]
+    fn relative_to_rack_of_rack_is_one() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.workload.num_flows = 150;
+        cfg.strategy = Strategy::RackLevel;
+        let rel = p99_relative_to_rack(&cfg, FlowClass::All, 2);
+        assert!((rel - 1.0).abs() < 1e-12);
+    }
+}

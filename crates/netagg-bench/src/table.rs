@@ -1,0 +1,173 @@
+//! Minimal aligned-column table printer for harness output.
+
+/// A printable table: header plus rows of strings.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+        // Optional machine-readable export for plotting: set NETAGG_CSV_DIR
+        // to also write each table as a CSV file named after its title.
+        if let Ok(dir) = std::env::var("NETAGG_CSV_DIR") {
+            if let Err(e) = self.write_csv(std::path::Path::new(&dir)) {
+                eprintln!("warning: CSV export failed: {e}");
+            }
+        }
+    }
+
+    /// Slug of the title usable as a file name.
+    fn slug(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    pub fn to_csv(&self) -> String {
+        let escape = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the table as `<dir>/<slug>.csv`.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.slug())), self.to_csv())
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format bytes/s as human-readable Mbps/Gbps (of the *emulated* network
+/// when multiplied back by the bandwidth scale).
+pub fn rate(bytes_per_sec: f64) -> String {
+    let bits = bytes_per_sec * 8.0;
+    if bits >= 1e9 {
+        format!("{:.2} Gbps", bits / 1e9)
+    } else if bits >= 1e6 {
+        format!("{:.1} Mbps", bits / 1e6)
+    } else {
+        format!("{:.0} kbps", bits / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("longer"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_export_roundtrips_structure() {
+        let mut t = Table::new("Fig 99: demo, with comma", &["a", "b"]);
+        t.row(vec!["1".into(), "two, three".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "a,b");
+        assert!(lines[1].contains("\"two, three\""));
+        assert_eq!(t.slug(), "fig-99-demo-with-comma");
+        let dir = std::env::temp_dir().join(format!("netagg-csv-test-{}", std::process::id()));
+        t.write_csv(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join("fig-99-demo-with-comma.csv")).unwrap();
+        assert_eq!(written, csv);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(42.0), "42.0");
+        assert_eq!(f(1234.0), "1234");
+        assert!(rate(125e6).contains("Gbps"));
+        assert!(rate(125e3).contains("Mbps"));
+    }
+}

@@ -1,0 +1,864 @@
+//! The agg box runtime: network layer, per-request local aggregation
+//! trees, duplicate suppression, straggler bypass and redirect handling.
+//!
+//! One `AggBox` hosts the aggregation functions of many applications. Data
+//! messages are demultiplexed per `(app, request, tree)` into a
+//! [`LocalAggTree`] whose combine tasks run on the box's cooperative
+//! [`TaskScheduler`]; the finished aggregate is forwarded to the tree
+//! parent (next box or master) by a dedicated egress thread over
+//! persistent connections.
+
+use crate::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
+use crate::aggbox::tree::LocalAggTree;
+use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
+use crate::DynAggregator;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netagg_net::{Connection, NetError, NodeId, Transport};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Configuration of one agg box.
+#[derive(Debug, Clone)]
+pub struct AggBoxConfig {
+    /// Global logical id (must match the tree specs).
+    pub box_id: u32,
+    /// Transport address to bind.
+    pub addr: NodeId,
+    /// Cooperative task scheduler options.
+    pub scheduler: SchedulerConfig,
+    /// Local aggregation tree fan-in.
+    pub fanin: usize,
+    /// How long a request may go without data from an expected source
+    /// (after its first data arrived) before the box bypasses that source's
+    /// box (straggler handling). `None` disables.
+    pub straggler_threshold: Option<Duration>,
+    /// After this many straggler events, a child box is treated as failed.
+    pub straggler_repeat_limit: u32,
+    /// Stream partial aggregates downstream once a request has buffered
+    /// this many bytes, instead of holding the whole request in memory
+    /// (`None` = emit only the final aggregate).
+    pub flush_bytes: Option<usize>,
+}
+
+impl AggBoxConfig {
+    /// Default configuration for a box with the given id and address.
+    pub fn new(box_id: u32, addr: NodeId) -> Self {
+        Self {
+            box_id,
+            addr,
+            scheduler: SchedulerConfig::default(),
+            fanin: 8,
+            straggler_threshold: None,
+            straggler_repeat_limit: 3,
+            flush_bytes: None,
+        }
+    }
+}
+
+/// Information about one child box of this box within a tree, used by the
+/// straggler/failure machinery.
+#[derive(Debug, Clone)]
+pub struct ChildBoxInfo {
+    /// How many sources feed that child (its own expected count).
+    pub sources_behind: usize,
+    /// Transport addresses of its children (workers and boxes).
+    pub children_addrs: Vec<NodeId>,
+}
+
+/// Per-(app, tree) routing state installed at deployment time.
+#[derive(Debug, Clone)]
+pub struct RouteInstall {
+    /// Application the route belongs to.
+    pub app: AppId,
+    /// Tree the route belongs to.
+    pub tree: TreeId,
+    /// Where this box's output goes (next box or master shim address).
+    pub parent: NodeId,
+    /// Number of distinct sources expected per request.
+    pub expected: usize,
+    /// Child boxes by global box id.
+    pub child_boxes: HashMap<u32, ChildBoxInfo>,
+    /// Addresses of this box's direct children (workers and boxes), used
+    /// to replicate broadcasts down the tree.
+    pub children_addrs: Vec<NodeId>,
+}
+
+struct Route {
+    parent: NodeId,
+    expected: usize,
+    child_boxes: HashMap<u32, ChildBoxInfo>,
+    children_addrs: Vec<NodeId>,
+}
+
+struct ReqState {
+    tree: Arc<LocalAggTree>,
+    /// Sequence number of the next outgoing chunk (streaming flushes).
+    out_seq: u32,
+    first_data: Instant,
+    ended: HashSet<SourceId>,
+    seen: HashSet<SourceId>,
+    ignored: HashSet<SourceId>,
+    last_seq: HashMap<SourceId, u32>,
+    /// Net adjustment of the expected source count from redirects.
+    expected_extra: i64,
+    expected_override: Option<usize>,
+    input_closed: bool,
+}
+
+/// Bounded FIFO of recently emitted request output chunks (kept so a late
+/// per-request redirect can resend everything that went to a slow or dead
+/// parent).
+struct OutReplay {
+    map: HashMap<(AppId, RequestId, TreeId), Vec<Bytes>>,
+    order: std::collections::VecDeque<(AppId, RequestId, TreeId)>,
+    capacity: usize,
+}
+
+impl OutReplay {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn record(&mut self, key: (AppId, RequestId, TreeId), payload: Bytes) {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push(payload),
+            Entry::Vacant(v) => {
+                v.insert(vec![payload]);
+                self.order.push_back(key);
+                while self.order.len() > self.capacity {
+                    if let Some(old) = self.order.pop_front() {
+                        self.map.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: &(AppId, RequestId, TreeId)) -> Option<Vec<Bytes>> {
+        self.map.get(key).cloned()
+    }
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Default)]
+pub struct BoxStats {
+    /// Payload bytes received.
+    pub bytes_in: AtomicU64,
+    /// Protocol messages received.
+    pub messages_in: AtomicU64,
+    /// Requests whose final aggregate was forwarded.
+    pub requests_completed: AtomicU64,
+    /// Data chunks dropped by duplicate suppression.
+    pub duplicates_dropped: AtomicU64,
+    /// Straggler bypasses issued for child boxes.
+    pub straggler_redirects: AtomicU64,
+    /// Egress sends that failed after retry.
+    pub send_errors: AtomicU64,
+}
+
+/// Point-in-time view of one agg box (see [`AggBox::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct BoxSnapshot {
+    /// Global logical id of the box.
+    pub box_id: u32,
+    /// Payload bytes received so far.
+    pub bytes_in: u64,
+    /// Protocol messages received so far.
+    pub messages_in: u64,
+    /// Requests whose final aggregate was forwarded.
+    pub requests_completed: u64,
+    /// Chunks dropped by duplicate suppression.
+    pub duplicates_dropped: u64,
+    /// Straggler bypasses issued.
+    pub straggler_redirects: u64,
+    /// Egress sends that failed after retry.
+    pub send_errors: u64,
+    /// Requests with open state right now.
+    pub active_requests: usize,
+    /// Bytes buffered across all local aggregation trees right now.
+    pub buffered_bytes: usize,
+    /// Aggregation tasks waiting for a pool thread right now.
+    pub tasks_queued: usize,
+    /// Per-application CPU accounting.
+    pub apps: Vec<crate::aggbox::scheduler::AppCpu>,
+}
+
+struct Inner {
+    cfg: AggBoxConfig,
+    transport: Arc<dyn Transport>,
+    scheduler: Arc<TaskScheduler>,
+    apps: RwLock<HashMap<AppId, Arc<dyn DynAggregator>>>,
+    routes: RwLock<HashMap<(AppId, TreeId), Route>>,
+    states: Mutex<HashMap<(AppId, RequestId, TreeId), ReqState>>,
+    /// Per-request output redirections (straggler bypass upstream of us).
+    out_redirects: Mutex<HashMap<(AppId, RequestId, TreeId), NodeId>>,
+    /// Recently completed outputs, kept so a late per-request redirect can
+    /// resend an aggregate that already went to the (slow or dead) parent.
+    out_replay: Mutex<OutReplay>,
+    /// Straggler event counts per child box.
+    straggler_counts: Mutex<HashMap<u32, u32>>,
+    egress_tx: Sender<(NodeId, Message)>,
+    shutdown: AtomicBool,
+    stats: BoxStats,
+}
+
+/// A running agg box.
+pub struct AggBox {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl AggBox {
+    /// Bind the box's address and start its listener, egress and straggler
+    /// threads.
+    pub fn start(transport: Arc<dyn Transport>, cfg: AggBoxConfig) -> Result<Arc<Self>, NetError> {
+        let mut listener = transport.bind(cfg.addr)?;
+        let (egress_tx, egress_rx) = unbounded();
+        let scheduler = Arc::new(TaskScheduler::new(cfg.scheduler.clone()));
+        let inner = Arc::new(Inner {
+            cfg,
+            transport: transport.clone(),
+            scheduler,
+            apps: RwLock::new(HashMap::new()),
+            routes: RwLock::new(HashMap::new()),
+            states: Mutex::new(HashMap::new()),
+            out_redirects: Mutex::new(HashMap::new()),
+            out_replay: Mutex::new(OutReplay::new(64)),
+            straggler_counts: Mutex::new(HashMap::new()),
+            egress_tx,
+            shutdown: AtomicBool::new(false),
+            stats: BoxStats::default(),
+        });
+        let boxed = Arc::new(Self {
+            inner: inner.clone(),
+            threads: Mutex::new(Vec::new()),
+        });
+        let mut threads = Vec::new();
+        // Listener thread: accepts connections and spawns a reader each.
+        {
+            let this = Arc::downgrade(&boxed);
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aggbox-{}-listen", inner.cfg.box_id))
+                    .spawn(move || {
+                        while !inner.shutdown.load(Ordering::SeqCst) {
+                            match listener.accept_timeout(Duration::from_millis(100)) {
+                                Ok(conn) => {
+                                    if let Some(strong) = this.upgrade() {
+                                        strong.spawn_reader(conn);
+                                    }
+                                }
+                                Err(NetError::Timeout) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn listener"),
+            );
+        }
+        // Egress thread.
+        {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aggbox-{}-egress", inner.cfg.box_id))
+                    .spawn(move || egress_loop(&inner, egress_rx))
+                    .expect("spawn egress"),
+            );
+        }
+        // Streaming flusher.
+        if inner.cfg.flush_bytes.is_some() {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aggbox-{}-flush", inner.cfg.box_id))
+                    .spawn(move || flush_loop(&inner))
+                    .expect("spawn flusher"),
+            );
+        }
+        // Straggler monitor.
+        if inner.cfg.straggler_threshold.is_some() {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("aggbox-{}-straggler", inner.cfg.box_id))
+                    .spawn(move || straggler_loop(&inner))
+                    .expect("spawn straggler monitor"),
+            );
+        }
+        *boxed.threads.lock() = threads;
+        Ok(boxed)
+    }
+
+    /// Register an application's aggregation function with a target
+    /// resource share.
+    pub fn register_app(&self, app: AppId, agg: Arc<dyn DynAggregator>, share: f64) {
+        self.inner.scheduler.register_app(app, share);
+        self.inner.apps.write().insert(app, agg);
+    }
+
+    /// Install routing for one (application, tree).
+    pub fn install_route(&self, route: RouteInstall) {
+        self.inner.routes.write().insert(
+            (route.app, route.tree),
+            Route {
+                parent: route.parent,
+                expected: route.expected,
+                child_boxes: route.child_boxes,
+                children_addrs: route.children_addrs,
+            },
+        );
+    }
+
+    /// React to a confirmed failure of a child box: future requests expect
+    /// that box's children directly (the failure detector has already told
+    /// them to re-point here).
+    pub fn on_child_box_failed(&self, app: AppId, tree: TreeId, failed_box: u32) {
+        let mut routes = self.inner.routes.write();
+        if let Some(r) = routes.get_mut(&(app, tree)) {
+            if let Some(info) = r.child_boxes.remove(&failed_box) {
+                r.expected = r.expected - 1 + info.sources_behind;
+            }
+        }
+    }
+
+    /// Counters exposed for the harness and tests.
+    pub fn stats(&self) -> &BoxStats {
+        &self.inner.stats
+    }
+
+    /// A point-in-time observability snapshot: counters, live request
+    /// state, scheduler accounting — what a production middlebox would
+    /// export to its metrics endpoint.
+    pub fn snapshot(&self) -> BoxSnapshot {
+        let states = self.inner.states.lock();
+        let active_requests = states.len();
+        let buffered_bytes: usize = states.values().map(|s| s.tree.pending_bytes()).sum();
+        drop(states);
+        BoxSnapshot {
+            box_id: self.inner.cfg.box_id,
+            bytes_in: self.inner.stats.bytes_in.load(Ordering::Relaxed),
+            messages_in: self.inner.stats.messages_in.load(Ordering::Relaxed),
+            requests_completed: self.inner.stats.requests_completed.load(Ordering::Relaxed),
+            duplicates_dropped: self.inner.stats.duplicates_dropped.load(Ordering::Relaxed),
+            straggler_redirects: self.inner.stats.straggler_redirects.load(Ordering::Relaxed),
+            send_errors: self.inner.stats.send_errors.load(Ordering::Relaxed),
+            active_requests,
+            buffered_bytes,
+            tasks_queued: self.inner.scheduler.queued(),
+            apps: self.inner.scheduler.cpu_times(),
+        }
+    }
+
+    /// The box's cooperative task scheduler.
+    pub fn scheduler(&self) -> &Arc<TaskScheduler> {
+        &self.inner.scheduler
+    }
+
+    /// Transport address the box is bound to.
+    pub fn addr(&self) -> NodeId {
+        self.inner.cfg.addr
+    }
+
+    /// Global logical id of the box.
+    pub fn box_id(&self) -> u32 {
+        self.inner.cfg.box_id
+    }
+
+    /// Stop all threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn spawn_reader(self: &Arc<Self>, conn: Box<dyn Connection>) {
+        let inner = self.inner.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("aggbox-{}-reader", inner.cfg.box_id))
+            .spawn(move || reader_loop(&inner, conn))
+            .expect("spawn reader");
+        self.threads.lock().push(h);
+    }
+}
+
+impl Drop for AggBox {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+            Ok(f) => f,
+            Err(NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let msg = match Message::decode(frame) {
+            Ok(m) => m,
+            Err(_) => continue, // corrupt frame: drop
+        };
+        match msg {
+            Message::Data {
+                app,
+                request,
+                tree,
+                source,
+                seq,
+                last,
+                payload,
+            } => handle_data(inner, app, request, tree, source, seq, last, payload),
+            Message::RequestMeta {
+                app,
+                request,
+                tree,
+                expected_sources,
+            } => {
+                let to_close = {
+                    let mut states = inner.states.lock();
+                    let st = get_or_create(inner, &mut states, app, request, tree);
+                    match st {
+                        Some(st) => {
+                            st.expected_override = Some(expected_sources as usize);
+                            maybe_close_input(inner, &mut states, app, request, tree)
+                        }
+                        None => None,
+                    }
+                };
+                close_input(inner, to_close, app);
+            }
+            Message::Redirect {
+                app,
+                permanent,
+                request,
+                tree,
+                new_parent,
+            } => {
+                if permanent {
+                    let mut routes = inner.routes.write();
+                    if let Some(r) = routes.get_mut(&(app, tree)) {
+                        r.parent = new_parent;
+                    }
+                } else {
+                    inner
+                        .out_redirects
+                        .lock()
+                        .insert((app, request, tree), new_parent);
+                    // If the request already completed here, resend its
+                    // aggregate to the new parent (the old parent was slow
+                    // or dead and the output may be lost with it).
+                    if let Some(chunks) = inner.out_replay.lock().get(&(app, request, tree)) {
+                        let n = chunks.len();
+                        for (i, payload) in chunks.into_iter().enumerate() {
+                            let _ = inner.egress_tx.send((
+                                new_parent,
+                                Message::Data {
+                                    app,
+                                    request,
+                                    tree,
+                                    source: SourceId::Box(inner.cfg.box_id),
+                                    seq: i as u32,
+                                    last: i + 1 == n,
+                                    payload,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            Message::Broadcast {
+                app,
+                request,
+                tree,
+                payload,
+            } => {
+                // Replicate down the tree: one copy per direct child. The
+                // replication happens over the box's high-bandwidth link,
+                // which is the point of on-path distribution.
+                let children = {
+                    let routes = inner.routes.read();
+                    routes
+                        .get(&(app, tree))
+                        .map(|r| r.children_addrs.clone())
+                        .unwrap_or_default()
+                };
+                for child in children {
+                    let _ = inner.egress_tx.send((
+                        child,
+                        Message::Broadcast {
+                            app,
+                            request,
+                            tree,
+                            payload: payload.clone(),
+                        },
+                    ));
+                }
+            }
+            Message::Heartbeat { from: _, nonce } => {
+                let ack = Message::HeartbeatAck {
+                    from: inner.cfg.box_id,
+                    nonce,
+                };
+                let _ = conn.send(ack.encode());
+            }
+            Message::HeartbeatAck { .. } => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_data(
+    inner: &Arc<Inner>,
+    app: AppId,
+    request: RequestId,
+    tree: TreeId,
+    source: SourceId,
+    seq: u32,
+    last: bool,
+    payload: Bytes,
+) {
+    inner.stats.messages_in.fetch_add(1, Ordering::Relaxed);
+    inner
+        .stats
+        .bytes_in
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    let to_close = {
+        let mut states = inner.states.lock();
+        let Some(st) = get_or_create(inner, &mut states, app, request, tree) else {
+            return; // unknown app or route
+        };
+        if st.ignored.contains(&source) {
+            inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Duplicate suppression (failure recovery resends).
+        if let Some(&prev) = st.last_seq.get(&source) {
+            if seq <= prev {
+                inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        st.last_seq.insert(source, seq);
+        st.seen.insert(source);
+        if !payload.is_empty() {
+            let tree_ref = st.tree.clone();
+            // LocalAggTree has its own fine-grained lock; push never blocks.
+            tree_ref.push(&inner.scheduler, app, payload);
+        }
+        if last {
+            st.ended.insert(source);
+            maybe_close_input(inner, &mut states, app, request, tree)
+        } else {
+            None
+        }
+    };
+    close_input(inner, to_close, app);
+}
+
+/// Run `end_input` outside the states lock: completion may fire the
+/// forwarding callback, which re-locks `states` for cleanup.
+fn close_input(inner: &Arc<Inner>, tree: Option<Arc<LocalAggTree>>, app: AppId) {
+    if let Some(t) = tree {
+        t.end_input(&inner.scheduler, app);
+    }
+}
+
+fn effective_expected(route_expected: usize, st: &ReqState) -> i64 {
+    st.expected_override.unwrap_or(route_expected) as i64 + st.expected_extra
+}
+
+/// Check whether all expected sources have delivered; if so, mark the
+/// input closed and return the tree so the caller can call `end_input`
+/// *after releasing the states lock* (completion may re-lock `states`).
+#[must_use]
+fn maybe_close_input(
+    inner: &Arc<Inner>,
+    states: &mut HashMap<(AppId, RequestId, TreeId), ReqState>,
+    app: AppId,
+    request: RequestId,
+    tree: TreeId,
+) -> Option<Arc<LocalAggTree>> {
+    let route_expected = {
+        let routes = inner.routes.read();
+        routes.get(&(app, tree)).map(|r| r.expected)?
+    };
+    let st = states.get_mut(&(app, request, tree))?;
+    if st.input_closed {
+        return None;
+    }
+    let done_sources = st.ended.difference(&st.ignored).count() as i64;
+    if done_sources >= effective_expected(route_expected, st) {
+        st.input_closed = true;
+        Some(st.tree.clone())
+    } else {
+        None
+    }
+}
+
+/// Create the request state (and its completion forwarding) on first data.
+fn get_or_create<'a>(
+    inner: &Arc<Inner>,
+    states: &'a mut HashMap<(AppId, RequestId, TreeId), ReqState>,
+    app: AppId,
+    request: RequestId,
+    tree: TreeId,
+) -> Option<&'a mut ReqState> {
+    use std::collections::hash_map::Entry;
+    match states.entry((app, request, tree)) {
+        Entry::Occupied(e) => Some(e.into_mut()),
+        Entry::Vacant(v) => {
+            let agg = inner.apps.read().get(&app)?.clone();
+            if !inner.routes.read().contains_key(&(app, tree)) {
+                return None;
+            }
+            let ltree = LocalAggTree::new(agg, inner.cfg.fanin);
+            let weak: Weak<Inner> = Arc::downgrade(inner);
+            ltree.on_complete(Box::new(move |result| {
+                let Some(inner) = weak.upgrade() else { return };
+                let Ok(payload) = result else { return };
+                let dest = {
+                    let redirects = inner.out_redirects.lock();
+                    redirects.get(&(app, request, tree)).copied()
+                }
+                .or_else(|| {
+                    inner
+                        .routes
+                        .read()
+                        .get(&(app, tree))
+                        .map(|r| r.parent)
+                });
+                let Some(dest) = dest else { return };
+                let seq = inner
+                    .states
+                    .lock()
+                    .get(&(app, request, tree))
+                    .map(|st| st.out_seq)
+                    .unwrap_or(0);
+                let msg = Message::Data {
+                    app,
+                    request,
+                    tree,
+                    source: SourceId::Box(inner.cfg.box_id),
+                    seq,
+                    last: true,
+                    payload: payload.clone(),
+                };
+                let _ = inner.egress_tx.send((dest, msg));
+                inner
+                    .out_replay
+                    .lock()
+                    .record((app, request, tree), payload);
+                inner
+                    .stats
+                    .requests_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                // Clean up the request state.
+                inner.states.lock().remove(&(app, request, tree));
+                inner.out_redirects.lock().remove(&(app, request, tree));
+            }));
+            Some(v.insert(ReqState {
+                tree: ltree,
+                out_seq: 0,
+                first_data: Instant::now(),
+                ended: HashSet::new(),
+                seen: HashSet::new(),
+                ignored: HashSet::new(),
+                last_seq: HashMap::new(),
+                expected_extra: 0,
+                expected_override: None,
+                input_closed: false,
+            }))
+        }
+    }
+}
+
+fn egress_loop(inner: &Arc<Inner>, rx: Receiver<(NodeId, Message)>) {
+    let mut conns: HashMap<NodeId, Box<dyn Connection>> = HashMap::new();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let (dest, msg) = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(m) => m,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let frame = msg.encode();
+        let mut sent = false;
+        for attempt in 0..2 {
+            let conn = match conns.entry(dest) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match inner.transport.connect(inner.cfg.addr, dest) {
+                        Ok(c) => v.insert(c),
+                        Err(_) => {
+                            if attempt == 1 {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                    }
+                }
+            };
+            match conn.send(frame.clone()) {
+                Ok(()) => {
+                    sent = true;
+                    break;
+                }
+                Err(_) => {
+                    conns.remove(&dest); // stale connection: redial once
+                }
+            }
+        }
+        if !sent {
+            inner.stats.send_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Stream partial aggregates downstream for requests whose buffered bytes
+/// exceed the flush threshold (Section 3.2.1: the local aggregation tree
+/// executes in a pipelined fashion and "little data is buffered").
+fn flush_loop(inner: &Arc<Inner>) {
+    let threshold = inner.cfg.flush_bytes.expect("flusher enabled");
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(10));
+        // Collect candidates without holding the states lock across the
+        // tree operations.
+        let candidates: Vec<((AppId, RequestId, TreeId), Arc<LocalAggTree>)> = {
+            let states = inner.states.lock();
+            states
+                .iter()
+                .filter(|(_, st)| !st.input_closed)
+                .filter(|(_, st)| st.tree.pending_bytes() >= threshold)
+                .map(|(k, st)| (*k, st.tree.clone()))
+                .collect()
+        };
+        for ((app, request, tree_id), tree) in candidates {
+            let Some(chunk) = tree.take_partial(&inner.scheduler, app) else {
+                continue;
+            };
+            let dest = {
+                let redirects = inner.out_redirects.lock();
+                redirects.get(&(app, request, tree_id)).copied()
+            }
+            .or_else(|| inner.routes.read().get(&(app, tree_id)).map(|r| r.parent));
+            let Some(dest) = dest else { continue };
+            let seq = {
+                let mut states = inner.states.lock();
+                match states.get_mut(&(app, request, tree_id)) {
+                    Some(st) => {
+                        let s = st.out_seq;
+                        st.out_seq += 1;
+                        s
+                    }
+                    None => continue,
+                }
+            };
+            let msg = Message::Data {
+                app,
+                request,
+                tree: tree_id,
+                source: SourceId::Box(inner.cfg.box_id),
+                seq,
+                last: false,
+                payload: chunk.clone(),
+            };
+            inner
+                .out_replay
+                .lock()
+                .record((app, request, tree_id), chunk);
+            let _ = inner.egress_tx.send((dest, msg));
+        }
+    }
+}
+
+/// Periodically bypass straggling child boxes: if a request has received
+/// data from some sources but a child box has contributed nothing within
+/// the threshold, instruct that box's children to send this request's data
+/// directly here, and stop expecting the box (Section 3.1, "Handling
+/// stragglers").
+fn straggler_loop(inner: &Arc<Inner>) {
+    let threshold = inner.cfg.straggler_threshold.expect("monitor enabled");
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(threshold / 4);
+        let mut redirects: Vec<(AppId, RequestId, TreeId, u32, Vec<NodeId>)> = Vec::new();
+        {
+            // Lock order: states before routes (matches handle_data via
+            // maybe_close_input).
+            let mut states = inner.states.lock();
+            let routes = inner.routes.read();
+            for ((app, request, tree), st) in states.iter_mut() {
+                if st.input_closed || st.first_data.elapsed() < threshold || st.seen.is_empty() {
+                    continue;
+                }
+                let Some(route) = routes.get(&(*app, *tree)) else {
+                    continue;
+                };
+                for (box_id, info) in &route.child_boxes {
+                    let src = SourceId::Box(*box_id);
+                    if st.seen.contains(&src) || st.ignored.contains(&src) {
+                        continue; // it has delivered something, or already bypassed
+                    }
+                    st.ignored.insert(src);
+                    st.expected_extra += info.sources_behind as i64 - 1;
+                    redirects.push((
+                        *app,
+                        *request,
+                        *tree,
+                        *box_id,
+                        info.children_addrs.clone(),
+                    ));
+                }
+            }
+        }
+        for (app, request, tree, box_id, children) in redirects {
+            inner
+                .stats
+                .straggler_redirects
+                .fetch_add(1, Ordering::Relaxed);
+            let mut counts = inner.straggler_counts.lock();
+            *counts.entry(box_id).or_insert(0) += 1;
+            let escalate = counts[&box_id] >= inner.cfg.straggler_repeat_limit;
+            drop(counts);
+            if escalate {
+                // Repeated slowness across requests: treat the box as
+                // permanently failed (Section 3.1) — its children re-point
+                // here and future requests no longer expect it.
+                let mut routes = inner.routes.write();
+                if let Some(r) = routes.get_mut(&(app, tree)) {
+                    if let Some(info) = r.child_boxes.remove(&box_id) {
+                        r.expected = r.expected - 1 + info.sources_behind;
+                    }
+                }
+            }
+            let msg = Message::Redirect {
+                app,
+                permanent: escalate,
+                request,
+                tree,
+                new_parent: inner.cfg.addr,
+            };
+            for child in children {
+                let _ = inner.egress_tx.send((child, msg.clone()));
+            }
+            // Re-check whether the bypass completes the request (the
+            // expected count changed).
+            let to_close = {
+                let mut states = inner.states.lock();
+                maybe_close_input(inner, &mut states, app, request, tree)
+            };
+            close_input(inner, to_close, app);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Cooperative task scheduler with adaptive weighted fair queuing
+//! (Section 3.2.1 of the paper).
+//!
+//! Aggregation tasks are run to completion by a fixed-size thread pool.
+//! Each application has its own task queue; when a thread frees up it
+//! offers itself to application `i` with probability proportional to the
+//! application's weight `w_i`.
+//!
+//! With **fixed** weights (`adaptive = false`), `w_i` equals the target
+//! share `s_i`. Because tasks of different applications take different
+//! amounts of CPU time, this starves applications with short tasks
+//! (Fig. 25). The **adaptive** scheduler divides the weight by a moving
+//! average of the measured task execution time,
+//! `w_i = s_i / t_i  (normalised)`, which equalises achieved CPU shares
+//! (Fig. 26).
+
+use crate::protocol::AppId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A unit of aggregation work, run to completion on a pool thread.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Fixed thread-pool size (the paper's agg boxes use one thread per
+    /// core).
+    pub threads: usize,
+    /// Adapt weights by measured task execution time.
+    pub adaptive: bool,
+    /// Smoothing factor of the execution-time moving average in `(0, 1]`;
+    /// higher reacts faster.
+    pub ema_alpha: f64,
+    /// Deterministic seed for the weighted random pick.
+    pub seed: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            adaptive: true,
+            ema_alpha: 0.2,
+            seed: 0x5eed,
+        }
+    }
+}
+
+struct AppQueue {
+    queue: VecDeque<Task>,
+    /// Target resource share `s_i`.
+    share: f64,
+    /// Moving average of task execution time, seconds.
+    ema_task_time: f64,
+    /// Accumulated CPU time, seconds (for the fairness experiments).
+    cpu_time: f64,
+    tasks_run: u64,
+    /// Tasks that panicked (isolated; the pool thread survives).
+    tasks_panicked: u64,
+}
+
+struct State {
+    apps: HashMap<AppId, AppQueue>,
+    queued: usize,
+    running: usize,
+    rng: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    idle_cv: Condvar,
+    shutdown: AtomicBool,
+    cfg: SchedulerConfig,
+}
+
+/// Per-application CPU accounting snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppCpu {
+    /// The application.
+    pub app: AppId,
+    /// Accumulated task execution time, seconds.
+    pub cpu_seconds: f64,
+    /// Tasks executed to completion.
+    pub tasks_run: u64,
+    /// Tasks that panicked. The paper leaves isolating faulty aggregation
+    /// functions to future work; this scheduler contains a panicking task
+    /// to its own execution (the pool thread and other applications are
+    /// unaffected).
+    pub tasks_panicked: u64,
+}
+
+/// The agg-box task scheduler.
+pub struct TaskScheduler {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskScheduler {
+    /// Start a pool of `cfg.threads` worker threads.
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        assert!(cfg.threads > 0);
+        assert!(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                apps: HashMap::new(),
+                queued: 0,
+                running: 0,
+                rng: cfg.seed | 1,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.threads)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("aggbox-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Register an application with its target resource share. Shares are
+    /// relative (they need not sum to 1).
+    pub fn register_app(&self, app: AppId, share: f64) {
+        assert!(share > 0.0);
+        let mut s = self.inner.state.lock();
+        s.apps.entry(app).or_insert(AppQueue {
+            queue: VecDeque::new(),
+            share,
+            ema_task_time: 0.0,
+            cpu_time: 0.0,
+            tasks_run: 0,
+            tasks_panicked: 0,
+        });
+    }
+
+    /// Submit a task for an application. Panics if the app is unknown.
+    pub fn submit(&self, app: AppId, task: Task) {
+        let mut s = self.inner.state.lock();
+        let q = s
+            .apps
+            .get_mut(&app)
+            .unwrap_or_else(|| panic!("app {app:?} not registered"));
+        q.queue.push_back(task);
+        s.queued += 1;
+        drop(s);
+        self.inner.work_cv.notify_one();
+    }
+
+    /// CPU accounting for all registered applications.
+    pub fn cpu_times(&self) -> Vec<AppCpu> {
+        let s = self.inner.state.lock();
+        let mut v: Vec<AppCpu> = s
+            .apps
+            .iter()
+            .map(|(app, q)| AppCpu {
+                app: *app,
+                cpu_seconds: q.cpu_time,
+                tasks_run: q.tasks_run,
+                tasks_panicked: q.tasks_panicked,
+            })
+            .collect();
+        v.sort_by_key(|a| a.app);
+        v
+    }
+
+    /// Block until no task is queued or running (or the timeout elapses).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.inner.state.lock();
+        while s.queued > 0 || s.running > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.idle_cv.wait_for(&mut s, deadline - now);
+        }
+        true
+    }
+
+    /// Tasks currently queued (not yet running).
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().queued
+    }
+
+    /// Stop the pool, dropping queued tasks. Idempotent. If invoked from a
+    /// pool thread (e.g. the last Arc dropping inside a task), that thread
+    /// is detached instead of joined.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        let me = std::thread::current().id();
+        for w in self.workers.drain(..) {
+            if w.thread().id() == me {
+                continue;
+            }
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TaskScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Current weight of an application: `s_i` (fixed) or `s_i / t_i`
+/// (adaptive). An app with no measurement yet is treated as having very
+/// fast tasks so it is picked promptly and measured — otherwise a measured
+/// app's inflated `s/t` weight would starve unmeasured ones forever.
+fn weight(cfg: &SchedulerConfig, q: &AppQueue) -> f64 {
+    if cfg.adaptive {
+        let t = if q.ema_task_time > 0.0 {
+            q.ema_task_time
+        } else {
+            1e-6
+        };
+        q.share / t
+    } else {
+        q.share
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let task = {
+            let mut s = inner.state.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if s.queued > 0 {
+                    break;
+                }
+                inner.work_cv.wait(&mut s);
+            }
+            // Weighted random pick among apps with queued work.
+            let total: f64 = s
+                .apps
+                .values()
+                .filter(|q| !q.queue.is_empty())
+                .map(|q| weight(&inner.cfg, q))
+                .sum();
+            let mut pick = (xorshift(&mut s.rng) as f64 / u64::MAX as f64) * total;
+            let mut chosen: Option<AppId> = None;
+            // Iterate in a stable order for determinism given the seed.
+            let mut ids: Vec<AppId> = s
+                .apps
+                .iter()
+                .filter(|(_, q)| !q.queue.is_empty())
+                .map(|(a, _)| *a)
+                .collect();
+            ids.sort();
+            for a in &ids {
+                let w = weight(&inner.cfg, &s.apps[a]);
+                if pick < w {
+                    chosen = Some(*a);
+                    break;
+                }
+                pick -= w;
+            }
+            let app = chosen.or(ids.last().copied()).expect("work exists");
+            let q = s.apps.get_mut(&app).unwrap();
+            let task = q.queue.pop_front().expect("non-empty queue");
+            s.queued -= 1;
+            s.running += 1;
+            (app, task)
+        };
+        let (app, task) = task;
+        let t0 = Instant::now();
+        // Isolate faulty aggregation functions: a panicking task must not
+        // take down the pool thread or other applications (the paper lists
+        // this isolation as future work; we provide the panic half of it).
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err();
+        let dt = t0.elapsed().as_secs_f64();
+        let mut s = inner.state.lock();
+        s.running -= 1;
+        if let Some(q) = s.apps.get_mut(&app) {
+            q.cpu_time += dt;
+            q.tasks_run += 1;
+            q.tasks_panicked += u64::from(panicked);
+            q.ema_task_time = if q.ema_task_time == 0.0 {
+                dt
+            } else {
+                (1.0 - inner.cfg.ema_alpha) * q.ema_task_time + inner.cfg.ema_alpha * dt
+            };
+        }
+        if s.queued == 0 && s.running == 0 {
+            inner.idle_cv.notify_all();
+        }
+        drop(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn cfg(threads: usize, adaptive: bool) -> SchedulerConfig {
+        SchedulerConfig {
+            threads,
+            adaptive,
+            ema_alpha: 0.3,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn runs_submitted_tasks() {
+        let s = TaskScheduler::new(cfg(2, true));
+        s.register_app(AppId(1), 1.0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = counter.clone();
+            s.submit(AppId(1), Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        let cpu = s.cpu_times();
+        assert_eq!(cpu[0].tasks_run, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_app_panics() {
+        let s = TaskScheduler::new(cfg(1, true));
+        s.submit(AppId(9), Box::new(|| {}));
+    }
+
+    /// The paper's Fig. 25: with fixed weights and equal shares, the app
+    /// with longer tasks hogs the CPU.
+    #[test]
+    fn fixed_weights_starve_short_task_app() {
+        let s = TaskScheduler::new(cfg(2, false));
+        let long = AppId(1);
+        let short = AppId(2);
+        s.register_app(long, 1.0);
+        s.register_app(short, 1.0);
+        // Long tasks: 3 ms; short tasks: 1 ms (the paper's Solr vs Hadoop).
+        for _ in 0..150 {
+            s.submit(long, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
+            s.submit(short, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+        }
+        assert!(s.wait_idle(Duration::from_secs(30)));
+        let cpu = s.cpu_times();
+        let t_long = cpu.iter().find(|c| c.app == long).unwrap().cpu_seconds;
+        let t_short = cpu.iter().find(|c| c.app == short).unwrap().cpu_seconds;
+        let share_long = t_long / (t_long + t_short);
+        assert!(
+            share_long > 0.65,
+            "fixed weights should favour the long-task app, got {share_long}"
+        );
+    }
+
+    /// The paper's Fig. 26: the adaptive scheduler equalises CPU shares.
+    #[test]
+    fn adaptive_weights_equalise_cpu_shares() {
+        let s = TaskScheduler::new(cfg(2, true));
+        let long = AppId(1);
+        let short = AppId(2);
+        s.register_app(long, 1.0);
+        s.register_app(short, 1.0);
+        for _ in 0..300 {
+            s.submit(long, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
+        }
+        for _ in 0..900 {
+            s.submit(short, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+        }
+        assert!(s.wait_idle(Duration::from_secs(60)));
+        let cpu = s.cpu_times();
+        let t_long = cpu.iter().find(|c| c.app == long).unwrap().cpu_seconds;
+        let t_short = cpu.iter().find(|c| c.app == short).unwrap().cpu_seconds;
+        let share_long = t_long / (t_long + t_short);
+        assert!(
+            (share_long - 0.5).abs() < 0.15,
+            "adaptive weights should equalise shares, got {share_long}"
+        );
+    }
+
+    #[test]
+    fn unequal_shares_are_respected_adaptively() {
+        let mut s = TaskScheduler::new(cfg(2, true));
+        let a = AppId(1);
+        let b = AppId(2);
+        s.register_app(a, 3.0);
+        s.register_app(b, 1.0);
+        // Keep both queues saturated for the whole measurement window, then
+        // sample the achieved shares *during* contention.
+        for _ in 0..5000 {
+            s.submit(a, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+            s.submit(b, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+        }
+        std::thread::sleep(Duration::from_millis(500));
+        let cpu = s.cpu_times();
+        let ta = cpu.iter().find(|c| c.app == a).unwrap().cpu_seconds;
+        let tb = cpu.iter().find(|c| c.app == b).unwrap().cpu_seconds;
+        assert!(s.queued() > 0, "queues must still be contended");
+        s.shutdown();
+        let share_a = ta / (ta + tb);
+        // Target is 75 %; allow scheduling noise.
+        assert!(
+            (share_a - 0.75).abs() < 0.12,
+            "share_a {share_a}, expected ~0.75"
+        );
+    }
+
+    #[test]
+    fn shutdown_drops_queue_and_joins() {
+        let mut s = TaskScheduler::new(cfg(1, true));
+        s.register_app(AppId(1), 1.0);
+        s.submit(AppId(1), Box::new(|| std::thread::sleep(Duration::from_millis(5))));
+        s.shutdown();
+        s.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let s = TaskScheduler::new(cfg(2, true));
+        s.register_app(AppId(1), 1.0);
+        s.register_app(AppId(2), 1.0);
+        for _ in 0..5 {
+            s.submit(AppId(1), Box::new(|| panic!("faulty aggregation function")));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let d = done.clone();
+            s.submit(AppId(2), Box::new(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(s.wait_idle(Duration::from_secs(10)));
+        std::panic::set_hook(prev_hook);
+        assert_eq!(done.load(Ordering::SeqCst), 20, "healthy app unaffected");
+        let cpu = s.cpu_times();
+        let faulty = cpu.iter().find(|c| c.app == AppId(1)).unwrap();
+        assert_eq!(faulty.tasks_panicked, 5);
+        let healthy = cpu.iter().find(|c| c.app == AppId(2)).unwrap();
+        assert_eq!(healthy.tasks_panicked, 0);
+    }
+
+    #[test]
+    fn wait_idle_times_out_when_busy() {
+        let s = TaskScheduler::new(cfg(1, true));
+        s.register_app(AppId(1), 1.0);
+        s.submit(AppId(1), Box::new(|| std::thread::sleep(Duration::from_millis(300))));
+        assert!(!s.wait_idle(Duration::from_millis(30)));
+        assert!(s.wait_idle(Duration::from_secs(5)));
+    }
+}

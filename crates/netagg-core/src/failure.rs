@@ -1,0 +1,281 @@
+//! Failure detection and recovery (Section 3.1, "Handling failures").
+//!
+//! A lightweight detector runs at every node that is the *parent* of agg
+//! boxes in a tree (other boxes and the master shim). It periodically
+//! heartbeats its child boxes; after `misses` consecutive unanswered
+//! probes a child is declared failed, its children (workers or further
+//! boxes) are told to redirect future partial results to the detecting
+//! node, and the owner is notified so it adjusts the sources it expects.
+//! Duplicate suppression at the new parent (sequence numbers per source)
+//! keeps resent results from being double-counted.
+
+use crate::protocol::{AppId, Message, TreeId};
+use netagg_net::{NetError, NodeId, Transport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Detector timing parameters.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Probe interval.
+    pub interval: Duration,
+    /// How long to wait for a heartbeat ack.
+    pub timeout: Duration,
+    /// Consecutive misses before declaring failure.
+    pub misses: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(100),
+            timeout: Duration::from_millis(100),
+            misses: 3,
+        }
+    }
+}
+
+/// A child box watched by the detector.
+#[derive(Debug, Clone)]
+pub struct WatchedChild {
+    /// Global id of the watched box.
+    pub box_id: u32,
+    /// Its transport address.
+    pub addr: NodeId,
+    /// Addresses of the box's children, to be re-pointed on failure.
+    pub children_addrs: Vec<NodeId>,
+    /// Trees (per application) the box serves under this parent.
+    pub apps_trees: Vec<(AppId, TreeId)>,
+}
+
+/// A running failure detector.
+pub struct FailureDetector {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FailureDetector {
+    /// Start probing `children` from `self_addr`. On a confirmed failure,
+    /// redirect messages (permanent) are sent to the failed box's children
+    /// pointing them at `redirect_to`, and `on_failed(box_id)` is invoked
+    /// once so the owner can adjust its expected sources.
+    pub fn start(
+        transport: Arc<dyn Transport>,
+        self_addr: NodeId,
+        redirect_to: NodeId,
+        children: Vec<WatchedChild>,
+        cfg: DetectorConfig,
+        on_failed: Box<dyn Fn(u32) + Send>,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("failure-detector-{self_addr}"))
+            .spawn(move || {
+                detector_loop(&transport, self_addr, redirect_to, children, &cfg, on_failed, &sd)
+            })
+            .expect("spawn failure detector");
+        Self {
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop probing and join the detector thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FailureDetector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn detector_loop(
+    transport: &Arc<dyn Transport>,
+    self_addr: NodeId,
+    redirect_to: NodeId,
+    children: Vec<WatchedChild>,
+    cfg: &DetectorConfig,
+    on_failed: Box<dyn Fn(u32) + Send>,
+    shutdown: &AtomicBool,
+) {
+    let mut conns: HashMap<u32, Box<dyn netagg_net::Connection>> = HashMap::new();
+    let mut miss_count: HashMap<u32, u32> = HashMap::new();
+    let mut failed: HashMap<u32, bool> = HashMap::new();
+    let mut nonce = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(cfg.interval);
+        for child in &children {
+            if failed.get(&child.box_id).copied().unwrap_or(false) {
+                continue;
+            }
+            nonce += 1;
+            let ok = probe(transport, self_addr, child.addr, nonce, cfg, &mut conns, child.box_id);
+            if ok {
+                miss_count.insert(child.box_id, 0);
+                continue;
+            }
+            let m = miss_count.entry(child.box_id).or_insert(0);
+            *m += 1;
+            if *m < cfg.misses {
+                continue;
+            }
+            // Declare failure: re-point the box's children at us.
+            failed.insert(child.box_id, true);
+            for &(app, tree) in &child.apps_trees {
+                let msg = Message::Redirect {
+                    app,
+                    permanent: true,
+                    request: crate::protocol::RequestId(0),
+                    tree,
+                    new_parent: redirect_to,
+                };
+                for &grandchild in &child.children_addrs {
+                    if let Ok(mut c) = transport.connect(self_addr, grandchild) {
+                        let _ = c.send(msg.encode());
+                    }
+                }
+            }
+            on_failed(child.box_id);
+        }
+    }
+}
+
+fn probe(
+    transport: &Arc<dyn Transport>,
+    self_addr: NodeId,
+    child_addr: NodeId,
+    nonce: u64,
+    cfg: &DetectorConfig,
+    conns: &mut HashMap<u32, Box<dyn netagg_net::Connection>>,
+    box_id: u32,
+) -> bool {
+    let conn = match conns.entry(box_id) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => match transport.connect(self_addr, child_addr) {
+            Ok(c) => v.insert(c),
+            Err(_) => return false,
+        },
+    };
+    let hb = Message::Heartbeat {
+        from: self_addr,
+        nonce,
+    };
+    if conn.send(hb.encode()).is_err() {
+        conns.remove(&box_id);
+        return false;
+    }
+    // Wait for the matching ack (tolerate unrelated frames).
+    let deadline = std::time::Instant::now() + cfg.timeout;
+    loop {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            conns.remove(&box_id);
+            return false;
+        }
+        match conn.recv_timeout(deadline - now) {
+            Ok(frame) => {
+                if let Ok(Message::HeartbeatAck { nonce: n, .. }) = Message::decode(frame) {
+                    if n == nonce {
+                        return true;
+                    }
+                }
+            }
+            Err(NetError::Timeout) => {
+                conns.remove(&box_id);
+                return false;
+            }
+            Err(_) => {
+                conns.remove(&box_id);
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggbox::{AggBox, AggBoxConfig};
+    use netagg_net::{ChannelTransport, FaultController, FaultTransport};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn healthy_child_is_not_declared_failed() {
+        let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+        let b = AggBox::start(transport.clone(), AggBoxConfig::new(0, crate::tree::box_addr(0)))
+            .unwrap();
+        let failed = Arc::new(AtomicU32::new(0));
+        let f2 = failed.clone();
+        let mut det = FailureDetector::start(
+            transport,
+            999,
+            999,
+            vec![WatchedChild {
+                box_id: 0,
+                addr: b.addr(),
+                children_addrs: vec![],
+                apps_trees: vec![],
+            }],
+            DetectorConfig {
+                interval: Duration::from_millis(20),
+                timeout: Duration::from_millis(100),
+                misses: 2,
+            },
+            Box::new(move |_| {
+                f2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(300));
+        det.stop();
+        assert_eq!(failed.load(Ordering::SeqCst), 0);
+        b.shutdown();
+    }
+
+    #[test]
+    fn dead_child_triggers_failure_callback() {
+        let ctl = FaultController::new();
+        let transport: Arc<dyn Transport> =
+            Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
+        let b = AggBox::start(transport.clone(), AggBoxConfig::new(0, crate::tree::box_addr(0)))
+            .unwrap();
+        let failed = Arc::new(AtomicU32::new(0));
+        let f2 = failed.clone();
+        let mut det = FailureDetector::start(
+            transport,
+            999,
+            999,
+            vec![WatchedChild {
+                box_id: 0,
+                addr: b.addr(),
+                children_addrs: vec![],
+                apps_trees: vec![],
+            }],
+            DetectorConfig {
+                interval: Duration::from_millis(20),
+                timeout: Duration::from_millis(60),
+                misses: 2,
+            },
+            Box::new(move |id| {
+                assert_eq!(id, 0);
+                f2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        ctl.kill(b.addr());
+        std::thread::sleep(Duration::from_millis(500));
+        det.stop();
+        assert_eq!(failed.load(Ordering::SeqCst), 1, "exactly one failure event");
+        ctl.revive(b.addr());
+        b.shutdown();
+    }
+}

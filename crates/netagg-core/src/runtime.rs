@@ -1,0 +1,307 @@
+//! Deployment wiring: launch agg boxes over a transport, register
+//! applications, hand out shims, and (optionally) arm failure detection.
+
+use crate::aggbox::runtime::{ChildBoxInfo, RouteInstall};
+use crate::aggbox::scheduler::SchedulerConfig;
+use crate::aggbox::{AggBox, AggBoxConfig};
+use crate::failure::{DetectorConfig, FailureDetector, WatchedChild};
+use crate::protocol::AppId;
+use crate::shim::{MasterShim, MasterShimConfig, TreeSelection, WorkerShim};
+use crate::straggler::StragglerPolicy;
+use crate::tree::{build_tree_specs, master_addr, ClusterSpec, Parent, TreeSpec};
+use crate::{AggError, DynAggregator};
+use netagg_net::Transport;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Platform-wide options.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Scheduler options applied to every box.
+    pub scheduler: SchedulerConfig,
+    /// Local aggregation tree fan-in on the boxes.
+    pub fanin: usize,
+    /// Straggler bypass policy for boxes and master shims; `None` disables.
+    pub straggler: Option<StragglerPolicy>,
+    /// Tree selection used by the shims.
+    pub selection: TreeSelection,
+    /// Stream partial aggregates downstream once a request buffers this
+    /// many bytes at a box (`None` = emit only final aggregates).
+    pub flush_bytes: Option<usize>,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            fanin: 8,
+            straggler: None,
+            selection: TreeSelection::PerRequest,
+            flush_bytes: None,
+        }
+    }
+}
+
+struct AppRecord {
+    id: AppId,
+    #[allow(dead_code)]
+    name: String,
+    agg: Arc<dyn DynAggregator>,
+}
+
+/// A running NetAgg deployment: the boxes, tree specs and registered apps.
+pub struct NetAggDeployment {
+    transport: Arc<dyn Transport>,
+    cfg: DeploymentConfig,
+    specs: Vec<TreeSpec>,
+    boxes: Vec<Arc<AggBox>>,
+    apps: Vec<AppRecord>,
+    master_shims: HashMap<AppId, Arc<MasterShim>>,
+    detectors: Vec<FailureDetector>,
+    next_app: u16,
+}
+
+impl NetAggDeployment {
+    /// Launch the agg boxes of a cluster with default options.
+    pub fn launch(
+        transport: Arc<dyn Transport>,
+        cluster: &ClusterSpec,
+    ) -> Result<Self, AggError> {
+        Self::launch_with(transport, cluster, DeploymentConfig::default())
+    }
+
+    /// Launch with explicit options.
+    pub fn launch_with(
+        transport: Arc<dyn Transport>,
+        cluster: &ClusterSpec,
+        cfg: DeploymentConfig,
+    ) -> Result<Self, AggError> {
+        let specs = build_tree_specs(cluster);
+        let mut boxes = Vec::new();
+        for b in 0..cluster.total_boxes() {
+            let mut bc = AggBoxConfig::new(b, crate::tree::box_addr(b));
+            bc.scheduler = cfg.scheduler.clone();
+            bc.fanin = cfg.fanin;
+            if let Some(p) = cfg.straggler {
+                bc.straggler_threshold = Some(p.threshold);
+                bc.straggler_repeat_limit = p.repeat_limit;
+            }
+            bc.flush_bytes = cfg.flush_bytes;
+            boxes.push(AggBox::start(transport.clone(), bc)?);
+        }
+        Ok(Self {
+            transport,
+            cfg,
+            specs,
+            boxes,
+            apps: Vec::new(),
+            master_shims: HashMap::new(),
+            detectors: Vec::new(),
+            next_app: 0,
+        })
+    }
+
+    /// Register an application: installs its aggregation function and the
+    /// per-tree routes on every box. Returns the application id.
+    pub fn register_app(
+        &mut self,
+        name: &str,
+        agg: Arc<dyn DynAggregator>,
+        share: f64,
+    ) -> AppId {
+        let app = AppId(self.next_app);
+        self.next_app += 1;
+        for b in &self.boxes {
+            b.register_app(app, agg.clone(), share);
+        }
+        for spec in &self.specs {
+            for tb in &spec.boxes {
+                let Some(aggbox) = self.boxes.iter().find(|b| b.box_id() == tb.box_id) else {
+                    continue;
+                };
+                let child_boxes: HashMap<u32, ChildBoxInfo> = tb
+                    .box_children
+                    .iter()
+                    .map(|c| {
+                        let cb = spec.tree_box(*c).expect("child box in spec");
+                        (
+                            *c,
+                            ChildBoxInfo {
+                                sources_behind: cb.expected_sources(),
+                                children_addrs: spec.children_addrs(app, *c),
+                            },
+                        )
+                    })
+                    .collect();
+                aggbox.install_route(RouteInstall {
+                    app,
+                    tree: spec.tree,
+                    parent: spec.parent_addr(app, tb.box_id),
+                    expected: tb.expected_sources(),
+                    child_boxes,
+                    children_addrs: spec.children_addrs(app, tb.box_id),
+                });
+            }
+        }
+        self.apps.push(AppRecord {
+            id: app,
+            name: name.to_string(),
+            agg,
+        });
+        app
+    }
+
+    /// The master shim of an application (started on first use).
+    pub fn master_shim(&mut self, app: AppId) -> Arc<MasterShim> {
+        if let Some(s) = self.master_shims.get(&app) {
+            return s.clone();
+        }
+        let agg = self
+            .apps
+            .iter()
+            .find(|a| a.id == app)
+            .expect("app registered")
+            .agg
+            .clone();
+        let cfg = MasterShimConfig {
+            selection: self.cfg.selection,
+            straggler_threshold: self.cfg.straggler.map(|p| p.threshold),
+            ..MasterShimConfig::default()
+        };
+        let shim = MasterShim::start(self.transport.clone(), app, agg, &self.specs, cfg)
+            .expect("start master shim");
+        self.master_shims.insert(app, shim.clone());
+        shim
+    }
+
+    /// A worker shim for one application worker.
+    pub fn worker_shim(&mut self, app: AppId, worker: u32) -> Arc<WorkerShim> {
+        WorkerShim::start(
+            self.transport.clone(),
+            app,
+            worker,
+            &self.specs,
+            self.cfg.selection,
+        )
+        .expect("start worker shim")
+    }
+
+    /// Arm failure detection: every parent of boxes (master shims and
+    /// boxes) probes its child boxes and re-routes around failures. Call
+    /// after registering all applications and creating master shims.
+    pub fn enable_failure_detection(&mut self, cfg: DetectorConfig) {
+        let apps: Vec<AppId> = self.apps.iter().map(|a| a.id).collect();
+        // Master-side detectors (watch root boxes).
+        for (&app, shim) in &self.master_shims {
+            let mut watched = Vec::new();
+            for spec in &self.specs {
+                for tb in spec.boxes.iter().filter(|b| b.parent == Parent::Master) {
+                    watched.push(WatchedChild {
+                        box_id: tb.box_id,
+                        addr: tb.addr,
+                        children_addrs: spec.children_addrs(app, tb.box_id),
+                        apps_trees: vec![(app, spec.tree)],
+                    });
+                }
+            }
+            if watched.is_empty() {
+                continue;
+            }
+            let shim2 = shim.clone();
+            let specs = self.specs.clone();
+            self.detectors.push(FailureDetector::start(
+                self.transport.clone(),
+                master_addr(app),
+                master_addr(app),
+                watched,
+                cfg.clone(),
+                Box::new(move |box_id| {
+                    for spec in &specs {
+                        if spec.tree_box(box_id).is_some() {
+                            shim2.on_child_box_failed(spec.tree, box_id);
+                        }
+                    }
+                }),
+            ));
+        }
+        // Box-side detectors (watch child boxes). Box liveness is
+        // app-independent, so each box runs one detector covering all apps.
+        for aggbox in &self.boxes {
+            let mut watched: Vec<WatchedChild> = Vec::new();
+            for spec in &self.specs {
+                let Some(tb) = spec.tree_box(aggbox.box_id()) else {
+                    continue;
+                };
+                for c in &tb.box_children {
+                    let cb = spec.tree_box(*c).expect("child box in spec");
+                    // A redirect must be issued per app; children_addrs are
+                    // per app for workers.
+                    for &app in &apps {
+                        watched.push(WatchedChild {
+                            box_id: cb.box_id,
+                            addr: cb.addr,
+                            children_addrs: spec.children_addrs(app, cb.box_id),
+                            apps_trees: vec![(app, spec.tree)],
+                        });
+                    }
+                }
+            }
+            if watched.is_empty() {
+                continue;
+            }
+            let owner = aggbox.clone();
+            let specs = self.specs.clone();
+            let apps2 = apps.clone();
+            self.detectors.push(FailureDetector::start(
+                self.transport.clone(),
+                aggbox.addr(),
+                aggbox.addr(),
+                watched,
+                cfg.clone(),
+                Box::new(move |box_id| {
+                    for spec in &specs {
+                        if spec.tree_box(box_id).is_some() {
+                            for &app in &apps2 {
+                                owner.on_child_box_failed(app, spec.tree, box_id);
+                            }
+                        }
+                    }
+                }),
+            ));
+        }
+    }
+
+    /// The running agg boxes, indexed by global box id.
+    pub fn boxes(&self) -> &[Arc<AggBox>] {
+        &self.boxes
+    }
+
+    /// The aggregation-tree specs derived from the cluster.
+    pub fn tree_specs(&self) -> &[TreeSpec] {
+        &self.specs
+    }
+
+    /// The transport the deployment runs over.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Stop detectors, shims and boxes.
+    pub fn shutdown(&mut self) {
+        for mut d in self.detectors.drain(..) {
+            d.stop();
+        }
+        for (_, s) in self.master_shims.drain() {
+            s.shutdown();
+        }
+        for b in &self.boxes {
+            b.shutdown();
+        }
+    }
+}
+
+impl Drop for NetAggDeployment {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

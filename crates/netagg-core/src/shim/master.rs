@@ -1,0 +1,602 @@
+//! Master-side shim layer.
+//!
+//! Tracks per-request state (the paper's "partial result collection"),
+//! receives root aggregates (or raw partials from direct workers when no
+//! boxes are deployed), performs the final cross-tree merge and emulates
+//! empty per-worker results. It is also the parent of the root boxes, so
+//! it runs the same straggler bypass the boxes do.
+
+use crate::aggbox::runtime::ChildBoxInfo;
+use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
+use crate::shim::worker::per_request_tree;
+use crate::shim::TreeSelection;
+use crate::tree::{master_addr, Parent, TreeSpec};
+use crate::{AggError, DynAggregator};
+use bytes::Bytes;
+use netagg_net::{Connection, NetError, NodeId, Transport};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The fully aggregated answer to one request.
+#[derive(Debug, Clone)]
+pub struct AggregatedResult {
+    /// The combined result (all partial results merged).
+    pub combined: Bytes,
+    /// How many empty per-worker results the shim emulated (the paper's
+    /// "empty partial results": the master logic sees one real result and
+    /// `expected_workers - 1` empties).
+    pub emulated_empty: usize,
+    /// Serialised identity element used for the emulated empties.
+    pub empty_payload: Bytes,
+    /// Number of source messages merged at the master (roots + directs).
+    pub master_inputs: usize,
+    /// Total payload bytes the master received for this request.
+    pub master_input_bytes: usize,
+}
+
+impl AggregatedResult {
+    /// The per-worker result vector the unmodified master logic iterates
+    /// over: one combined result plus emulated empties.
+    pub fn emulated_worker_results(&self) -> Vec<Bytes> {
+        let mut v = Vec::with_capacity(self.emulated_empty + 1);
+        v.push(self.combined.clone());
+        for _ in 0..self.emulated_empty {
+            v.push(self.empty_payload.clone());
+        }
+        v
+    }
+}
+
+/// Master shim configuration.
+#[derive(Debug, Clone)]
+pub struct MasterShimConfig {
+    /// How requests map onto aggregation trees.
+    pub selection: TreeSelection,
+    /// Per-request straggler bypass threshold for root boxes.
+    pub straggler_threshold: Option<Duration>,
+    /// Drop per-request state not claimed by a waiter within this age
+    /// (abandoned requests would otherwise accumulate forever).
+    pub pending_ttl: Duration,
+}
+
+impl Default for MasterShimConfig {
+    fn default() -> Self {
+        Self {
+            selection: TreeSelection::PerRequest,
+            straggler_threshold: None,
+            pending_ttl: Duration::from_secs(600),
+        }
+    }
+}
+
+struct TreeRoute {
+    expected: usize,
+    child_boxes: HashMap<u32, ChildBoxInfo>,
+}
+
+struct Pending {
+    expected_workers: usize,
+    /// Per-request override of the expected master source count (used for
+    /// subset requests registered via `register_request_subset`).
+    expected_override: Option<usize>,
+    inputs: Vec<Bytes>,
+    ended: HashSet<(TreeId, SourceId)>,
+    seen: HashSet<(TreeId, SourceId)>,
+    ignored: HashSet<(TreeId, SourceId)>,
+    expected_extra: i64,
+    registered_at: Instant,
+    first_data: Option<Instant>,
+    complete: bool,
+}
+
+struct Inner {
+    app: AppId,
+    addr: NodeId,
+    agg: Arc<dyn DynAggregator>,
+    transport: Arc<dyn Transport>,
+    cfg: MasterShimConfig,
+    specs: Vec<TreeSpec>,
+    routes: Mutex<HashMap<TreeId, TreeRoute>>,
+    pending: Mutex<HashMap<RequestId, Pending>>,
+    cv: Condvar,
+    num_trees: u32,
+    shutdown: AtomicBool,
+}
+
+/// A handle to one registered request.
+pub struct PendingRequest {
+    inner: Arc<Inner>,
+    request: RequestId,
+}
+
+/// The master-side shim.
+pub struct MasterShim {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl MasterShim {
+    /// Bind the master address and start the shim's listener (and, when
+    /// configured, its straggler monitor).
+    pub fn start(
+        transport: Arc<dyn Transport>,
+        app: AppId,
+        agg: Arc<dyn DynAggregator>,
+        specs: &[TreeSpec],
+        cfg: MasterShimConfig,
+    ) -> Result<Arc<Self>, NetError> {
+        let addr = master_addr(app);
+        let mut listener = transport.bind(addr)?;
+        let mut routes = HashMap::new();
+        for spec in specs {
+            let mut child_boxes = HashMap::new();
+            for b in &spec.boxes {
+                if b.parent == crate::tree::Parent::Master && b.expected_sources() > 0 {
+                    child_boxes.insert(
+                        b.box_id,
+                        ChildBoxInfo {
+                            sources_behind: b.expected_sources(),
+                            children_addrs: spec.children_addrs(app, b.box_id),
+                        },
+                    );
+                }
+            }
+            routes.insert(
+                spec.tree,
+                TreeRoute {
+                    expected: spec.expected_master_sources(),
+                    child_boxes,
+                },
+            );
+        }
+        let inner = Arc::new(Inner {
+            app,
+            addr,
+            agg,
+            transport,
+            cfg,
+            specs: specs.to_vec(),
+            routes: Mutex::new(routes),
+            pending: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            num_trees: specs.len() as u32,
+            shutdown: AtomicBool::new(false),
+        });
+        let shim = Arc::new(Self {
+            inner: inner.clone(),
+            threads: Mutex::new(Vec::new()),
+        });
+        let mut threads = Vec::new();
+        {
+            let inner = inner.clone();
+            let shim2 = Arc::downgrade(&shim);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("master-shim-{}", app.0))
+                    .spawn(move || {
+                        while !inner.shutdown.load(Ordering::SeqCst) {
+                            match listener.accept_timeout(Duration::from_millis(100)) {
+                                Ok(conn) => {
+                                    if let Some(s) = shim2.upgrade() {
+                                        let inner = inner.clone();
+                                        s.threads.lock().push(std::thread::spawn(move || {
+                                            reader_loop(&inner, conn)
+                                        }));
+                                    }
+                                }
+                                Err(NetError::Timeout) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn master shim listener"),
+            );
+        }
+        if inner.cfg.straggler_threshold.is_some() {
+            let inner = inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("master-shim-{}-straggler", app.0))
+                    .spawn(move || straggler_loop(&inner))
+                    .expect("spawn master straggler monitor"),
+            );
+        }
+        *shim.threads.lock() = threads;
+        Ok(shim)
+    }
+
+    /// Register a request before (or while) workers send their partials.
+    /// `expected_workers` is the number of workers participating; the shim
+    /// uses it to emulate that many minus one empty results.
+    pub fn register_request(&self, request: u64, expected_workers: usize) -> PendingRequest {
+        let request = RequestId(request);
+        let mut pending = self.inner.pending.lock();
+        // Opportunistic GC: drop abandoned request state older than the TTL
+        // (completed results nobody waited for, or requests that never
+        // finished).
+        let ttl = self.inner.cfg.pending_ttl;
+        pending.retain(|_, p| p.registered_at.elapsed() < ttl);
+        pending.entry(request).or_insert_with(|| Pending {
+            expected_workers,
+            expected_override: None,
+            inputs: Vec::new(),
+            ended: HashSet::new(),
+            seen: HashSet::new(),
+            ignored: HashSet::new(),
+            expected_extra: 0,
+            registered_at: Instant::now(),
+            first_data: None,
+            complete: false,
+        });
+        PendingRequest {
+            inner: self.inner.clone(),
+            request,
+        }
+    }
+
+    /// Register a request that only a *subset* of the workers participates
+    /// in (e.g. a search query routed to some shards). The shim sends
+    /// per-request metadata to the on-path boxes so they know how many
+    /// sources to expect (the paper's `RequestMeta` flow: the master shim
+    /// records request information and forwards it to the agg boxes).
+    pub fn register_request_subset(&self, request: u64, workers: &[u32]) -> PendingRequest {
+        let rid = RequestId(request);
+        let subset: std::collections::HashSet<u32> = workers.iter().copied().collect();
+        let mut master_expected = 0usize;
+        for tree_id in trees_for_request(&self.inner, rid) {
+            let Some(spec) = self.inner.specs.iter().find(|s| s.tree == tree_id) else {
+                continue;
+            };
+            // Count each box's per-request sources bottom-up: participating
+            // direct workers plus child boxes with non-empty subtrees.
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            let mut order: Vec<&crate::tree::TreeBox> = spec.boxes.iter().collect();
+            // Children before parents: sort by depth (walk to master).
+            let depth = |mut b: u32| -> usize {
+                let mut d = 0;
+                while let Some(Parent::Box(p)) = spec.tree_box(b).map(|t| t.parent) {
+                    d += 1;
+                    b = p;
+                }
+                d
+            };
+            order.sort_by_key(|tb| std::cmp::Reverse(depth(tb.box_id)));
+            for tb in order {
+                let direct = tb
+                    .worker_children
+                    .iter()
+                    .filter(|w| subset.contains(w))
+                    .count();
+                let from_boxes = tb
+                    .box_children
+                    .iter()
+                    .filter(|c| counts.get(c).copied().unwrap_or(0) > 0)
+                    .count();
+                counts.insert(tb.box_id, direct + from_boxes);
+            }
+            // Tell every participating box its expected source count.
+            for tb in &spec.boxes {
+                let n = counts.get(&tb.box_id).copied().unwrap_or(0);
+                if n == 0 {
+                    continue;
+                }
+                let msg = Message::RequestMeta {
+                    app: self.inner.app,
+                    request: rid,
+                    tree: tree_id,
+                    expected_sources: n as u32,
+                };
+                if let Ok(mut c) = self.inner.transport.connect(self.inner.addr, tb.addr) {
+                    let _ = c.send(msg.encode());
+                }
+                if tb.parent == Parent::Master {
+                    master_expected += 1;
+                }
+            }
+            master_expected += spec
+                .direct_workers
+                .iter()
+                .filter(|w| subset.contains(w))
+                .count();
+        }
+        let mut pending = self.inner.pending.lock();
+        let p = pending.entry(rid).or_insert_with(|| Pending {
+            expected_workers: workers.len(),
+            expected_override: None,
+            inputs: Vec::new(),
+            ended: HashSet::new(),
+            seen: HashSet::new(),
+            ignored: HashSet::new(),
+            expected_extra: 0,
+            registered_at: Instant::now(),
+            first_data: None,
+            complete: false,
+        });
+        p.expected_override = Some(master_expected);
+        p.expected_workers = workers.len();
+        PendingRequest {
+            inner: self.inner.clone(),
+            request: rid,
+        }
+    }
+
+    /// Distribute `payload` to every worker down the request's aggregation
+    /// tree (the one-to-many extension the paper sketches in Section 5):
+    /// the master sends one copy per root box (or per direct worker when no
+    /// boxes are deployed); boxes replicate to their children over their
+    /// high-bandwidth links.
+    pub fn broadcast(&self, request: u64, payload: Bytes) -> Result<(), AggError> {
+        let rid = RequestId(request);
+        for tree_id in trees_for_request(&self.inner, rid) {
+            let Some(spec) = self.inner.specs.iter().find(|s| s.tree == tree_id) else {
+                continue;
+            };
+            let msg = Message::Broadcast {
+                app: self.inner.app,
+                request: rid,
+                tree: tree_id,
+                payload: payload.clone(),
+            };
+            let mut targets: Vec<NodeId> = spec
+                .boxes
+                .iter()
+                .filter(|b| b.parent == Parent::Master && b.expected_sources() > 0)
+                .map(|b| b.addr)
+                .collect();
+            targets.extend(
+                spec.direct_workers
+                    .iter()
+                    .map(|w| crate::tree::worker_addr(self.inner.app, *w)),
+            );
+            for t in targets {
+                let mut c = self
+                    .inner
+                    .transport
+                    .connect(self.inner.addr, t)
+                    .map_err(AggError::from)?;
+                c.send(msg.encode()).map_err(AggError::from)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// React to a confirmed root-box failure (called by the failure
+    /// detector): expect the box's children directly from now on.
+    pub fn on_child_box_failed(&self, tree: TreeId, failed_box: u32) {
+        let mut routes = self.inner.routes.lock();
+        if let Some(r) = routes.get_mut(&tree) {
+            if let Some(info) = r.child_boxes.remove(&failed_box) {
+                r.expected = r.expected - 1 + info.sources_behind;
+            }
+        }
+    }
+
+    /// The master shim's transport address.
+    pub fn addr(&self) -> NodeId {
+        self.inner.addr
+    }
+
+    /// Stop all shim threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MasterShim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl PendingRequest {
+    /// Block until the fully aggregated result is available.
+    pub fn wait(&self, timeout: Duration) -> Result<AggregatedResult, AggError> {
+        let deadline = Instant::now() + timeout;
+        let mut pending = self.inner.pending.lock();
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Err(AggError::Shutdown);
+            }
+            let p = pending
+                .get(&self.request)
+                .ok_or_else(|| AggError::Net("request not registered".into()))?;
+            if p.complete {
+                let p = pending.remove(&self.request).unwrap();
+                drop(pending);
+                // Final aggregation step across tree roots / direct workers
+                // (Section 3.1: with multiple trees the master merges the
+                // roots' results).
+                let master_input_bytes = p.inputs.iter().map(Bytes::len).sum();
+                let combined = self.inner.agg.aggregate_serialized(p.inputs.clone())?;
+                return Ok(AggregatedResult {
+                    combined,
+                    emulated_empty: p.expected_workers.saturating_sub(1),
+                    empty_payload: self.inner.agg.empty_serialized(),
+                    master_inputs: p.inputs.len(),
+                    master_input_bytes,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(AggError::Timeout);
+            }
+            self.inner.cv.wait_for(&mut pending, deadline - now);
+        }
+    }
+
+    /// The request this handle tracks.
+    pub fn request_id(&self) -> u64 {
+        self.request.0
+    }
+}
+
+/// Trees that carry data for a request under the configured selection.
+fn trees_for_request(inner: &Inner, request: RequestId) -> Vec<TreeId> {
+    match inner.cfg.selection {
+        TreeSelection::PerRequest => vec![per_request_tree(request, inner.num_trees)],
+        TreeSelection::Keyed => (0..inner.num_trees).map(TreeId).collect(),
+    }
+}
+
+fn expected_total(inner: &Inner, request: RequestId, p: &Pending) -> i64 {
+    let base: usize = match p.expected_override {
+        Some(n) => n,
+        None => {
+            let routes = inner.routes.lock();
+            trees_for_request(inner, request)
+                .iter()
+                .map(|t| routes.get(t).map(|r| r.expected).unwrap_or(0))
+                .sum()
+        }
+    };
+    base as i64 + p.expected_extra
+}
+
+fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+            Ok(f) => f,
+            Err(NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let Ok(msg) = Message::decode(frame) else {
+            continue;
+        };
+        match msg {
+            Message::Data {
+                app,
+                request,
+                tree,
+                source,
+                seq: _,
+                last,
+                payload,
+            } => {
+                if app != inner.app {
+                    continue;
+                }
+                let mut pending = inner.pending.lock();
+                // Unregistered requests are recorded (the data may arrive
+                // before register_request on another thread).
+                let p = pending.entry(request).or_insert_with(|| Pending {
+                    expected_workers: 0,
+                    expected_override: None,
+                    inputs: Vec::new(),
+                    ended: HashSet::new(),
+                    seen: HashSet::new(),
+                    ignored: HashSet::new(),
+                    expected_extra: 0,
+                    registered_at: Instant::now(),
+                    first_data: None,
+                    complete: false,
+                });
+                if p.complete || p.ignored.contains(&(tree, source)) {
+                    continue;
+                }
+                p.first_data.get_or_insert_with(Instant::now);
+                p.seen.insert((tree, source));
+                if !payload.is_empty() {
+                    p.inputs.push(payload);
+                }
+                if last {
+                    p.ended.insert((tree, source));
+                    let done = p.ended.difference(&p.ignored).count() as i64;
+                    if done >= expected_total(inner, request, p) {
+                        p.complete = true;
+                        inner.cv.notify_all();
+                    }
+                }
+            }
+            Message::Heartbeat { nonce, .. } => {
+                let _ = conn.send(
+                    Message::HeartbeatAck {
+                        from: u32::MAX,
+                        nonce,
+                    }
+                    .encode(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Straggler bypass at the master, mirroring the agg-box logic: a root box
+/// that contributed nothing within the threshold (while other data flowed)
+/// is bypassed for that request.
+fn straggler_loop(inner: &Arc<Inner>) {
+    // Hierarchical thresholds: the master waits longer than the boxes so
+    // box-level bypass (closer to the data) resolves stragglers first.
+    let threshold = inner.cfg.straggler_threshold.expect("monitor enabled") * 4;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(threshold / 4);
+        let mut redirects: Vec<(RequestId, TreeId, Vec<NodeId>)> = Vec::new();
+        {
+            // Lock order: pending before routes (matches reader_loop via
+            // expected_total).
+            let mut pending = inner.pending.lock();
+            let routes = inner.routes.lock();
+            for (request, p) in pending.iter_mut() {
+                if p.complete || p.registered_at.elapsed() < threshold {
+                    continue;
+                }
+                for tree in trees_for_request(inner, *request) {
+                    let Some(route) = routes.get(&tree) else {
+                        continue;
+                    };
+                    for (box_id, info) in &route.child_boxes {
+                        let key = (tree, SourceId::Box(*box_id));
+                        if p.seen.contains(&key) || p.ignored.contains(&key) {
+                            continue;
+                        }
+                        p.ignored.insert(key);
+                        p.expected_extra += info.sources_behind as i64 - 1;
+                        redirects.push((*request, tree, info.children_addrs.clone()));
+                    }
+                }
+            }
+        }
+        for (request, tree, children) in redirects {
+            let msg = Message::Redirect {
+                app: inner.app,
+                permanent: false,
+                request,
+                tree,
+                new_parent: inner.addr,
+            };
+            for child in children {
+                if let Ok(mut c) = inner.transport.connect(inner.addr, child) {
+                    let _ = c.send(msg.encode());
+                }
+            }
+        }
+        // Bypass may complete requests whose other sources already ended.
+        let mut pending = inner.pending.lock();
+        let mut completed = false;
+        let requests: Vec<RequestId> = pending.keys().copied().collect();
+        for request in requests {
+            let Some(p) = pending.get_mut(&request) else {
+                continue;
+            };
+            if p.complete {
+                continue;
+            }
+            let done = p.ended.difference(&p.ignored).count() as i64;
+            let expected = expected_total(inner, request, p);
+            if expected > 0 && done >= expected {
+                p.complete = true;
+                completed = true;
+            }
+        }
+        if completed {
+            inner.cv.notify_all();
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Worker-side shim layer.
+
+use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
+use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
+use crate::AggError;
+use bytes::Bytes;
+use netagg_net::{Connection, NetError, NodeId, Transport};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How partial results are spread over multiple aggregation trees
+/// (Section 3.1, "Multiple aggregation trees per application").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeSelection {
+    /// The whole request uses one tree chosen by hashing the request id
+    /// (online services such as search).
+    PerRequest,
+    /// Each chunk picks its tree from a caller-provided key hash (batch
+    /// applications partition by key); `finish_request` closes every tree.
+    Keyed,
+}
+
+/// Worker-shim counters.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Payload bytes sent (excluding protocol framing).
+    pub bytes_sent: AtomicU64,
+    /// Data chunks sent.
+    pub chunks_sent: AtomicU64,
+    /// Chunks resent after redirects (failure/straggler recovery).
+    pub chunks_resent: AtomicU64,
+    /// Redirect messages received.
+    pub redirects: AtomicU64,
+}
+
+/// Replay entries kept for straggler/failure resends.
+#[derive(Clone)]
+struct SentChunk {
+    tree: TreeId,
+    seq: u32,
+    last: bool,
+    payload: Bytes,
+}
+
+struct Inner {
+    app: AppId,
+    worker: u32,
+    addr: NodeId,
+    transport: Arc<dyn Transport>,
+    selection: TreeSelection,
+    num_trees: u32,
+    /// Destination per tree: the worker's first on-path box, or the master.
+    assignments: RwLock<HashMap<TreeId, NodeId>>,
+    conns: Mutex<HashMap<NodeId, Box<dyn Connection>>>,
+    seqs: Mutex<HashMap<RequestId, u32>>,
+    replay: Mutex<ReplayBuffer>,
+    /// Broadcasts received down the tree, delivered to the application.
+    broadcast_tx: crossbeam::channel::Sender<(u64, Bytes)>,
+    broadcast_rx: crossbeam::channel::Receiver<(u64, Bytes)>,
+    stats: WorkerStats,
+    shutdown: AtomicBool,
+}
+
+struct ReplayBuffer {
+    per_request: HashMap<RequestId, Vec<SentChunk>>,
+    order: VecDeque<RequestId>,
+    capacity: usize,
+}
+
+impl ReplayBuffer {
+    fn record(&mut self, request: RequestId, chunk: SentChunk) {
+        if !self.per_request.contains_key(&request) {
+            self.order.push_back(request);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.per_request.remove(&old);
+                }
+            }
+        }
+        self.per_request.entry(request).or_default().push(chunk);
+    }
+}
+
+/// The worker-side shim: intercepts outgoing partial results and redirects
+/// them to the assigned agg box.
+pub struct WorkerShim {
+    inner: Arc<Inner>,
+    listener_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerShim {
+    /// Start a worker shim: binds the worker's address (to receive
+    /// redirects) and derives tree assignments from the specs.
+    pub fn start(
+        transport: Arc<dyn Transport>,
+        app: AppId,
+        worker: u32,
+        specs: &[TreeSpec],
+        selection: TreeSelection,
+    ) -> Result<Arc<Self>, NetError> {
+        let addr = worker_addr(app, worker);
+        let mut assignments = HashMap::new();
+        for spec in specs {
+            let dest = match spec.worker_assignment.get(&worker) {
+                Some(b) => box_addr(*b),
+                None => master_addr(app),
+            };
+            assignments.insert(spec.tree, dest);
+        }
+        let mut listener = transport.bind(addr)?;
+        let (broadcast_tx, broadcast_rx) = crossbeam::channel::bounded(256);
+        let inner = Arc::new(Inner {
+            app,
+            worker,
+            addr,
+            transport,
+            selection,
+            num_trees: specs.len() as u32,
+            assignments: RwLock::new(assignments),
+            conns: Mutex::new(HashMap::new()),
+            seqs: Mutex::new(HashMap::new()),
+            replay: Mutex::new(ReplayBuffer {
+                per_request: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: 64,
+            }),
+            broadcast_tx,
+            broadcast_rx,
+            stats: WorkerStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let shim = Arc::new(Self {
+            inner: inner.clone(),
+            listener_thread: Mutex::new(None),
+        });
+        let h = std::thread::Builder::new()
+            .name(format!("worker-shim-{}-{}", app.0, worker))
+            .spawn(move || {
+                // Accept control connections (redirects) and handle them.
+                let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept_timeout(Duration::from_millis(100)) {
+                        Ok(conn) => {
+                            let inner = inner.clone();
+                            readers.push(std::thread::spawn(move || control_loop(&inner, conn)));
+                        }
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            })
+            .expect("spawn worker shim listener");
+        *shim.listener_thread.lock() = Some(h);
+        Ok(shim)
+    }
+
+    /// The worker this shim serves.
+    pub fn worker_id(&self) -> u32 {
+        self.inner.worker
+    }
+
+    /// Counters exposed for the harness and tests.
+    pub fn stats(&self) -> &WorkerStats {
+        &self.inner.stats
+    }
+
+    /// Send a complete partial result for a request (single chunk).
+    pub fn send_partial(&self, request: u64, payload: Bytes) -> Result<(), AggError> {
+        self.send_chunk(request, payload, true)
+    }
+
+    /// Send a large partial result split into `chunk_bytes`-sized chunks
+    /// (the payload must be splittable at byte granularity only if the
+    /// application's deserialiser can handle it — for record-oriented data
+    /// prefer chunking at record boundaries and calling `send_chunk`).
+    pub fn send_partial_chunked(
+        &self,
+        request: u64,
+        payload: Bytes,
+        chunk_bytes: usize,
+    ) -> Result<(), AggError> {
+        assert!(chunk_bytes > 0);
+        if payload.len() <= chunk_bytes {
+            return self.send_chunk(request, payload, true);
+        }
+        let mut offset = 0;
+        while offset < payload.len() {
+            let end = (offset + chunk_bytes).min(payload.len());
+            let last = end == payload.len();
+            self.send_chunk(request, payload.slice(offset..end), last)?;
+            offset = end;
+        }
+        Ok(())
+    }
+
+    /// Send one chunk; `last` closes this worker's contribution on the
+    /// request's tree. Only valid under [`TreeSelection::PerRequest`].
+    pub fn send_chunk(&self, request: u64, payload: Bytes, last: bool) -> Result<(), AggError> {
+        assert_eq!(
+            self.inner.selection,
+            TreeSelection::PerRequest,
+            "use send_chunk_keyed / finish_request under Keyed selection"
+        );
+        let request = RequestId(request);
+        let tree = per_request_tree(request, self.inner.num_trees);
+        self.inner.send_on_tree(request, tree, payload, last)
+    }
+
+    /// Send one chunk on the tree selected by `key_hash` (Keyed mode).
+    pub fn send_chunk_keyed(
+        &self,
+        request: u64,
+        key_hash: u64,
+        payload: Bytes,
+    ) -> Result<(), AggError> {
+        assert_eq!(self.inner.selection, TreeSelection::Keyed);
+        let request = RequestId(request);
+        let tree = TreeId((key_hash % self.inner.num_trees as u64) as u32);
+        self.inner.send_on_tree(request, tree, payload, false)
+    }
+
+    /// Close this worker's contribution on every tree (Keyed mode).
+    pub fn finish_request(&self, request: u64) -> Result<(), AggError> {
+        assert_eq!(self.inner.selection, TreeSelection::Keyed);
+        let request = RequestId(request);
+        for t in 0..self.inner.num_trees {
+            self.inner
+                .send_on_tree(request, TreeId(t), Bytes::new(), true)?;
+        }
+        Ok(())
+    }
+
+    /// Drop replay state for a completed request.
+    pub fn complete_request(&self, request: u64) {
+        let request = RequestId(request);
+        let mut replay = self.inner.replay.lock();
+        replay.per_request.remove(&request);
+        replay.order.retain(|r| *r != request);
+        self.inner.seqs.lock().remove(&request);
+    }
+
+    /// Current destination for a tree (exposed for tests).
+    pub fn assignment(&self, tree: TreeId) -> Option<NodeId> {
+        self.inner.assignments.read().get(&tree).copied()
+    }
+
+    /// Re-send a request's buffered chunks to the current assignments with
+    /// their original sequence numbers. This is what a speculative backup
+    /// task's duplicate output looks like on the wire: the agg box's
+    /// per-source duplicate suppression drops the copies (Section 3.1,
+    /// "Handling stragglers"/Hadoop speculative execution).
+    pub fn resend_request(&self, request: u64) {
+        let request = RequestId(request);
+        let trees: Vec<(TreeId, NodeId)> = self
+            .inner
+            .assignments
+            .read()
+            .iter()
+            .map(|(t, d)| (*t, *d))
+            .collect();
+        for (tree, dest) in trees {
+            self.inner.resend(Some(request), tree, dest);
+        }
+    }
+
+    /// Receive the next broadcast distributed down the tree (the paper's
+    /// one-to-many extension): returns `(request id, payload)`.
+    pub fn recv_broadcast(&self, timeout: Duration) -> Result<(u64, Bytes), AggError> {
+        self.inner
+            .broadcast_rx
+            .recv_timeout(timeout)
+            .map_err(|_| AggError::Timeout)
+    }
+
+    /// Stop the shim's listener thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.listener_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerShim {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Tree used by a whole request under per-request selection. Master and
+/// workers must agree, so this tiny hash is shared.
+pub(crate) fn per_request_tree(request: RequestId, num_trees: u32) -> TreeId {
+    TreeId((crate::protocol_hash(request.0) % num_trees.max(1) as u64) as u32)
+}
+
+impl Inner {
+    fn send_on_tree(
+        &self,
+        request: RequestId,
+        tree: TreeId,
+        payload: Bytes,
+        last: bool,
+    ) -> Result<(), AggError> {
+        let dest = self
+            .assignments
+            .read()
+            .get(&tree)
+            .copied()
+            .ok_or_else(|| AggError::Net(format!("no assignment for tree {}", tree.0)))?;
+        let seq = {
+            let mut seqs = self.seqs.lock();
+            let s = seqs.entry(request).or_insert(0);
+            *s += 1;
+            *s
+        };
+        let chunk = SentChunk {
+            tree,
+            seq,
+            last,
+            payload: payload.clone(),
+        };
+        self.replay.lock().record(request, chunk);
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.chunks_sent.fetch_add(1, Ordering::Relaxed);
+        self.send_data(dest, request, tree, seq, last, payload)
+    }
+
+    fn send_data(
+        &self,
+        dest: NodeId,
+        request: RequestId,
+        tree: TreeId,
+        seq: u32,
+        last: bool,
+        payload: Bytes,
+    ) -> Result<(), AggError> {
+        let msg = Message::Data {
+            app: self.app,
+            request,
+            tree,
+            source: SourceId::Worker(self.worker),
+            seq,
+            last,
+            payload,
+        };
+        let frame = msg.encode();
+        let mut conns = self.conns.lock();
+        for attempt in 0..2 {
+            let conn = match conns.entry(dest) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match self.transport.connect(self.addr, dest) {
+                        Ok(c) => v.insert(c),
+                        Err(e) => {
+                            if attempt == 1 {
+                                return Err(e.into());
+                            }
+                            continue;
+                        }
+                    }
+                }
+            };
+            match conn.send(frame.clone()) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    conns.remove(&dest);
+                }
+            }
+        }
+        Err(AggError::Net(format!("send to {dest} failed")))
+    }
+
+    /// Resend the replay buffer for one request (or all) to a new parent.
+    fn resend(&self, request: Option<RequestId>, tree: TreeId, dest: NodeId) {
+        let replay = self.replay.lock();
+        let targets: Vec<(RequestId, Vec<SentChunk>)> = replay
+            .per_request
+            .iter()
+            .filter(|(r, _)| request.map(|want| **r == want).unwrap_or(true))
+            .map(|(r, cs)| (*r, cs.clone()))
+            .collect();
+        drop(replay);
+        for (req, chunks) in targets {
+            for c in chunks.into_iter().filter(|c| c.tree == tree) {
+                self.stats.chunks_resent.fetch_add(1, Ordering::Relaxed);
+                let _ = self.send_data(dest, req, c.tree, c.seq, c.last, c.payload);
+            }
+        }
+    }
+}
+
+fn control_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+            Ok(f) => f,
+            Err(NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let Ok(msg) = Message::decode(frame) else {
+            continue;
+        };
+        match msg {
+            Message::Redirect {
+                app,
+                permanent,
+                request,
+                tree,
+                new_parent,
+            } => {
+                if app != inner.app {
+                    continue;
+                }
+                inner.stats.redirects.fetch_add(1, Ordering::Relaxed);
+                if permanent {
+                    inner.assignments.write().insert(tree, new_parent);
+                    // Resend everything still buffered on that tree so
+                    // requests in flight at the failed box recover.
+                    inner.resend(None, tree, new_parent);
+                } else {
+                    inner.resend(Some(request), tree, new_parent);
+                }
+            }
+            Message::Heartbeat { nonce, .. } => {
+                let _ = conn.send(
+                    Message::HeartbeatAck {
+                        from: inner.worker,
+                        nonce,
+                    }
+                    .encode(),
+                );
+            }
+            Message::Broadcast {
+                app,
+                request,
+                payload,
+                ..
+            } if app == inner.app => {
+                // Drop rather than block if the application is not
+                // consuming broadcasts.
+                let _ = inner.broadcast_tx.try_send((request.0, payload));
+            }
+            _ => {}
+        }
+    }
+}

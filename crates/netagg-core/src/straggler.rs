@@ -1,0 +1,55 @@
+//! Straggler handling policy (Section 3.1, "Handling stragglers").
+//!
+//! The mechanism lives where the data lives: each parent of agg boxes (the
+//! boxes themselves in [`crate::aggbox::runtime`], the master shim in
+//! [`crate::shim`]) monitors active requests. If a request has started
+//! flowing but an expected child box has contributed nothing within the
+//! threshold, that box is bypassed *for this request*: its children are
+//! told (via a per-request `Redirect`) to resend the request's data
+//! directly to the monitoring node, which stops expecting the box. Worker
+//! shims serve resends from a bounded replay buffer.
+//!
+//! Repeated slowness across requests escalates to the permanent failure
+//! procedure ([`crate::failure`]): the box's children re-point permanently
+//! and future requests no longer expect it.
+
+use std::time::Duration;
+
+/// Tunable straggler policy shared by agg boxes and the master shim.
+#[derive(Debug, Clone, Copy)]
+pub struct StragglerPolicy {
+    /// How long a request may run without a contribution from an expected
+    /// box before that box is bypassed. Application-specific (the paper
+    /// uses an application-specific threshold).
+    pub threshold: Duration,
+    /// Straggler events after which a box is treated as permanently failed.
+    pub repeat_limit: u32,
+}
+
+impl StragglerPolicy {
+    /// Policy with the given threshold and the default repeat limit.
+    pub fn new(threshold: Duration) -> Self {
+        Self {
+            threshold,
+            repeat_limit: 3,
+        }
+    }
+}
+
+impl Default for StragglerPolicy {
+    fn default() -> Self {
+        Self::new(Duration::from_millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = StragglerPolicy::default();
+        assert!(p.threshold > Duration::ZERO);
+        assert!(p.repeat_limit >= 1);
+    }
+}

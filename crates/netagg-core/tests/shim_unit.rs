@@ -1,0 +1,316 @@
+//! Focused shim-layer tests: chunking, replay-buffer lifecycle, duplicate
+//! suppression, pending-state GC, master-level straggler bypass and the
+//! broadcast backpressure path. Complements the end-to-end scenarios in
+//! `platform.rs`.
+
+use bytes::Bytes;
+use netagg_core::prelude::*;
+use netagg_core::protocol::TreeId;
+use netagg_core::runtime::DeploymentConfig;
+use netagg_core::shim::{MasterShim, MasterShimConfig, TreeSelection};
+use netagg_core::straggler::StragglerPolicy;
+use netagg_core::tree::{build_tree_specs, master_addr};
+use netagg_net::{ChannelTransport, FaultController, FaultTransport, Transport};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Sum;
+impl AggregationFunction for Sum {
+    type Item = i64;
+    fn deserialize(&self, b: &Bytes) -> Result<i64, AggError> {
+        std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AggError::Corrupt("not an int".into()))
+    }
+    fn serialize(&self, v: &i64) -> Bytes {
+        Bytes::from(v.to_string())
+    }
+    fn aggregate(&self, items: Vec<i64>) -> i64 {
+        items.into_iter().sum()
+    }
+    fn empty(&self) -> i64 {
+        0
+    }
+}
+
+fn sum_agg() -> Arc<dyn DynAggregator> {
+    Arc::new(AggWrapper::new(Sum))
+}
+
+fn parse(b: &Bytes) -> i64 {
+    std::str::from_utf8(b).unwrap().parse().unwrap()
+}
+
+#[test]
+fn send_partial_chunked_splits_into_expected_chunks() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+    let w1 = dep.worker_shim(app, 1);
+
+    let pending = master.register_request(1, 2);
+    // "11111" chunked at 1 byte: five chunks, each deserialising to 1.
+    w0.send_partial_chunked(1, Bytes::from_static(b"11111"), 1)
+        .unwrap();
+    w1.send_partial(1, Bytes::from_static(b"10")).unwrap();
+    let result = pending.wait(Duration::from_secs(5)).unwrap();
+    assert_eq!(parse(&result.combined), 15);
+    assert_eq!(w0.stats().chunks_sent.load(Relaxed), 5);
+    assert_eq!(w0.stats().bytes_sent.load(Relaxed), 5);
+
+    // Payload smaller than the chunk size goes out whole.
+    let pending = master.register_request(2, 2);
+    w0.send_partial_chunked(2, Bytes::from_static(b"4"), 1024)
+        .unwrap();
+    w1.send_partial(2, Bytes::from_static(b"5")).unwrap();
+    assert_eq!(
+        parse(&pending.wait(Duration::from_secs(5)).unwrap().combined),
+        9
+    );
+    assert_eq!(w0.stats().chunks_sent.load(Relaxed), 6);
+    dep.shutdown();
+}
+
+#[test]
+fn duplicate_resends_are_suppressed_at_the_box() {
+    // Models Hadoop speculative execution: a backup task re-emits the same
+    // output; per-(source, seq) suppression at the box drops the copies.
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+    let w1 = dep.worker_shim(app, 1);
+
+    let pending = master.register_request(1, 2);
+    w0.send_chunk(1, Bytes::from_static(b"7"), false).unwrap();
+    // The speculative duplicate of everything sent so far.
+    w0.resend_request(1);
+    w0.send_chunk(1, Bytes::from_static(b"0"), true).unwrap();
+    w1.send_partial(1, Bytes::from_static(b"3")).unwrap();
+    let result = pending.wait(Duration::from_secs(5)).unwrap();
+    assert_eq!(parse(&result.combined), 10, "duplicate 7 must not be re-added");
+    assert!(w0.stats().chunks_resent.load(Relaxed) >= 1);
+    assert!(
+        dep.boxes()[0].stats().duplicates_dropped.load(Relaxed) >= 1,
+        "box should have dropped the duplicate"
+    );
+    dep.shutdown();
+}
+
+#[test]
+fn complete_request_clears_replay_state() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+    let w1 = dep.worker_shim(app, 1);
+
+    let pending = master.register_request(1, 2);
+    w0.send_partial(1, Bytes::from_static(b"2")).unwrap();
+    w1.send_partial(1, Bytes::from_static(b"3")).unwrap();
+    pending.wait(Duration::from_secs(5)).unwrap();
+
+    // Before the app acknowledges completion the chunks are replayable...
+    w0.resend_request(1);
+    let resent = w0.stats().chunks_resent.load(Relaxed);
+    assert!(resent >= 1);
+    // ...and afterwards they are gone.
+    w0.complete_request(1);
+    w0.resend_request(1);
+    assert_eq!(w0.stats().chunks_resent.load(Relaxed), resent);
+    dep.shutdown();
+}
+
+#[test]
+fn resend_with_nothing_buffered_is_a_noop() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(1, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let w0 = dep.worker_shim(app, 0);
+    w0.resend_request(42);
+    assert_eq!(w0.stats().chunks_resent.load(Relaxed), 0);
+    dep.shutdown();
+}
+
+#[test]
+fn replay_buffer_evicts_oldest_requests() {
+    // The buffer keeps the 64 most recent requests; chunks of older ones
+    // can no longer be replayed.
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(1, 0); // direct to master
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let _master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+
+    for req in 0..70u64 {
+        w0.send_partial(req, Bytes::from_static(b"1")).unwrap();
+    }
+    w0.resend_request(0); // evicted
+    assert_eq!(w0.stats().chunks_resent.load(Relaxed), 0);
+    w0.resend_request(69); // still buffered
+    assert_eq!(w0.stats().chunks_resent.load(Relaxed), 1);
+    dep.shutdown();
+}
+
+#[test]
+fn assignment_is_master_when_no_boxes_deployed() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 0);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let w0 = dep.worker_shim(app, 0);
+    assert_eq!(w0.assignment(TreeId(0)), Some(master_addr(app)));
+    assert_eq!(w0.assignment(TreeId(7)), None, "unknown tree has no route");
+    assert_eq!(w0.worker_id(), 0);
+    dep.shutdown();
+}
+
+#[test]
+fn abandoned_requests_are_garbage_collected_after_ttl() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 0);
+    let specs = build_tree_specs(&cluster);
+    let master = MasterShim::start(
+        transport,
+        netagg_core::protocol::AppId(0),
+        sum_agg(),
+        &specs,
+        MasterShimConfig {
+            pending_ttl: Duration::from_millis(50),
+            ..MasterShimConfig::default()
+        },
+    )
+    .unwrap();
+
+    let abandoned = master.register_request(1, 2);
+    std::thread::sleep(Duration::from_millis(80));
+    // Registering any other request runs the opportunistic GC.
+    let _fresh = master.register_request(2, 2);
+    match abandoned.wait(Duration::from_millis(200)) {
+        Err(AggError::Net(msg)) => assert!(msg.contains("not registered"), "{msg}"),
+        other => panic!("expected GC'd request error, got {other:?}"),
+    }
+    master.shutdown();
+}
+
+#[test]
+fn master_bypasses_a_straggling_root_box() {
+    // The master shim runs the same straggler logic as the boxes, with a 4x
+    // threshold so box-level bypass gets the first chance. Here the only
+    // box straggles, so the master must pull the workers' data directly.
+    let ctl = FaultController::new();
+    let transport: Arc<dyn Transport> =
+        Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
+    let cluster = ClusterSpec::single_rack(2, 1);
+    let mut dep = NetAggDeployment::launch_with(
+        transport,
+        &cluster,
+        DeploymentConfig {
+            straggler: Some(StragglerPolicy {
+                threshold: Duration::from_millis(150),
+                repeat_limit: 1000,
+            }),
+            ..DeploymentConfig::default()
+        },
+    )
+    .unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+    let w1 = dep.worker_shim(app, 1);
+    // Everything the box emits is delayed far beyond the master's 600 ms
+    // effective threshold.
+    ctl.delay(dep.boxes()[0].addr(), Duration::from_secs(30));
+
+    let pending = master.register_request(1, 2);
+    w0.send_partial(1, Bytes::from_static(b"2")).unwrap();
+    w1.send_partial(1, Bytes::from_static(b"3")).unwrap();
+    let result = pending.wait(Duration::from_secs(10)).unwrap();
+    assert_eq!(parse(&result.combined), 5);
+    assert_eq!(
+        result.master_inputs, 2,
+        "both partials should arrive via the bypass"
+    );
+    assert!(w0.stats().redirects.load(Relaxed) >= 1);
+    ctl.clear_delay(dep.boxes()[0].addr());
+    dep.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "Keyed")]
+fn send_chunk_rejects_keyed_selection() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(1, 0);
+    let mut dep = NetAggDeployment::launch_with(
+        transport,
+        &cluster,
+        DeploymentConfig {
+            selection: TreeSelection::Keyed,
+            ..DeploymentConfig::default()
+        },
+    )
+    .unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let w0 = dep.worker_shim(app, 0);
+    let _ = w0.send_chunk(1, Bytes::from_static(b"1"), true);
+}
+
+#[test]
+fn broadcast_flood_never_blocks_the_master() {
+    // Workers that do not consume broadcasts must not stall the sender:
+    // the shim drops past its 256-message buffer instead of blocking.
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(1, 0);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let w0 = dep.worker_shim(app, 0);
+    std::thread::sleep(Duration::from_millis(50));
+
+    for req in 0..400u64 {
+        master.broadcast(req, Bytes::from_static(b"tick")).unwrap();
+    }
+    // The earliest broadcasts are deliverable; the overflow was dropped.
+    let (first, payload) = w0.recv_broadcast(Duration::from_secs(5)).unwrap();
+    assert_eq!(first, 0);
+    assert_eq!(payload.as_ref(), b"tick");
+    let mut delivered = 1;
+    while w0.recv_broadcast(Duration::from_millis(50)).is_ok() {
+        delivered += 1;
+    }
+    assert!(delivered <= 257, "delivered {delivered} > buffer capacity");
+    assert!(delivered >= 200, "delivered {delivered}, expected ~256");
+    dep.shutdown();
+}
+
+#[test]
+fn wait_after_shutdown_reports_shutdown() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::single_rack(2, 0);
+    let specs = build_tree_specs(&cluster);
+    let master = MasterShim::start(
+        transport,
+        netagg_core::protocol::AppId(0),
+        sum_agg(),
+        &specs,
+        MasterShimConfig::default(),
+    )
+    .unwrap();
+    let pending = master.register_request(1, 2);
+    master.shutdown();
+    assert!(matches!(
+        pending.wait(Duration::from_secs(1)),
+        Err(AggError::Shutdown)
+    ));
+}

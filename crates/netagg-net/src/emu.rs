@@ -1,0 +1,498 @@
+//! Emulated network: a transport whose endpoints have finite ingress and
+//! egress link capacities.
+//!
+//! This reproduces the paper's testbed on one machine: servers get 1 Gbps
+//! links, agg boxes 10 Gbps. A `bandwidth_scale` factor shrinks all rates
+//! uniformly so experiments preserve every capacity *ratio* while running
+//! quickly on CI hardware.
+
+use crate::channel::ChannelTransport;
+use crate::ratelimit::TokenBucket;
+use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Shared epoch for in-flight latency timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[derive(Clone)]
+struct Nic {
+    egress: Arc<TokenBucket>,
+    ingress: Arc<TokenBucket>,
+}
+
+/// Builder for [`EmuNet`].
+pub struct EmuNetBuilder {
+    endpoints: HashMap<NodeId, (f64, f64)>,
+    scale: f64,
+    latency: Duration,
+}
+
+impl Default for EmuNetBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmuNetBuilder {
+    /// Start an empty builder at scale 1.0.
+    pub fn new() -> Self {
+        Self {
+            endpoints: HashMap::new(),
+            scale: 1.0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// One-way propagation latency added to every message (in addition to
+    /// serialisation through the token buckets). Zero by default.
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Scale every configured rate by `s` (e.g. `1e-2` to emulate a 1 Gbps
+    /// link as 10 Mbps). Ratios between endpoints are preserved.
+    pub fn bandwidth_scale(mut self, s: f64) -> Self {
+        assert!(s > 0.0);
+        self.scale = s;
+        self
+    }
+
+    /// Add an endpoint with symmetric link capacity in bytes/s.
+    pub fn endpoint(mut self, node: NodeId, rate: f64) -> Self {
+        self.endpoints.insert(node, (rate, rate));
+        self
+    }
+
+    /// Add an endpoint with distinct egress/ingress capacities in bytes/s.
+    pub fn endpoint_asym(mut self, node: NodeId, egress: f64, ingress: f64) -> Self {
+        self.endpoints.insert(node, (egress, ingress));
+        self
+    }
+
+    /// Materialise the emulated network.
+    /// Materialise the emulated network over the in-process transport.
+    pub fn build(self) -> EmuNet {
+        self.build_over(Arc::new(ChannelTransport::new()))
+    }
+
+    /// Materialise the emulated network over any inner transport (e.g.
+    /// real TCP loopback sockets with emulated link capacities on top).
+    pub fn build_over(self, inner: Arc<dyn Transport>) -> EmuNet {
+        let nics = self
+            .endpoints
+            .into_iter()
+            .map(|(node, (eg, ing))| {
+                (
+                    node,
+                    Nic {
+                        egress: Arc::new(TokenBucket::for_link(eg * self.scale)),
+                        ingress: Arc::new(TokenBucket::for_link(ing * self.scale)),
+                    },
+                )
+            })
+            .collect();
+        EmuNet {
+            inner,
+            nics: Arc::new(RwLock::new(nics)),
+            latency: self.latency,
+        }
+    }
+}
+
+/// A transport with emulated per-endpoint link capacities. Cheap to clone.
+#[derive(Clone)]
+pub struct EmuNet {
+    inner: Arc<dyn Transport>,
+    nics: Arc<RwLock<HashMap<NodeId, Nic>>>,
+    latency: Duration,
+}
+
+impl EmuNet {
+    /// Builder for a new emulated network.
+    pub fn builder() -> EmuNetBuilder {
+        EmuNetBuilder::new()
+    }
+
+    /// Make `node` share the NIC (both token buckets) of `existing`,
+    /// modelling several logical listeners on one physical server.
+    pub fn alias(&self, node: NodeId, existing: NodeId) -> Result<(), NetError> {
+        let nic = self.nic(existing)?;
+        self.nics.write().insert(node, nic);
+        Ok(())
+    }
+
+    /// Register or replace an endpoint after construction.
+    pub fn add_endpoint(&self, node: NodeId, egress: f64, ingress: f64) {
+        self.nics.write().insert(
+            node,
+            Nic {
+                egress: Arc::new(TokenBucket::for_link(egress)),
+                ingress: Arc::new(TokenBucket::for_link(ingress)),
+            },
+        );
+    }
+
+    fn nic(&self, node: NodeId) -> Result<Nic, NetError> {
+        self.nics
+            .read()
+            .get(&node)
+            .cloned()
+            .ok_or(NetError::NotFound(node))
+    }
+}
+
+impl Transport for EmuNet {
+    fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError> {
+        self.nic(local)?; // endpoints must be declared
+        let inner = self.inner.bind(local)?;
+        Ok(Box::new(EmuListener {
+            inner,
+            net: self.clone(),
+            local,
+        }))
+    }
+
+    fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError> {
+        let local_nic = self.nic(local)?;
+        let peer_nic = self.nic(peer)?;
+        let inner = self.inner.connect(local, peer)?;
+        Ok(Box::new(EmuConnection {
+            inner,
+            egress: local_nic.egress,
+            peer_ingress: peer_nic.ingress,
+            latency: self.latency,
+        }))
+    }
+}
+
+struct EmuListener {
+    inner: Box<dyn Listener>,
+    net: EmuNet,
+    local: NodeId,
+}
+
+impl EmuListener {
+    fn wrap(&self, conn: Box<dyn Connection>) -> Result<Box<dyn Connection>, NetError> {
+        let peer = conn.peer();
+        let peer_nic = self.net.nic(peer)?;
+        let local_nic = self.net.nic(self.local)?;
+        Ok(Box::new(EmuConnection {
+            inner: conn,
+            egress: local_nic.egress,
+            peer_ingress: peer_nic.ingress,
+            latency: self.net.latency,
+        }))
+    }
+}
+
+impl Listener for EmuListener {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept()?;
+        self.wrap(c)
+    }
+
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept_timeout(timeout)?;
+        self.wrap(c)
+    }
+}
+
+struct EmuConnection {
+    inner: Box<dyn Connection>,
+    egress: Arc<TokenBucket>,
+    peer_ingress: Arc<TokenBucket>,
+    latency: Duration,
+}
+
+impl EmuConnection {
+    /// With latency enabled, payloads carry an 8-byte departure timestamp
+    /// (nanos since the shared epoch); the receiver sleeps out the
+    /// remaining propagation time without throttling the sender.
+    fn unwrap_latency(&self, mut b: Bytes) -> Bytes {
+        if self.latency.is_zero() || b.len() < 8 {
+            return b;
+        }
+        let sent_nanos = b.get_u64();
+        let deliver_at = epoch() + Duration::from_nanos(sent_nanos) + self.latency;
+        let now = Instant::now();
+        if deliver_at > now {
+            std::thread::sleep(deliver_at - now);
+        }
+        b
+    }
+}
+
+impl Connection for EmuConnection {
+    fn send(&mut self, payload: Bytes) -> Result<(), NetError> {
+        // Sending a message serialises it through the local egress link and
+        // the peer's ingress link; both charge before delivery, so
+        // many-to-one senders contend on the receiver's NIC (incast).
+        let n = payload.len() as f64;
+        self.egress.acquire(n);
+        self.peer_ingress.acquire(n);
+        if self.latency.is_zero() {
+            return self.inner.send(payload);
+        }
+        let mut framed = BytesMut::with_capacity(payload.len() + 8);
+        framed.put_u64(epoch().elapsed().as_nanos() as u64);
+        framed.extend_from_slice(&payload);
+        self.inner.send(framed.freeze())
+    }
+
+    fn recv(&mut self) -> Result<Bytes, NetError> {
+        let b = self.inner.recv()?;
+        Ok(self.unwrap_latency(b))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
+        let b = self.inner.recv_timeout(timeout)?;
+        Ok(self.unwrap_latency(b))
+    }
+
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Instant;
+
+    /// 1 "Gbps" scaled down for test speed: 1 MB/s.
+    const EDGE: f64 = 125e6;
+    const SCALE: f64 = 1e-2; // -> 1.25 MB/s
+
+    fn two_node_net() -> EmuNet {
+        EmuNet::builder()
+            .bandwidth_scale(SCALE)
+            .endpoint(1, EDGE)
+            .endpoint(2, EDGE)
+            .endpoint(3, EDGE * 10.0) // "10 Gbps" box
+            .build()
+    }
+
+    #[test]
+    fn transfer_takes_link_serialisation_time() {
+        let net = two_node_net();
+        let mut l = net.bind(1).unwrap();
+        let h = thread::spawn({
+            let net = net.clone();
+            move || {
+                let mut c = net.connect(2, 1).unwrap();
+                let t0 = Instant::now();
+                let chunk = Bytes::from(vec![0u8; 64 * 1024]);
+                // 1 MB total over a 1.25 MB/s link: ~0.8 s.
+                for _ in 0..16 {
+                    c.send(chunk.clone()).unwrap();
+                }
+                t0.elapsed()
+            }
+        });
+        let mut server = l.accept().unwrap();
+        for _ in 0..16 {
+            server.recv().unwrap();
+        }
+        let elapsed = h.join().unwrap();
+        assert!(
+            elapsed.as_secs_f64() > 0.4,
+            "1 MB over an emulated 1.25 MB/s link took only {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn fast_endpoint_is_not_limited_by_its_own_nic() {
+        // Node 3 has 10x the capacity: sending to it is limited by the
+        // sender's egress only, so two senders together get ~2x throughput.
+        let net = two_node_net();
+        let mut l = net.bind(3).unwrap();
+        let senders: Vec<_> = [1u32, 2u32]
+            .into_iter()
+            .map(|id| {
+                let net = net.clone();
+                thread::spawn(move || {
+                    let mut c = net.connect(id, 3).unwrap();
+                    let chunk = Bytes::from(vec![0u8; 64 * 1024]);
+                    let t0 = Instant::now();
+                    for _ in 0..8 {
+                        c.send(chunk.clone()).unwrap();
+                    }
+                    t0.elapsed()
+                })
+            })
+            .collect();
+        let mut conns = Vec::new();
+        for _ in 0..2 {
+            conns.push(l.accept().unwrap());
+        }
+        let mut handles = Vec::new();
+        for mut c in conns {
+            handles.push(thread::spawn(move || {
+                for _ in 0..8 {
+                    c.recv().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for s in senders {
+            let elapsed = s.join().unwrap().as_secs_f64();
+            // 512 KB over 1.25 MB/s ~ 0.41 s; allow slack but require that
+            // the two senders ran in parallel (not serialised to ~0.8 s).
+            assert!(elapsed < 0.75, "sender took {elapsed}s: not parallel");
+        }
+    }
+
+    #[test]
+    fn incast_contends_on_receiver_ingress() {
+        // Two 10x-fast senders into one slow receiver: aggregate limited by
+        // the receiver's ingress.
+        let net = EmuNet::builder()
+            .bandwidth_scale(SCALE)
+            .endpoint(1, EDGE * 10.0)
+            .endpoint(2, EDGE * 10.0)
+            .endpoint(9, EDGE)
+            .build();
+        let mut l = net.bind(9).unwrap();
+        let t0 = Instant::now();
+        let senders: Vec<_> = [1u32, 2]
+            .into_iter()
+            .map(|id| {
+                let net = net.clone();
+                thread::spawn(move || {
+                    let mut c = net.connect(id, 9).unwrap();
+                    let chunk = Bytes::from(vec![0u8; 64 * 1024]);
+                    for _ in 0..8 {
+                        c.send(chunk.clone()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut conns = Vec::new();
+        for _ in 0..2 {
+            conns.push(l.accept().unwrap());
+        }
+        let mut handles = Vec::new();
+        for mut c in conns {
+            handles.push(thread::spawn(move || {
+                for _ in 0..8 {
+                    c.recv().unwrap();
+                }
+            }));
+        }
+        for h in senders.into_iter().chain(handles) {
+            h.join().unwrap();
+        }
+        // 1 MB total into a 1.25 MB/s ingress: >= ~0.6 s.
+        assert!(t0.elapsed().as_secs_f64() > 0.5, "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn aliased_endpoints_share_the_nic() {
+        let net = two_node_net();
+        net.alias(100, 1).unwrap();
+        let mut l = net.bind(100).unwrap();
+        let h = thread::spawn({
+            let net = net.clone();
+            move || {
+                let mut c = net.connect(2, 100).unwrap();
+                let t0 = Instant::now();
+                let chunk = Bytes::from(vec![0u8; 64 * 1024]);
+                for _ in 0..8 {
+                    c.send(chunk.clone()).unwrap();
+                }
+                t0.elapsed()
+            }
+        });
+        let mut server = l.accept().unwrap();
+        for _ in 0..8 {
+            server.recv().unwrap();
+        }
+        // 512 KB over endpoint 1's shared 1.25 MB/s ingress: not instant.
+        assert!(h.join().unwrap().as_secs_f64() > 0.2);
+        assert!(net.alias(101, 999).is_err());
+    }
+
+    #[test]
+    fn emulation_composes_over_tcp() {
+        // Emulated 1.25 MB/s links over REAL loopback sockets.
+        let tcp: Arc<dyn Transport> = Arc::new(crate::tcp::TcpTransport::new());
+        let net = EmuNet::builder()
+            .bandwidth_scale(SCALE)
+            .endpoint(1, EDGE)
+            .endpoint(2, EDGE)
+            .build_over(tcp);
+        let mut l = net.bind(1).unwrap();
+        let h = thread::spawn({
+            let net = net.clone();
+            move || {
+                let mut c = net.connect(2, 1).unwrap();
+                let t0 = Instant::now();
+                let chunk = Bytes::from(vec![0u8; 64 * 1024]);
+                for _ in 0..8 {
+                    c.send(chunk.clone()).unwrap();
+                }
+                t0.elapsed()
+            }
+        });
+        let mut server = l.accept().unwrap();
+        for _ in 0..8 {
+            assert_eq!(server.recv().unwrap().len(), 64 * 1024);
+        }
+        // 512 KB over 1.25 MB/s: rate limiting applies on top of TCP.
+        assert!(h.join().unwrap().as_secs_f64() > 0.25);
+    }
+
+    #[test]
+    fn latency_adds_one_way_delay_without_throttling() {
+        let net = EmuNet::builder()
+            .bandwidth_scale(1.0) // fast links: isolate propagation delay
+            .latency(Duration::from_millis(25))
+            .endpoint(1, EDGE)
+            .endpoint(2, EDGE)
+            .build();
+        let mut l = net.bind(1).unwrap();
+        let h = thread::spawn({
+            let net = net.clone();
+            move || {
+                let mut c = net.connect(2, 1).unwrap();
+                // Two back-to-back sends: latency is per-message pipeline
+                // delay, not per-message serialisation.
+                let t0 = Instant::now();
+                c.send(Bytes::from_static(b"a")).unwrap();
+                c.send(Bytes::from_static(b"b")).unwrap();
+                assert!(t0.elapsed() < Duration::from_millis(20), "send not throttled");
+                c.recv().unwrap();
+            }
+        });
+        let mut server = l.accept().unwrap();
+        let t0 = Instant::now();
+        server.recv().unwrap();
+        let first = t0.elapsed();
+        assert!(first >= Duration::from_millis(20), "one-way delay applied: {first:?}");
+        // The second message was in flight concurrently: it arrives
+        // almost immediately after the first.
+        let t1 = Instant::now();
+        server.recv().unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(20), "pipelined delivery");
+        server.send(Bytes::from_static(b"ok")).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn undeclared_endpoint_is_rejected() {
+        let net = two_node_net();
+        assert!(matches!(net.bind(42), Err(NetError::NotFound(42))));
+        assert!(net.connect(1, 42).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Fault injection: kill endpoints and delay messages.
+//!
+//! Wraps any [`Transport`]. Killing a node makes every connection touching
+//! it fail with [`NetError::Injected`], which is how the failure-recovery
+//! experiments simulate an agg-box crash; per-node delays simulate
+//! stragglers.
+
+use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared controller used to inject faults at runtime.
+#[derive(Clone, Default)]
+pub struct FaultController {
+    dead: Arc<RwLock<HashSet<NodeId>>>,
+    delay: Arc<RwLock<HashMap<NodeId, Duration>>>,
+}
+
+impl FaultController {
+    /// Create a controller with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kill a node: all of its present and future traffic fails.
+    pub fn kill(&self, node: NodeId) {
+        self.dead.write().insert(node);
+    }
+
+    /// Revive a previously killed node (new connections succeed again).
+    pub fn revive(&self, node: NodeId) {
+        self.dead.write().remove(&node);
+    }
+
+    /// Whether `node` is currently killed.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.read().contains(&node)
+    }
+
+    /// Add a fixed per-message send delay for a node (straggler injection).
+    pub fn delay(&self, node: NodeId, d: Duration) {
+        self.delay.write().insert(node, d);
+    }
+
+    /// Remove a node's send delay.
+    pub fn clear_delay(&self, node: NodeId) {
+        self.delay.write().remove(&node);
+    }
+
+    fn delay_of(&self, node: NodeId) -> Option<Duration> {
+        self.delay.read().get(&node).copied()
+    }
+}
+
+/// A transport wrapper that consults a [`FaultController`].
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    ctl: FaultController,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// Wrap `inner` so it consults `ctl` on every operation.
+    pub fn new(inner: T, ctl: FaultController) -> Self {
+        Self { inner, ctl }
+    }
+
+    /// Handle for injecting faults at runtime.
+    pub fn controller(&self) -> FaultController {
+        self.ctl.clone()
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError> {
+        if self.ctl.is_dead(local) {
+            return Err(NetError::Injected("bind on dead node"));
+        }
+        let inner = self.inner.bind(local)?;
+        Ok(Box::new(FaultListener {
+            inner,
+            local,
+            ctl: self.ctl.clone(),
+        }))
+    }
+
+    fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError> {
+        if self.ctl.is_dead(local) || self.ctl.is_dead(peer) {
+            return Err(NetError::Injected("connect to/from dead node"));
+        }
+        let inner = self.inner.connect(local, peer)?;
+        Ok(Box::new(FaultConnection {
+            inner,
+            local,
+            ctl: self.ctl.clone(),
+        }))
+    }
+}
+
+struct FaultListener {
+    inner: Box<dyn Listener>,
+    local: NodeId,
+    ctl: FaultController,
+}
+
+impl FaultListener {
+    fn wrap(&self, c: Box<dyn Connection>) -> Result<Box<dyn Connection>, NetError> {
+        if self.ctl.is_dead(self.local) {
+            return Err(NetError::Injected("accept on dead node"));
+        }
+        Ok(Box::new(FaultConnection {
+            inner: c,
+            local: self.local,
+            ctl: self.ctl.clone(),
+        }))
+    }
+}
+
+impl Listener for FaultListener {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept()?;
+        self.wrap(c)
+    }
+
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept_timeout(timeout)?;
+        self.wrap(c)
+    }
+}
+
+struct FaultConnection {
+    inner: Box<dyn Connection>,
+    local: NodeId,
+    ctl: FaultController,
+}
+
+impl FaultConnection {
+    fn check(&self) -> Result<(), NetError> {
+        if self.ctl.is_dead(self.local) || self.ctl.is_dead(self.inner.peer()) {
+            Err(NetError::Injected("endpoint dead"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Connection for FaultConnection {
+    fn send(&mut self, payload: Bytes) -> Result<(), NetError> {
+        self.check()?;
+        if let Some(d) = self.ctl.delay_of(self.local) {
+            std::thread::sleep(d);
+        }
+        self.inner.send(payload)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, NetError> {
+        // Poll so a node killed mid-recv unblocks promptly.
+        loop {
+            self.check()?;
+            match self.inner.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
+        self.check()?;
+        let r = self.inner.recv_timeout(timeout);
+        self.check()?;
+        r
+    }
+
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelTransport;
+    use std::thread;
+
+    fn setup() -> (FaultTransport<ChannelTransport>, FaultController) {
+        let ctl = FaultController::new();
+        let t = FaultTransport::new(ChannelTransport::new(), ctl.clone());
+        (t, ctl)
+    }
+
+    #[test]
+    fn kill_blocks_new_connections() {
+        let (t, ctl) = setup();
+        let _l = t.bind(1).unwrap();
+        ctl.kill(1);
+        assert!(matches!(t.connect(2, 1), Err(NetError::Injected(_))));
+        ctl.revive(1);
+        assert!(t.connect(2, 1).is_ok());
+    }
+
+    #[test]
+    fn kill_fails_existing_connections() {
+        let (t, ctl) = setup();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let mut server = l.accept().unwrap();
+        c.send(Bytes::from_static(b"ok")).unwrap();
+        server.recv().unwrap();
+        ctl.kill(1);
+        assert!(matches!(c.send(Bytes::from_static(b"x")), Err(NetError::Injected(_))));
+    }
+
+    #[test]
+    fn kill_unblocks_pending_recv() {
+        let (t, ctl) = setup();
+        let mut l = t.bind(1).unwrap();
+        let _c = t.connect(2, 1).unwrap();
+        let mut server = l.accept().unwrap();
+        let h = thread::spawn(move || server.recv());
+        thread::sleep(Duration::from_millis(30));
+        ctl.kill(2);
+        let r = h.join().unwrap();
+        assert!(matches!(r, Err(NetError::Injected(_))), "{r:?}");
+    }
+
+    #[test]
+    fn delay_slows_sends() {
+        let (t, ctl) = setup();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let _server = l.accept().unwrap();
+        ctl.delay(2, Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        c.send(Bytes::from_static(b"slow")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        ctl.clear_delay(2);
+        let t1 = std::time::Instant::now();
+        c.send(Bytes::from_static(b"fast")).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(20));
+    }
+}

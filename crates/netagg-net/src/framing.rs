@@ -1,0 +1,137 @@
+//! Length-prefixed binary framing.
+//!
+//! Frames are `u32` big-endian length followed by the payload. The decoder
+//! is an incremental state machine: feed it arbitrary byte chunks, pull
+//! complete frames out. This is the role KryoNet's framing plays in the
+//! paper's Java prototype.
+
+use crate::transport::NetError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum payload size of one frame (64 MiB). Larger application payloads
+/// must be chunked (the shim layers chunk partial results anyway).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Append one frame (length prefix + payload) to `dst`.
+pub fn encode_frame(payload: &[u8], dst: &mut BytesMut) -> Result<(), NetError> {
+    if payload.len() > MAX_FRAME {
+        return Err(NetError::FrameTooLarge(payload.len()));
+    }
+    dst.reserve(4 + payload.len());
+    dst.put_u32(payload.len() as u32);
+    dst.put_slice(payload);
+    Ok(())
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes received from the wire.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, if any.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(NetError::FrameTooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut buf = BytesMut::new();
+        encode_frame(b"hello", &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn handles_fragmented_input() {
+        let mut buf = BytesMut::new();
+        encode_frame(b"fragmented-payload", &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        // Feed one byte at a time.
+        for b in buf.iter() {
+            dec.feed(&[*b]);
+        }
+        assert_eq!(
+            dec.next_frame().unwrap().unwrap().as_ref(),
+            b"fragmented-payload"
+        );
+    }
+
+    #[test]
+    fn handles_coalesced_frames() {
+        let mut buf = BytesMut::new();
+        for i in 0..10u8 {
+            encode_frame(&[i; 3], &mut buf).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        for i in 0..10u8 {
+            assert_eq!(dec.next_frame().unwrap().unwrap().as_ref(), &[i; 3]);
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let mut buf = BytesMut::new();
+        encode_frame(b"", &mut buf).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert_eq!(dec.next_frame().unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_on_encode() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut buf = BytesMut::new();
+        assert!(matches!(
+            encode_frame(&huge, &mut buf),
+            Err(NetError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_on_decode() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(NetError::FrameTooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Network substrate for the NetAgg testbed experiments.
+//!
+//! The paper's prototype runs on a 31-server testbed with 1 Gbps edge links
+//! and 10 Gbps agg-box links. This crate reproduces that substrate on one
+//! machine:
+//!
+//! * [`transport`] — blocking, message-oriented [`Transport`] /
+//!   [`Connection`] traits with logical node addresses.
+//! * [`channel`] — in-process transport over bounded crossbeam channels
+//!   (the bound provides natural back-pressure, mirroring the paper's
+//!   back-pressure mechanism).
+//! * [`tcp`] — real TCP-loopback transport with length-prefixed framing.
+//! * [`framing`] — the length-prefixed binary frame codec (the role KryoNet
+//!   plays in the paper's Java prototype).
+//! * [`ratelimit`] — token-bucket rate limiting used to emulate link
+//!   capacities (1 Gbps edge vs 10 Gbps box links).
+//! * [`emu`] — [`emu::EmuNet`]: a transport whose endpoints have emulated
+//!   ingress/egress link capacities.
+//! * [`fault`] — fault injection (killing endpoints, delaying messages) for
+//!   failure-recovery and straggler experiments.
+//! * [`wire`] — small binary (de)serialisation helpers over [`bytes`].
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod emu;
+pub mod fault;
+pub mod framing;
+pub mod ratelimit;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use channel::ChannelTransport;
+pub use emu::{EmuNet, EmuNetBuilder};
+pub use fault::{FaultController, FaultTransport};
+pub use framing::{encode_frame, FrameDecoder, MAX_FRAME};
+pub use ratelimit::TokenBucket;
+pub use tcp::TcpTransport;
+pub use transport::{Connection, Listener, NetError, NodeId, Transport};

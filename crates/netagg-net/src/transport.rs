@@ -1,0 +1,109 @@
+//! Transport abstraction: blocking, message-oriented connections between
+//! logical nodes.
+//!
+//! All higher layers (agg boxes, shim layers, the applications) are written
+//! against these traits, so the same deployment runs unchanged over the
+//! in-process channel transport, the rate-limited emulated network, or real
+//! TCP loopback sockets.
+
+use bytes::Bytes;
+use std::fmt;
+use std::time::Duration;
+
+/// Logical address of a node (server, agg box, client).
+pub type NodeId = u32;
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer closed the connection or is gone.
+    Closed,
+    /// A timed receive elapsed without a message.
+    Timeout,
+    /// No node is bound at the address.
+    NotFound(NodeId),
+    /// The address is already bound.
+    AlreadyBound(NodeId),
+    /// Underlying I/O error (TCP transport).
+    Io(String),
+    /// A frame exceeded [`crate::framing::MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Malformed bytes on the wire.
+    Corrupt(String),
+    /// A fault injector rejected the operation.
+    Injected(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::NotFound(n) => write!(f, "no node bound at address {n}"),
+            NetError::AlreadyBound(n) => write!(f, "address {n} already bound"),
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            NetError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            NetError::Injected(what) => write!(f, "injected fault: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => NetError::Closed,
+            _ => NetError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A bidirectional, message-oriented connection. `send` may block for
+/// back-pressure or rate limiting; `recv` blocks until a message arrives or
+/// the peer closes.
+pub trait Connection: Send {
+    /// Send one message (may block for back-pressure or rate limiting).
+    fn send(&mut self, payload: Bytes) -> Result<(), NetError>;
+    /// Receive the next message, blocking until one arrives.
+    fn recv(&mut self) -> Result<Bytes, NetError>;
+    /// Receive with a deadline; [`NetError::Timeout`] when it elapses.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError>;
+    /// Address of the remote end.
+    fn peer(&self) -> NodeId;
+}
+
+/// Accepts inbound connections at a bound address.
+pub trait Listener: Send {
+    /// Accept the next inbound connection, blocking until one arrives.
+    fn accept(&mut self) -> Result<Box<dyn Connection>, NetError>;
+    /// Accept with a deadline; [`NetError::Timeout`] when it elapses.
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError>;
+}
+
+/// A factory for listeners and outbound connections.
+pub trait Transport: Send + Sync {
+    /// Bind a listener at `local`. Each address may be bound once.
+    fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError>;
+    /// Open a connection from `local` to `peer` (which must be bound).
+    fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(NetError::NotFound(7).to_string().contains('7'));
+        assert!(NetError::FrameTooLarge(99).to_string().contains("99"));
+        let io = std::io::Error::new(std::io::ErrorKind::TimedOut, "x");
+        assert_eq!(NetError::from(io), NetError::Timeout);
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "x");
+        assert_eq!(NetError::from(eof), NetError::Closed);
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal binary (de)serialisation helpers over [`bytes`].
+//!
+//! The NetAgg protocol and the application serialisers (the role Hadoop's
+//! `SequenceFile` and Solr's binary codec play in the paper) are built from
+//! these primitives: fixed-width integers, length-prefixed byte strings and
+//! UTF-8 strings, all big-endian.
+
+use crate::transport::NetError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(dst: &mut BytesMut, b: &[u8]) {
+    dst.put_u32(b.len() as u32);
+    dst.put_slice(b);
+}
+
+/// Read a length-prefixed byte string, validating against the remainder.
+pub fn get_bytes(src: &mut Bytes) -> Result<Bytes, NetError> {
+    if src.remaining() < 4 {
+        return Err(NetError::Corrupt("missing length".into()));
+    }
+    let len = src.get_u32() as usize;
+    if src.remaining() < len {
+        return Err(NetError::Corrupt(format!(
+            "length {len} exceeds remaining {}",
+            src.remaining()
+        )));
+    }
+    Ok(src.split_to(len))
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(dst: &mut BytesMut, s: &str) {
+    put_bytes(dst, s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(src: &mut Bytes) -> Result<String, NetError> {
+    let b = get_bytes(src)?;
+    String::from_utf8(b.to_vec()).map_err(|e| NetError::Corrupt(format!("bad utf8: {e}")))
+}
+
+/// Read one byte.
+pub fn get_u8(src: &mut Bytes) -> Result<u8, NetError> {
+    if src.remaining() < 1 {
+        return Err(NetError::Corrupt("missing u8".into()));
+    }
+    Ok(src.get_u8())
+}
+
+/// Read a big-endian `u32`.
+pub fn get_u32(src: &mut Bytes) -> Result<u32, NetError> {
+    if src.remaining() < 4 {
+        return Err(NetError::Corrupt("missing u32".into()));
+    }
+    Ok(src.get_u32())
+}
+
+/// Read a big-endian `u64`.
+pub fn get_u64(src: &mut Bytes) -> Result<u64, NetError> {
+    if src.remaining() < 8 {
+        return Err(NetError::Corrupt("missing u64".into()));
+    }
+    Ok(src.get_u64())
+}
+
+/// Read a big-endian `f64`.
+pub fn get_f64(src: &mut Bytes) -> Result<f64, NetError> {
+    if src.remaining() < 8 {
+        return Err(NetError::Corrupt("missing f64".into()));
+    }
+    Ok(src.get_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, b"abc");
+        put_bytes(&mut buf, b"");
+        put_str(&mut buf, "héllo");
+        buf.put_u64(42);
+        let mut src = buf.freeze();
+        assert_eq!(get_bytes(&mut src).unwrap().as_ref(), b"abc");
+        assert_eq!(get_bytes(&mut src).unwrap().len(), 0);
+        assert_eq!(get_str(&mut src).unwrap(), "héllo");
+        assert_eq!(get_u64(&mut src).unwrap(), 42);
+        assert!(src.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut src = Bytes::from_static(&[0, 0, 0, 10, 1, 2]);
+        assert!(get_bytes(&mut src).is_err());
+        let mut empty = Bytes::new();
+        assert!(get_u32(&mut empty).is_err());
+        assert!(get_u64(&mut Bytes::new()).is_err());
+        assert!(get_f64(&mut Bytes::new()).is_err());
+        assert!(get_u8(&mut Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut buf = BytesMut::new();
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut src = buf.freeze();
+        assert!(get_str(&mut src).is_err());
+    }
+}

@@ -1,0 +1,686 @@
+//! Expansion of a workload into flow (segment) trees under an aggregation
+//! strategy.
+//!
+//! The strategies are the ones the paper evaluates (Section 2.2 / 4.1):
+//!
+//! * [`Strategy::Direct`] — no aggregation, every worker sends its partial
+//!   result straight to the master.
+//! * [`Strategy::RackLevel`] — one worker per rack collects the rack's
+//!   partial results, aggregates and sends the reduced output to the master.
+//! * [`Strategy::DAry`] — a d-ary aggregation tree of *edge servers*
+//!   (`d = 1` is the paper's "chain", `d = 2` its "binary").
+//! * [`Strategy::NetAgg`] — on-path aggregation at agg boxes attached to the
+//!   switches along each worker's ECMP route to the master.
+//!
+//! Reduction semantics: `alpha` is the paper's *output ratio* — the ratio
+//! of the final output to the intermediate data (from the production
+//! traces the paper cites). The aggregation functions the paper motivates
+//! (top-k, max, bounded key sets) have outputs bounded by the final result
+//! size at *every* level of the tree, so a node merging two or more inputs
+//! outputs `min(bytes_received, alpha x request_total_raw)`: reduction
+//! happens at each hop down to the final size, and never below what was
+//! received. Single-input "aggregation" is forwarding. This model
+//! reproduces the paper's per-hop claims simultaneously: a chain's hops
+//! carry the clamp (growing link usage, Fig. 9, and the alpha crossover of
+//! Fig. 8), while NetAgg's upper-tier boxes genuinely relieve the
+//! over-subscribed core (Figs. 11/12).
+
+use crate::deployment::BoxPlacement;
+use crate::flow::{BoxId, FlowSpec, Resource, SegmentKind};
+use crate::routing::{self, mix};
+use crate::topology::{NodeId, Topology};
+use crate::workload::{Request, Workload};
+use crate::ExperimentConfig;
+use std::collections::HashMap;
+
+/// How NetAgg picks the ECMP hash that determines a request's aggregation
+/// tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreePolicy {
+    /// Hash per request id (the paper's design: multiple trees per
+    /// application, load-balanced by request/key hashing).
+    PerRequest,
+    /// A single tree shared by all requests (ablation: loses path
+    /// diversity).
+    Single,
+}
+
+/// Aggregation strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No aggregation: workers send partial results straight to the master.
+    Direct,
+    /// One designated aggregator server per rack (Section 2.2).
+    RackLevel,
+    /// d-ary edge-server tree; `DAry(1)` = chain, `DAry(2)` = binary.
+    DAry(u32),
+    /// On-path aggregation at agg boxes (the paper's system).
+    NetAgg,
+    /// NetAgg with an explicit tree policy (ablation).
+    NetAggWith(TreePolicy),
+}
+
+impl Strategy {
+    /// Short label used in harness tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Direct => "direct",
+            Strategy::RackLevel => "rack",
+            Strategy::DAry(1) => "chain",
+            Strategy::DAry(2) => "binary",
+            Strategy::DAry(_) => "d-ary",
+            Strategy::NetAgg => "netagg",
+            Strategy::NetAggWith(_) => "netagg-ablate",
+        }
+    }
+}
+
+/// Output size of an aggregation point that received `bytes_in` over
+/// `n_inputs` inputs, within a request whose raw partials total
+/// `total_raw`. Merging at least two inputs reduces towards the final
+/// result size `alpha x total_raw`; a single input passes through.
+fn reduce(bytes_in: f64, n_inputs: usize, alpha: f64, total_raw: f64) -> f64 {
+    if n_inputs >= 2 {
+        bytes_in.min(alpha * total_raw)
+    } else {
+        bytes_in
+    }
+}
+
+/// Expand the whole workload into engine flows.
+pub fn expand(
+    topo: &Topology,
+    placement: &BoxPlacement,
+    workload: &Workload,
+    cfg: &ExperimentConfig,
+) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for (i, b) in workload.background.iter().enumerate() {
+        let route = routing::server_route(topo, b.src, b.dst, mix(0xbac0 ^ i as u64));
+        flows.push(FlowSpec::background(b.size, route.links.clone(), b.start));
+    }
+    let alpha = cfg.workload.alpha;
+    for req in &workload.requests {
+        match cfg.strategy {
+            Strategy::Direct => expand_direct(topo, req, &mut flows),
+            Strategy::RackLevel => expand_rack(topo, req, alpha, &mut flows),
+            Strategy::DAry(d) => expand_dary(topo, req, alpha, d.max(1), &mut flows),
+            Strategy::NetAgg => expand_netagg(
+                topo,
+                placement,
+                req,
+                alpha,
+                TreePolicy::PerRequest,
+                &mut flows,
+            ),
+            Strategy::NetAggWith(policy) => {
+                expand_netagg(topo, placement, req, alpha, policy, &mut flows)
+            }
+        }
+    }
+    flows
+}
+
+fn links(route: &routing::Route) -> Vec<Resource> {
+    route.links.iter().copied().map(Resource::Link).collect()
+}
+
+fn expand_direct(topo: &Topology, req: &Request, out: &mut Vec<FlowSpec>) {
+    for ((w, &size), &start) in req.workers.iter().zip(&req.sizes).zip(&req.starts) {
+        let route = routing::server_route(topo, *w, req.master, mix(req.id as u64));
+        out.push(FlowSpec::leaf(
+            size,
+            links(&route),
+            start,
+            SegmentKind::WorkerPartial,
+            req.id,
+        ));
+    }
+}
+
+/// A data source during edge-tree construction: `carried` bytes of (possibly
+/// already reduced) data sitting on `server`, fed by the network flows in
+/// `inbound` plus `local` bytes of the server's own partial result.
+struct Source {
+    server: NodeId,
+    /// Bytes currently held (possibly reduced output of prior merges).
+    carried: f64,
+    inbound: Vec<u32>,
+    local: f64,
+    start: f64,
+}
+
+impl Source {
+    fn worker(req: &Request, idx: usize) -> Self {
+        Self {
+            server: req.workers[idx],
+            carried: req.sizes[idx],
+            inbound: Vec::new(),
+            local: req.sizes[idx],
+            start: req.starts[idx],
+        }
+    }
+
+    /// Emit the network flow that ships this source's carried data to
+    /// `resources`. The flow's children are the network flows that fed the
+    /// data, so the engine's production coupling spans the whole pipeline.
+    ///
+    /// Note: when a source aggregated over several levels on the same
+    /// server, `alpha` here is the *end-to-end* reduction
+    /// (`carried / raw input bytes`), a slightly conservative single-stage
+    /// approximation of the exact multi-stage pipeline.
+    fn ship(&self, out: &mut Vec<FlowSpec>, resources: Vec<Resource>, request: u32) -> u32 {
+        let raw_input: f64 =
+            self.local + self.inbound.iter().map(|&f| out[f as usize].size).sum::<f64>();
+        let id = out.len() as u32;
+        out.push(FlowSpec {
+            size: self.carried,
+            resources,
+            children: self.inbound.clone(),
+            alpha: if raw_input > 0.0 {
+                self.carried / raw_input
+            } else {
+                1.0
+            },
+            local_input: self.local,
+            start: self.start,
+            kind: if self.inbound.is_empty() {
+                SegmentKind::WorkerPartial
+            } else {
+                SegmentKind::AggregatedOutput
+            },
+            request: Some(request),
+        });
+        id
+    }
+}
+
+/// The designated rack aggregator: one fixed server per rack, shared by
+/// every request (Section 2.2: "one server per rack acts as an aggregator
+/// and receives all intermediate data from the workers in the same rack" —
+/// hence the paper's per-worker ceiling of `edge_rate / servers_per_rack`).
+fn rack_aggregator(topo: &Topology, rack: u32) -> NodeId {
+    topo.server(rack * topo.config.servers_per_tor)
+}
+
+fn expand_rack(topo: &Topology, req: &Request, alpha: f64, out: &mut Vec<FlowSpec>) {
+    // Group workers by rack; the rack's designated aggregator server
+    // collects, reduces and forwards to the master.
+    let total_raw: f64 = req.sizes.iter().sum();
+    let mut racks: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, w) in req.workers.iter().enumerate() {
+        racks.entry(topo.rack_of_server(*w)).or_default().push(i);
+    }
+    let mut rack_ids: Vec<u32> = racks.keys().copied().collect();
+    rack_ids.sort_unstable();
+    for rack in rack_ids {
+        let members = &racks[&rack];
+        let agg_server = rack_aggregator(topo, rack);
+        let mut leader = Source {
+            server: agg_server,
+            carried: 0.0,
+            inbound: Vec::new(),
+            local: 0.0,
+            start: f64::INFINITY,
+        };
+        let mut received = 0.0;
+        for &m in members {
+            let sender = Source::worker(req, m);
+            leader.start = leader.start.min(sender.start);
+            received += sender.carried;
+            if sender.server == agg_server {
+                // The aggregator hosts this worker: its partial is local.
+                leader.local += sender.local;
+                continue;
+            }
+            let route = routing::server_route(
+                topo,
+                sender.server,
+                agg_server,
+                mix(req.id as u64 ^ m as u64),
+            );
+            let flow = sender.ship(out, links(&route), req.id);
+            leader.inbound.push(flow);
+        }
+        leader.carried = reduce(received, members.len(), alpha, total_raw);
+        if agg_server == req.master {
+            // Degenerate: the aggregator is the master; data has arrived.
+            continue;
+        }
+        let route = routing::server_route(topo, agg_server, req.master, mix(req.id as u64));
+        leader.ship(out, links(&route), req.id);
+    }
+}
+
+/// d-ary tree of edge servers. `d = 1` folds the workers into a chain
+/// (w1 -> w2 -> ... -> master); `d >= 2` groups `d + 1` sources per level
+/// (a leader receiving from `d` senders) until one source remains.
+fn expand_dary(topo: &Topology, req: &Request, alpha: f64, d: u32, out: &mut Vec<FlowSpec>) {
+    let total_raw: f64 = req.sizes.iter().sum();
+    let mut sources: Vec<Source> = (0..req.workers.len())
+        .map(|i| Source::worker(req, i))
+        .collect();
+
+    if d == 1 {
+        // Chain: fold left. Each hop ships the accumulated data to the next
+        // worker, which merges it with its own partial.
+        let mut iter = sources.into_iter();
+        let mut acc = iter.next().expect("request has workers");
+        for mut next in iter {
+            let route = routing::server_route(
+                topo,
+                acc.server,
+                next.server,
+                mix(req.id as u64 ^ (next.server.0 as u64) << 20),
+            );
+            let acc_carried = acc.carried;
+            let flow = acc.ship(out, links(&route), req.id);
+            next.inbound.push(flow);
+            next.start = next.start.min(acc.start);
+            next.carried = reduce(acc_carried + next.local, 2, alpha, total_raw);
+            acc = next;
+        }
+        let route = routing::server_route(topo, acc.server, req.master, mix(req.id as u64));
+        acc.ship(out, links(&route), req.id);
+        return;
+    }
+
+    let group = d as usize + 1;
+    let mut level = 0u64;
+    while sources.len() > 1 {
+        let mut next_level = Vec::with_capacity(sources.len() / group + 1);
+        while !sources.is_empty() {
+            let take = group.min(sources.len());
+            let mut chunk: Vec<Source> = sources.drain(..take).collect();
+            if chunk.len() == 1 {
+                next_level.push(chunk.pop().unwrap());
+                continue;
+            }
+            let mut leader = chunk.remove(0);
+            let n = chunk.len() + 1;
+            let mut received = leader.carried;
+            for (k, sender) in chunk.into_iter().enumerate() {
+                let route = routing::server_route(
+                    topo,
+                    sender.server,
+                    leader.server,
+                    mix(req.id as u64 ^ (level << 32) ^ k as u64),
+                );
+                received += sender.carried;
+                let flow = sender.ship(out, links(&route), req.id);
+                leader.inbound.push(flow);
+                leader.start = leader.start.min(out[flow as usize].start);
+            }
+            leader.carried = reduce(received, n, alpha, total_raw);
+            next_level.push(leader);
+        }
+        sources = next_level;
+        level += 1;
+    }
+    let acc = sources.pop().expect("one source remains");
+    let route = routing::server_route(topo, acc.server, req.master, mix(req.id as u64));
+    acc.ship(out, links(&route), req.id);
+}
+
+fn expand_netagg(
+    topo: &Topology,
+    placement: &BoxPlacement,
+    req: &Request,
+    alpha: f64,
+    policy: TreePolicy,
+    out: &mut Vec<FlowSpec>,
+) {
+    let hash = match policy {
+        TreePolicy::PerRequest => mix(req.id as u64),
+        TreePolicy::Single => mix(0),
+    };
+    // Per-box aggregation node plus the route context needed to reach the
+    // next hop.
+    struct BoxNode {
+        inbound: Vec<u32>,
+        earliest_start: f64,
+        /// Next box towards the master, with the resources of the hop.
+        next: Option<(BoxId, Vec<Resource>)>,
+        to_master: Vec<Resource>,
+        /// Number of boxes from here to the master (inclusive); larger =
+        /// farther upstream. Constant per box for a fixed tree hash.
+        depth: usize,
+    }
+    let total_raw: f64 = req.sizes.iter().sum();
+    let mut boxes: HashMap<BoxId, BoxNode> = HashMap::new();
+
+    for ((w, &size), &start) in req.workers.iter().zip(&req.sizes).zip(&req.starts) {
+        let route = routing::server_route(topo, *w, req.master, hash);
+        let stops: Vec<(usize, BoxId)> = route
+            .switches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, sw)| placement.box_for(*sw, hash).map(|b| (i, b)))
+            .collect();
+        if stops.is_empty() {
+            out.push(FlowSpec::leaf(
+                size,
+                links(&route),
+                start,
+                SegmentKind::WorkerPartial,
+                req.id,
+            ));
+            continue;
+        }
+        // Worker -> first on-path box.
+        let (first_pos, first_box) = stops[0];
+        let mut res: Vec<Resource> = vec![Resource::Link(route.links[0])];
+        res.extend(
+            route
+                .links_between_switches(0, first_pos)
+                .iter()
+                .map(|l| Resource::Link(*l)),
+        );
+        res.push(Resource::BoxIn(first_box));
+        res.push(Resource::BoxProc(first_box));
+        let id = out.len() as u32;
+        out.push(FlowSpec::leaf(
+            size,
+            res,
+            start,
+            SegmentKind::WorkerPartial,
+            req.id,
+        ));
+        // Register this worker's box chain.
+        for (k, &(pos, b)) in stops.iter().enumerate() {
+            let depth = stops.len() - k;
+            let entry = boxes.entry(b).or_insert_with(|| BoxNode {
+                inbound: Vec::new(),
+                earliest_start: f64::INFINITY,
+                next: None,
+                to_master: Vec::new(),
+                depth,
+            });
+            entry.depth = entry.depth.max(depth);
+            if k == 0 {
+                entry.inbound.push(id);
+                entry.earliest_start = entry.earliest_start.min(start);
+            }
+            if let Some(&(npos, nbox)) = stops.get(k + 1) {
+                if entry.next.is_none() {
+                    let mut r: Vec<Resource> = vec![Resource::BoxOut(b)];
+                    r.extend(
+                        route
+                            .links_between_switches(pos, npos)
+                            .iter()
+                            .map(|l| Resource::Link(*l)),
+                    );
+                    r.push(Resource::BoxIn(nbox));
+                    r.push(Resource::BoxProc(nbox));
+                    entry.next = Some((nbox, r));
+                }
+            } else if entry.to_master.is_empty() {
+                let mut r: Vec<Resource> = vec![Resource::BoxOut(b)];
+                r.extend(
+                    route
+                        .links_between_switches(pos, route.switches.len() - 1)
+                        .iter()
+                        .map(|l| Resource::Link(*l)),
+                );
+                r.push(Resource::Link(*route.links.last().unwrap()));
+                entry.to_master = r;
+            }
+        }
+    }
+    if boxes.is_empty() {
+        return;
+    }
+    // Map each box to its downstream parent so upstream outputs become
+    // parent inputs; emit farthest-from-master first.
+    let mut order: Vec<BoxId> = boxes.keys().copied().collect();
+    order.sort_by_key(|b| std::cmp::Reverse((boxes[b].depth, b.0)));
+    for b in order {
+        let bn = &boxes[&b];
+        if bn.inbound.is_empty() {
+            continue; // pass-through box that ended up with no inputs
+        }
+        let resources = match &bn.next {
+            Some((_, r)) => r.clone(),
+            None => bn.to_master.clone(),
+        };
+        debug_assert!(!resources.is_empty(), "box without next hop or master route");
+        let next_box = bn.next.as_ref().map(|(nb, _)| *nb);
+        let total_in: f64 = bn
+            .inbound
+            .iter()
+            .map(|&f| out[f as usize].size)
+            .sum::<f64>();
+        let n_inputs = bn.inbound.len();
+        let size = reduce(total_in, n_inputs, alpha, total_raw);
+        let id = out.len() as u32;
+        let bn = boxes.get_mut(&b).unwrap();
+        out.push(FlowSpec {
+            size,
+            resources,
+            children: bn.inbound.clone(),
+            alpha: if total_in > 0.0 { size / total_in } else { 1.0 },
+            local_input: 0.0,
+            start: bn.earliest_start,
+            kind: SegmentKind::AggregatedOutput,
+            request: Some(req.id),
+        });
+        let start = bn.earliest_start;
+        if let Some(nb) = next_box {
+            let parent = boxes.get_mut(&nb).expect("next box exists");
+            parent.inbound.push(id);
+            parent.earliest_start = parent.earliest_start.min(start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use crate::topology::TopologyConfig;
+    use crate::workload::WorkloadConfig;
+    use crate::GBPS;
+
+    fn config(strategy: Strategy) -> ExperimentConfig {
+        ExperimentConfig {
+            topology: TopologyConfig::quick(),
+            workload: WorkloadConfig {
+                num_flows: 120,
+                ..WorkloadConfig::default()
+            },
+            strategy,
+            deployment: Deployment::all(),
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+        }
+    }
+
+    fn setup(strategy: Strategy) -> Vec<FlowSpec> {
+        let cfg = config(strategy);
+        let topo = Topology::build(&cfg.topology);
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let workload = Workload::generate(&topo, &cfg.workload);
+        expand(&topo, &placement, &workload, &cfg)
+    }
+
+    fn check_tree_invariants(flows: &[FlowSpec]) {
+        for f in flows {
+            if f.kind == SegmentKind::AggregatedOutput {
+                assert!(!f.children.is_empty(), "aggregated output without children");
+                assert!(!f.resources.is_empty(), "aggregated output without a route");
+                let input = f.total_input(flows);
+                assert!(
+                    (f.size - f.alpha * input).abs() < 1e-6 * f.size.max(1.0),
+                    "size {} != alpha {} x input {}",
+                    f.size,
+                    f.alpha,
+                    input
+                );
+                for &c in &f.children {
+                    assert!((c as usize) < flows.len());
+                }
+            }
+            assert!(f.alpha.is_finite() && f.alpha > 0.0 && f.alpha <= 1.0 + 1e-9);
+            assert!(f.size > 0.0);
+        }
+    }
+
+    #[test]
+    fn direct_strategy_has_no_aggregated_outputs() {
+        let flows = setup(Strategy::Direct);
+        assert!(flows.iter().all(|f| f.kind != SegmentKind::AggregatedOutput));
+        check_tree_invariants(&flows);
+    }
+
+    #[test]
+    fn rack_level_reduces_cross_rack_traffic() {
+        let flows = setup(Strategy::RackLevel);
+        check_tree_invariants(&flows);
+        assert!(flows.iter().any(|f| f.kind == SegmentKind::AggregatedOutput));
+    }
+
+    #[test]
+    fn chain_flows_form_a_chain() {
+        let flows = setup(Strategy::DAry(1));
+        check_tree_invariants(&flows);
+        // Every aggregated output in a chain merges exactly one inbound flow
+        // with the local partial.
+        for f in &flows {
+            if f.kind == SegmentKind::AggregatedOutput {
+                assert_eq!(f.children.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_invariants() {
+        let flows = setup(Strategy::DAry(2));
+        check_tree_invariants(&flows);
+        assert!(flows.iter().any(|f| f.kind == SegmentKind::AggregatedOutput));
+    }
+
+    #[test]
+    fn netagg_uses_boxes() {
+        let flows = setup(Strategy::NetAgg);
+        check_tree_invariants(&flows);
+        let uses_box = flows
+            .iter()
+            .any(|f| f.resources.iter().any(|r| matches!(r, Resource::BoxProc(_))));
+        assert!(uses_box, "netagg flows must traverse agg boxes");
+        for f in &flows {
+            if f.kind == SegmentKind::WorkerPartial && f.request.is_some() {
+                assert!(
+                    matches!(f.resources.last(), Some(Resource::BoxProc(_))),
+                    "worker partial should terminate at its ToR box under full deployment"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netagg_without_boxes_degenerates_to_direct() {
+        let mut cfg = config(Strategy::NetAgg);
+        cfg.deployment = Deployment::None;
+        cfg.workload.num_flows = 60;
+        let topo = Topology::build(&cfg.topology);
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let workload = Workload::generate(&topo, &cfg.workload);
+        let flows = expand(&topo, &placement, &workload, &cfg);
+        assert!(flows.iter().all(|f| f.kind != SegmentKind::AggregatedOutput));
+    }
+
+    #[test]
+    fn edge_trees_use_more_link_bytes_than_netagg() {
+        // The paper's Fig. 9 property: for a large fan-in, chain and binary
+        // edge trees consume more link capacity than on-path aggregation,
+        // because hop i of a chain carries alpha x i x s.
+        let topo = Topology::build(&TopologyConfig::quick());
+        let cfg_for = |strategy| ExperimentConfig {
+            topology: TopologyConfig::quick(),
+            workload: WorkloadConfig::default(),
+            strategy,
+            deployment: Deployment::all(),
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+        };
+        let workers: Vec<_> = (1..30).map(|i| topo.server(i)).collect();
+        let n = workers.len();
+        let req = crate::workload::Request {
+            id: 0,
+            master: topo.server(0),
+            workers,
+            sizes: vec![100e3; n],
+            starts: vec![0.0; n],
+        };
+        let workload = Workload {
+            requests: vec![req],
+            background: Vec::new(),
+        };
+        let weighted = |strategy| -> f64 {
+            let cfg = cfg_for(strategy);
+            let placement = BoxPlacement::new(&topo, &cfg.deployment);
+            let flows = expand(&topo, &placement, &workload, &cfg);
+            flows
+                .iter()
+                .map(|f| {
+                    f.size
+                        * f.resources
+                            .iter()
+                            .filter(|r| matches!(r, Resource::Link(_)))
+                            .count() as f64
+                })
+                .sum()
+        };
+        let netagg = weighted(Strategy::NetAgg);
+        let chain = weighted(Strategy::DAry(1));
+        let binary = weighted(Strategy::DAry(2));
+        let direct = weighted(Strategy::Direct);
+        assert!(netagg < direct, "netagg {netagg} vs direct {direct}");
+        assert!(netagg < chain, "netagg {netagg} vs chain {chain}");
+        assert!(netagg < binary, "netagg {netagg} vs binary {binary}");
+    }
+
+    #[test]
+    fn netagg_single_tree_policy_is_deterministic_per_request() {
+        let a = setup(Strategy::NetAggWith(TreePolicy::Single));
+        let b = setup(Strategy::NetAggWith(TreePolicy::Single));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn aggregated_outputs_are_clamped_to_final_size() {
+        let flows = setup(Strategy::RackLevel);
+        // Raw bytes per request (worker partials and local inputs).
+        let mut total_raw: HashMap<u32, f64> = HashMap::new();
+        for f in &flows {
+            if let Some(req) = f.request {
+                if f.kind == SegmentKind::WorkerPartial {
+                    *total_raw.entry(req).or_insert(0.0) += f.size;
+                } else {
+                    *total_raw.entry(req).or_insert(0.0) += f.local_input;
+                }
+            }
+        }
+        let mut reduced = 0;
+        for f in &flows {
+            let SegmentKind::AggregatedOutput = f.kind else {
+                continue;
+            };
+            let input = f.total_input(&flows);
+            let n_inputs = f.children.len() + usize::from(f.local_input > 0.0);
+            assert!(f.size <= input * (1.0 + 1e-9), "output exceeds input");
+            if n_inputs >= 2 {
+                let cap = 0.1 * total_raw[&f.request.unwrap()];
+                assert!(
+                    (f.size - input.min(cap)).abs() < 1e-6 * f.size.max(1.0),
+                    "size {} != min(input {input}, cap {cap})",
+                    f.size
+                );
+                if f.size < input * (1.0 - 1e-9) {
+                    reduced += 1;
+                }
+            }
+        }
+        assert!(reduced > 0, "at least one real reduction happens");
+    }
+}

@@ -1,0 +1,169 @@
+//! `simctl` — run a single NetAgg simulation experiment from the command
+//! line.
+//!
+//! ```text
+//! simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F]
+//!        [--oversub F] [--flows N] [--seed N] [--frac F]
+//!        [--box-rate GBPS] [--paper|--quick]
+//!        [--deployment all|incremental|tor|aggr|core|none]
+//!        [--per-switch N] [--stragglers F] [--csv PATH]
+//! ```
+//!
+//! Prints the run's FCT summary, per-class percentiles and link-traffic
+//! statistics. `--csv PATH` additionally dumps every simulated flow
+//! (kind, request, size, start, finish, fct) for external analysis.
+
+use netagg_sim::metrics::{self, FlowClass};
+use netagg_sim::topology::Tier;
+use netagg_sim::{run_experiment, Deployment, ExperimentConfig, Strategy, GBPS};
+
+fn main() {
+    let mut cfg = ExperimentConfig::default_scale();
+    let mut per_switch = 1u32;
+    let mut deployment = String::from("all");
+    let mut csv_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--strategy" => {
+                cfg.strategy = match value("--strategy").as_str() {
+                    "rack" => Strategy::RackLevel,
+                    "binary" => Strategy::DAry(2),
+                    "chain" => Strategy::DAry(1),
+                    "netagg" => Strategy::NetAgg,
+                    "direct" => Strategy::Direct,
+                    other => usage(&format!("unknown strategy {other}")),
+                }
+            }
+            "--alpha" => cfg.workload.alpha = parse(&value("--alpha")),
+            "--oversub" => cfg.topology.oversub = parse(&value("--oversub")),
+            "--flows" => cfg.workload.num_flows = parse::<f64>(&value("--flows")) as usize,
+            "--seed" => cfg.workload.seed = parse::<f64>(&value("--seed")) as u64,
+            "--frac" => cfg.workload.frac_aggregatable = parse(&value("--frac")),
+            "--box-rate" => cfg.box_rate = parse::<f64>(&value("--box-rate")) * GBPS,
+            "--stragglers" => cfg.workload.straggler_frac = parse(&value("--stragglers")),
+            "--per-switch" => per_switch = parse::<f64>(&value("--per-switch")) as u32,
+            "--deployment" => deployment = value("--deployment"),
+            "--csv" => csv_path = Some(value("--csv")),
+            "--paper" => cfg.topology = netagg_sim::TopologyConfig::paper(),
+            "--quick" => cfg.topology = netagg_sim::TopologyConfig::quick(),
+            "--help" | "-h" => usage("")
+            ,
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    cfg.deployment = match deployment.as_str() {
+        "all" => Deployment::All { per_switch },
+        "incremental" | "aggr" => Deployment::Tiers {
+            tiers: vec![Tier::Aggregation],
+            per_switch,
+        },
+        "tor" => Deployment::Tiers {
+            tiers: vec![Tier::Tor],
+            per_switch,
+        },
+        "core" => Deployment::Tiers {
+            tiers: vec![Tier::Core],
+            per_switch,
+        },
+        "none" => Deployment::None,
+        other => usage(&format!("unknown deployment {other}")),
+    };
+
+    let t0 = std::time::Instant::now();
+    let result = run_experiment(&cfg);
+    let elapsed = t0.elapsed();
+
+    println!(
+        "strategy {:8}  alpha {:.2}  oversub 1:{:.0}  flows {}  seed {}",
+        cfg.strategy.label(),
+        cfg.workload.alpha,
+        cfg.topology.oversub,
+        cfg.workload.num_flows,
+        cfg.workload.seed,
+    );
+    println!(
+        "servers {}  switches {}  boxes {}\n",
+        cfg.topology.num_servers(),
+        cfg.topology.num_switches(),
+        netagg_sim::BoxPlacement::new(
+            &netagg_sim::Topology::build(&cfg.topology),
+            &cfg.deployment
+        )
+        .num_boxes(),
+    );
+    println!("{:>12} {:>10} {:>10} {:>10}", "percentile", "all", "agg", "bg");
+    let classes = [FlowClass::All, FlowClass::Aggregation, FlowClass::Background];
+    let series: Vec<Vec<f64>> = classes.iter().map(|c| result.fcts(*c)).collect();
+    for p in [0.50, 0.90, 0.99, 1.0] {
+        print!("{:>11}%", (p * 100.0) as u32);
+        for s in &series {
+            print!(" {:>9.3}ms", metrics::percentile(s, p) * 1e3);
+        }
+        println!();
+    }
+    let req = result.request_completion_times();
+    println!(
+        "\nrequests: {}   completion p50 {:.3} ms   p99 {:.3} ms",
+        req.len(),
+        metrics::percentile(&req, 0.5) * 1e3,
+        metrics::percentile(&req, 0.99) * 1e3,
+    );
+    let lt = metrics::link_traffic_sorted(&result);
+    println!(
+        "link traffic: median {:.2} MB   p99 {:.2} MB   busiest {:.2} MB",
+        metrics::percentile(&lt, 0.5) / 1e6,
+        metrics::percentile(&lt, 0.99) / 1e6,
+        lt.last().copied().unwrap_or(0.0) / 1e6,
+    );
+    println!(
+        "makespan {:.3} ms   ({} flows simulated in {elapsed:.2?})",
+        result.makespan * 1e3,
+        result.records.len(),
+    );
+
+    if let Some(path) = csv_path {
+        let mut out = String::from("kind,request,size_bytes,start_s,finish_s,fct_s\n");
+        for r in &result.records {
+            let request = r.request.map(|q| q.to_string()).unwrap_or_default();
+            out.push_str(&format!(
+                "{:?},{},{},{},{},{}\n",
+                r.kind,
+                request,
+                r.size,
+                r.start,
+                r.finish,
+                r.fct()
+            ));
+        }
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("wrote {} flow records to {path}", result.records.len()),
+            Err(e) => usage(&format!("could not write {path}: {e}")),
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("could not parse {v}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F] \
+         [--oversub F] [--flows N] [--seed N] [--frac F] [--box-rate GBPS] \
+         [--deployment all|incremental|tor|aggr|core|none] [--per-switch N] \
+         [--stragglers F] [--paper|--quick] [--csv PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,191 @@
+//! Equipment cost model for the upgrade comparison of Fig. 3.
+//!
+//! Prices follow the study the paper adopts (Popa et al., "A Cost Comparison
+//! of Data Center Network Architectures", CoNEXT 2011), rounded to
+//! catalogue-style per-port and per-server figures. Absolute dollars are
+//! illustrative; the harness reports both dollars and cost *relative to the
+//! 10 Gbps over-subscribed upgrade*, which is the comparison the paper
+//! draws.
+
+use crate::deployment::Deployment;
+use crate::topology::TopologyConfig;
+use crate::{ExperimentConfig, Strategy, GBPS};
+
+/// Per-unit equipment prices, US dollars.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Switch cost per 1 Gbps port.
+    pub port_1g: f64,
+    /// Switch cost per 10 Gbps port.
+    pub port_10g: f64,
+    /// Switch cost per 40 Gbps port.
+    pub port_40g: f64,
+    /// 10 Gbps server NIC cost.
+    pub nic_10g: f64,
+    /// 40 Gbps server NIC cost.
+    pub nic_40g: f64,
+    /// A commodity server suitable as an agg box (the paper's testbed spec:
+    /// 16-core Xeon, 32 GB RAM).
+    pub agg_box_server: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            port_1g: 100.0,
+            port_10g: 500.0,
+            port_40g: 2500.0,
+            nic_10g: 300.0,
+            nic_40g: 1500.0,
+            agg_box_server: 2500.0,
+        }
+    }
+}
+
+/// The five configurations Fig. 3 compares (plus the unchanged base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeOption {
+    /// Unchanged 1 Gbps, 1:4 over-subscribed network with rack-level
+    /// aggregation: the normalisation baseline.
+    Base,
+    /// 10 Gbps edge links, full-bisection fabric.
+    FullBisec10G,
+    /// 10 Gbps edge links, 1:4 over-subscription kept.
+    Oversub10G,
+    /// 40 Gbps edge links, full-bisection fabric.
+    FullBisec40G,
+    /// Agg boxes on every switch of the base network.
+    NetAgg,
+    /// Agg boxes only at the aggregation (middle) tier of the base network.
+    IncrementalNetAgg,
+}
+
+impl UpgradeOption {
+    /// Every configuration of Fig. 3, in presentation order.
+    pub const ALL: [UpgradeOption; 6] = [
+        UpgradeOption::Base,
+        UpgradeOption::FullBisec10G,
+        UpgradeOption::Oversub10G,
+        UpgradeOption::FullBisec40G,
+        UpgradeOption::NetAgg,
+        UpgradeOption::IncrementalNetAgg,
+    ];
+
+    /// Display label used in the harness tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpgradeOption::Base => "Base-1G",
+            UpgradeOption::FullBisec10G => "FullBisec-10G",
+            UpgradeOption::Oversub10G => "Oversub-10G",
+            UpgradeOption::FullBisec40G => "FullBisec-40G",
+            UpgradeOption::NetAgg => "NetAgg",
+            UpgradeOption::IncrementalNetAgg => "Incremental-NetAgg",
+        }
+    }
+
+    /// The experiment configuration this upgrade corresponds to, derived
+    /// from a base (1 Gbps, over-subscribed, rack-level) configuration.
+    pub fn experiment(&self, base: &ExperimentConfig) -> ExperimentConfig {
+        let mut cfg = base.clone();
+        cfg.strategy = Strategy::RackLevel;
+        cfg.deployment = Deployment::None;
+        match self {
+            UpgradeOption::Base => {}
+            UpgradeOption::FullBisec10G => {
+                cfg.topology.edge_capacity = 10.0 * GBPS;
+                cfg.topology.oversub = 1.0;
+            }
+            UpgradeOption::Oversub10G => {
+                cfg.topology.edge_capacity = 10.0 * GBPS;
+            }
+            UpgradeOption::FullBisec40G => {
+                cfg.topology.edge_capacity = 40.0 * GBPS;
+                cfg.topology.oversub = 1.0;
+            }
+            UpgradeOption::NetAgg => {
+                cfg.strategy = Strategy::NetAgg;
+                cfg.deployment = Deployment::all();
+            }
+            UpgradeOption::IncrementalNetAgg => {
+                cfg.strategy = Strategy::NetAgg;
+                cfg.deployment = Deployment::incremental();
+            }
+        }
+        cfg
+    }
+
+    /// Upgrade cost in dollars relative to the base network.
+    pub fn upgrade_cost(&self, topo: &TopologyConfig, prices: &CostModel) -> f64 {
+        // Structural port counts of the base fabric (each link = 2 ports).
+        let edge_links = topo.num_servers() as f64;
+        let uplink_links = (topo.num_tors() * topo.aggs_per_pod) as f64;
+        let core_links = (topo.num_agg_switches() * (topo.cores / topo.aggs_per_pod)) as f64;
+        let fabric_ports = 2.0 * (edge_links + uplink_links + core_links);
+        let servers = topo.num_servers() as f64;
+        // A full-bisection fabric needs `oversub x` more uplink and core
+        // capacity, i.e. proportionally more ports at those tiers.
+        let full_bisec_ports =
+            2.0 * (edge_links + topo.oversub * (uplink_links + core_links));
+        match self {
+            UpgradeOption::Base => 0.0,
+            UpgradeOption::FullBisec10G => {
+                full_bisec_ports * prices.port_10g + servers * prices.nic_10g
+            }
+            UpgradeOption::Oversub10G => fabric_ports * prices.port_10g + servers * prices.nic_10g,
+            UpgradeOption::FullBisec40G => {
+                full_bisec_ports * prices.port_40g + servers * prices.nic_40g
+            }
+            UpgradeOption::NetAgg => {
+                let boxes = topo.num_switches() as f64;
+                boxes * (prices.agg_box_server + prices.nic_10g + prices.port_10g)
+            }
+            UpgradeOption::IncrementalNetAgg => {
+                let boxes = topo.num_agg_switches() as f64;
+                boxes * (prices.agg_box_server + prices.nic_10g + prices.port_10g)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ordering_matches_the_paper() {
+        let topo = TopologyConfig::paper();
+        let prices = CostModel::default();
+        let cost = |o: UpgradeOption| o.upgrade_cost(&topo, &prices);
+        // Fig. 3 ordering: 40G full-bisection most expensive, then 10G
+        // full-bisection, then 10G over-subscribed; NetAgg a fraction of
+        // that; incremental cheapest (besides base).
+        assert!(cost(UpgradeOption::FullBisec40G) > cost(UpgradeOption::FullBisec10G));
+        assert!(cost(UpgradeOption::FullBisec10G) > cost(UpgradeOption::Oversub10G));
+        assert!(cost(UpgradeOption::Oversub10G) > cost(UpgradeOption::NetAgg));
+        assert!(cost(UpgradeOption::NetAgg) > cost(UpgradeOption::IncrementalNetAgg));
+        assert_eq!(cost(UpgradeOption::Base), 0.0);
+    }
+
+    #[test]
+    fn netagg_is_a_small_fraction_of_network_upgrades() {
+        let topo = TopologyConfig::paper();
+        let prices = CostModel::default();
+        let netagg = UpgradeOption::NetAgg.upgrade_cost(&topo, &prices);
+        let oversub = UpgradeOption::Oversub10G.upgrade_cost(&topo, &prices);
+        let frac = netagg / oversub;
+        assert!(frac < 0.5, "NetAgg should cost well under half of Oversub-10G, got {frac}");
+    }
+
+    #[test]
+    fn experiment_configs_reflect_upgrades() {
+        let base = ExperimentConfig::quick();
+        let e = UpgradeOption::FullBisec10G.experiment(&base);
+        assert_eq!(e.topology.oversub, 1.0);
+        assert!((e.topology.edge_capacity - 10.0 * GBPS).abs() < 1.0);
+        let n = UpgradeOption::NetAgg.experiment(&base);
+        assert_eq!(n.strategy, Strategy::NetAgg);
+        assert_eq!(n.deployment, Deployment::all());
+        let i = UpgradeOption::IncrementalNetAgg.experiment(&base);
+        assert_eq!(i.deployment, Deployment::incremental());
+    }
+}

@@ -1,0 +1,721 @@
+//! Fluid (flow-level) discrete-event engine with TCP max-min fairness.
+//!
+//! Between events, every active flow transfers bytes at a constant rate
+//! determined by progressive-filling max-min fair allocation over all the
+//! resources it traverses (links, box attach links, box processors).
+//! Events are flow starts and flow completions; the engine advances in
+//! closed form from event to event, so results are exact for the fluid
+//! model and independent of any tick size.
+//!
+//! Aggregation-tree coupling is modelled by *completion gating*: an
+//! aggregation point's output flow starts together with its earliest child
+//! and cannot complete before every child has delivered its input (the last
+//! byte of a streamed aggregate depends on the last input byte). A flow
+//! that has pushed all its bytes but still waits for children is *drained*:
+//! it stops consuming bandwidth and completes the instant its last child
+//! does. This captures pipelined streaming aggregation end-to-end timing
+//! while keeping each event's rate allocation a pure max-min problem.
+
+use crate::deployment::BoxPlacement;
+use crate::flow::{FlowSpec, Resource, SegmentKind};
+use crate::topology::Topology;
+use crate::ExperimentConfig;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Completion record of one flow.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowRecord {
+    /// Bytes transferred.
+    pub size: f64,
+    /// Start time, seconds.
+    pub start: f64,
+    /// Completion time, seconds.
+    pub finish: f64,
+    /// Role of the segment.
+    pub kind: SegmentKind,
+    /// Request the flow belonged to (`None` for background).
+    pub request: Option<u32>,
+}
+
+impl FlowRecord {
+    /// Flow completion time (`finish - start`), seconds.
+    pub fn fct(&self) -> f64 {
+        self.finish - self.start
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// One record per simulated flow, in expansion order.
+    pub records: Vec<FlowRecord>,
+    /// Total bytes carried by each fabric link over the run, indexed by
+    /// [`crate::topology::LinkId`].
+    pub link_bytes: Vec<f64>,
+    /// Time at which the last flow completed.
+    pub makespan: f64,
+}
+
+impl SimResult {
+    /// Flow completion times for the given class, sorted ascending.
+    pub fn fcts(&self, class: crate::metrics::FlowClass) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| class.matches(r.kind))
+            .map(FlowRecord::fct)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// 99th-percentile FCT of a flow class (the paper's headline metric).
+    pub fn fct_p99(&self, class: crate::metrics::FlowClass) -> f64 {
+        crate::metrics::percentile(&self.fcts(class), 0.99)
+    }
+
+    /// Median FCT of a flow class.
+    pub fn fct_median(&self, class: crate::metrics::FlowClass) -> f64 {
+        crate::metrics::percentile(&self.fcts(class), 0.5)
+    }
+
+    /// Completion time of each aggregation request (when its last segment
+    /// finished), sorted ascending.
+    pub fn request_completion_times(&self) -> Vec<f64> {
+        let mut per_req: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for r in &self.records {
+            if let Some(q) = r.request {
+                let e = per_req.entry(q).or_insert(0.0);
+                *e = e.max(r.finish);
+            }
+        }
+        let mut v: Vec<f64> = per_req.into_values().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+}
+
+const EPS_BYTES: f64 = 1e-3;
+
+/// The simulation engine: owns the resource capacity table.
+pub struct Engine {
+    /// Capacity of every resource, bytes/s. Layout: fabric links first,
+    /// then `[in, out, proc]` per agg box.
+    caps: Vec<f64>,
+    num_links: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Pending,
+    /// Transferring bytes.
+    Active,
+    /// All bytes pushed, waiting for children to complete.
+    Drained,
+    Done,
+}
+
+impl Engine {
+    /// Build the resource capacity table for a topology and deployment.
+    pub fn new(topo: &Topology, placement: &BoxPlacement, cfg: &ExperimentConfig) -> Self {
+        let num_links = topo.num_links();
+        let mut caps: Vec<f64> = topo.links.iter().map(|l| l.capacity).collect();
+        for _ in 0..placement.num_boxes() {
+            caps.push(cfg.box_link); // in
+            caps.push(cfg.box_link); // out
+            caps.push(cfg.box_rate); // proc
+        }
+        Self { caps, num_links }
+    }
+
+    fn resource_index(&self, r: Resource) -> usize {
+        match r {
+            Resource::Link(l) => l.0 as usize,
+            Resource::BoxIn(b) => self.num_links + 3 * b.0 as usize,
+            Resource::BoxOut(b) => self.num_links + 3 * b.0 as usize + 1,
+            Resource::BoxProc(b) => self.num_links + 3 * b.0 as usize + 2,
+        }
+    }
+
+    /// Run all flows to completion and return per-flow records plus link
+    /// traffic totals.
+    pub fn run(&mut self, flows: Vec<FlowSpec>) -> SimResult {
+        let n = flows.len();
+        let res_lists: Vec<Vec<u32>> = flows
+            .iter()
+            .map(|f| {
+                f.resources
+                    .iter()
+                    .map(|r| self.resource_index(*r) as u32)
+                    .collect()
+            })
+            .collect();
+        // Parent lookup (a flow has at most one parent in an aggregation
+        // tree; assert that to catch malformed inputs).
+        let mut parent: Vec<Option<u32>> = vec![None; n];
+        for (i, f) in flows.iter().enumerate() {
+            for &c in &f.children {
+                assert!(
+                    parent[c as usize].is_none(),
+                    "flow {c} has more than one parent"
+                );
+                parent[c as usize] = Some(i as u32);
+            }
+        }
+
+        let mut remaining: Vec<f64> = flows.iter().map(|f| f.size).collect();
+        let mut state: Vec<State> = vec![State::Pending; n];
+        let mut finish: Vec<f64> = vec![0.0; n];
+        let mut open_children: Vec<u32> = flows.iter().map(|f| f.children.len() as u32).collect();
+
+        // Starts sorted descending so we can pop the earliest.
+        let mut starts: Vec<(f64, u32)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.start, i as u32))
+            .collect();
+        starts.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        let mut t = 0.0f64;
+        let mut active: Vec<u32> = Vec::new();
+        let mut rates: Vec<f64> = vec![0.0; n];
+        let mut alloc = Allocator::new(self.caps.len());
+        let mut open = n; // flows not yet Done
+
+        // Completes `f` at time `t`, cascading to drained parents whose last
+        // child just finished.
+        fn complete(
+            mut f: u32,
+            t: f64,
+            state: &mut [State],
+            finish: &mut [f64],
+            open_children: &mut [u32],
+            parent: &[Option<u32>],
+            open: &mut usize,
+        ) {
+            loop {
+                state[f as usize] = State::Done;
+                finish[f as usize] = t;
+                *open -= 1;
+                match parent[f as usize] {
+                    Some(p) => {
+                        open_children[p as usize] -= 1;
+                        if open_children[p as usize] == 0 && state[p as usize] == State::Drained {
+                            f = p;
+                        } else {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        while open > 0 {
+            // Admit flows starting now.
+            while let Some(&(s, i)) = starts.last() {
+                if s <= t + 1e-12 {
+                    starts.pop();
+                    let i = i as usize;
+                    debug_assert_eq!(state[i], State::Pending);
+                    if remaining[i] <= EPS_BYTES {
+                        // Zero-byte flow: treat as immediately drained.
+                        if open_children[i] == 0 {
+                            complete(
+                                i as u32,
+                                t,
+                                &mut state,
+                                &mut finish,
+                                &mut open_children,
+                                &parent,
+                                &mut open,
+                            );
+                        } else {
+                            state[i] = State::Drained;
+                        }
+                    } else {
+                        state[i] = State::Active;
+                        active.push(i as u32);
+                    }
+                } else {
+                    break;
+                }
+            }
+            if active.is_empty() {
+                match starts.last() {
+                    Some(&(s, _)) => {
+                        t = t.max(s);
+                        continue;
+                    }
+                    None => {
+                        // Only drained flows remain; their children are all
+                        // done (otherwise a child would be active/pending),
+                        // which the cascade would have completed. Nothing
+                        // left to do.
+                        debug_assert_eq!(open, 0, "drained flows stuck with open children");
+                        break;
+                    }
+                }
+            }
+
+            alloc.waterfill(&active, &res_lists, &self.caps, &mut rates);
+
+            // Earliest event: a completion or the next start.
+            let mut dt = f64::INFINITY;
+            if let Some(&(s, _)) = starts.last() {
+                dt = dt.min(s - t);
+            }
+            for &fi in &active {
+                let f = fi as usize;
+                if rates[f] > 0.0 {
+                    dt = dt.min(remaining[f] / rates[f]);
+                }
+            }
+            assert!(
+                dt.is_finite() && dt >= 0.0,
+                "no progress possible at t={t}: {} active flows all stalled",
+                active.len()
+            );
+
+            t += dt;
+            for idx in (0..active.len()).rev() {
+                let fi = active[idx];
+                let f = fi as usize;
+                remaining[f] -= rates[f] * dt;
+                if remaining[f] <= EPS_BYTES {
+                    remaining[f] = 0.0;
+                    active.swap_remove(idx);
+                    if open_children[f] == 0 {
+                        complete(
+                            fi,
+                            t,
+                            &mut state,
+                            &mut finish,
+                            &mut open_children,
+                            &parent,
+                            &mut open,
+                        );
+                    } else {
+                        state[f] = State::Drained;
+                    }
+                }
+            }
+        }
+
+        // Link traffic: every flow pushed all its bytes over each traversed
+        // link.
+        let mut link_bytes = vec![0.0; self.num_links];
+        for f in &flows {
+            for r in &f.resources {
+                if let Resource::Link(l) = r {
+                    link_bytes[l.0 as usize] += f.size;
+                }
+            }
+        }
+        let records = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowRecord {
+                size: f.size,
+                start: f.start,
+                finish: finish[i],
+                kind: f.kind,
+                request: f.request,
+            })
+            .collect();
+        SimResult {
+            records,
+            link_bytes,
+            makespan: t,
+        }
+    }
+}
+
+/// Heap entry for the progressive-filling allocator: the water level at
+/// which resource `res` saturates, with a version for lazy invalidation.
+struct Entry {
+    level: f64,
+    res: u32,
+    version: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on level.
+        other
+            .level
+            .partial_cmp(&self.level)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Progressive-filling max-min allocator.
+///
+/// Every resource saturates at water level
+/// `(capacity - sum of frozen rates) / live flow count`; the next resource
+/// to saturate is popped from a lazily invalidated min-heap, its flows are
+/// frozen at that level, and the levels of their other resources are
+/// updated. Total cost per allocation is
+/// `O(sum of path lengths x log(resources))`.
+struct Allocator {
+    frozen_sum: Vec<f64>,
+    live_count: Vec<u32>,
+    version: Vec<u32>,
+    stamp: Vec<u64>,
+    generation: u64,
+    users: Vec<Vec<u32>>,
+    user_slot: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Allocator {
+    fn new(num_resources: usize) -> Self {
+        Self {
+            frozen_sum: vec![0.0; num_resources],
+            live_count: vec![0; num_resources],
+            version: vec![0; num_resources],
+            stamp: vec![0; num_resources],
+            generation: 0,
+            users: Vec::new(),
+            user_slot: vec![u32::MAX; num_resources],
+            touched: Vec::new(),
+        }
+    }
+
+    fn saturation_level(&self, r: usize, caps: &[f64]) -> f64 {
+        (caps[r] - self.frozen_sum[r]).max(0.0) / self.live_count[r] as f64
+    }
+
+    fn waterfill(&mut self, active: &[u32], res_lists: &[Vec<u32>], caps: &[f64], rates: &mut [f64]) {
+        self.generation += 1;
+        let generation = self.generation;
+        self.touched.clear();
+        let mut next_slot = 0usize;
+
+        for (pos, &fi) in active.iter().enumerate() {
+            for &r in &res_lists[fi as usize] {
+                let r = r as usize;
+                if self.stamp[r] != generation {
+                    self.stamp[r] = generation;
+                    self.frozen_sum[r] = 0.0;
+                    self.live_count[r] = 0;
+                    self.version[r] = 0;
+                    self.touched.push(r as u32);
+                    if next_slot >= self.users.len() {
+                        self.users.push(Vec::new());
+                    }
+                    self.users[next_slot].clear();
+                    self.user_slot[r] = next_slot as u32;
+                    next_slot += 1;
+                }
+                self.live_count[r] += 1;
+                self.users[self.user_slot[r] as usize].push(pos as u32);
+            }
+        }
+
+        let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(self.touched.len());
+        for &r in &self.touched {
+            let r = r as usize;
+            heap.push(Entry {
+                level: self.saturation_level(r, caps),
+                res: r as u32,
+                version: 0,
+            });
+        }
+
+        let mut frozen: Vec<bool> = vec![false; active.len()];
+        let mut unfrozen = active.len();
+
+        while unfrozen > 0 {
+            let e = heap.pop().expect("live flows imply live resources");
+            let r = e.res as usize;
+            if self.stamp[r] != generation
+                || e.version != self.version[r]
+                || self.live_count[r] == 0
+            {
+                continue; // stale entry
+            }
+            let level = e.level;
+            // Freeze every live flow using r at `level`.
+            let slot = self.user_slot[r] as usize;
+            let users = std::mem::take(&mut self.users[slot]);
+            for &pos in &users {
+                let pos = pos as usize;
+                if frozen[pos] {
+                    continue;
+                }
+                frozen[pos] = true;
+                unfrozen -= 1;
+                let fi = active[pos] as usize;
+                rates[fi] = level;
+                for &r2 in &res_lists[fi] {
+                    let r2 = r2 as usize;
+                    if r2 == r {
+                        continue;
+                    }
+                    self.frozen_sum[r2] += level;
+                    self.live_count[r2] -= 1;
+                    self.version[r2] += 1;
+                    if self.live_count[r2] > 0 {
+                        heap.push(Entry {
+                            level: self.saturation_level(r2, caps).max(level),
+                            res: r2 as u32,
+                            version: self.version[r2],
+                        });
+                    }
+                }
+            }
+            self.users[slot] = users;
+            self.live_count[r] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use crate::flow::FlowSpec;
+    use crate::metrics::FlowClass;
+    use crate::topology::{Topology, TopologyConfig};
+    use crate::workload::WorkloadConfig;
+    use crate::{Strategy, GBPS};
+
+    fn engine_for(topo: &Topology) -> Engine {
+        let cfg = ExperimentConfig {
+            topology: topo.config.clone(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::Direct,
+            deployment: Deployment::None,
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+        };
+        let placement = BoxPlacement::new(topo, &cfg.deployment);
+        Engine::new(topo, &placement, &cfg)
+    }
+
+    #[test]
+    fn single_flow_runs_at_edge_capacity() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        let route = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let size = 1e6;
+        let flows = vec![FlowSpec::background(size, route.links, 0.0)];
+        let res = eng.run(flows);
+        let expected = size / GBPS;
+        let fct = res.records[0].fct();
+        assert!(
+            (fct - expected).abs() < 1e-6 * expected.max(1.0) + 1e-9,
+            "fct {fct} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        // Both flows target server 1: its downlink is shared.
+        let r1 = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let r2 = crate::routing::server_route(&topo, topo.server(2), topo.server(1), 0);
+        let size = 1e6;
+        let flows = vec![
+            FlowSpec::background(size, r1.links, 0.0),
+            FlowSpec::background(size, r2.links, 0.0),
+        ];
+        let res = eng.run(flows);
+        // Equal flows sharing one bottleneck: both finish at 2x the solo
+        // time.
+        let expected = 2.0 * size / GBPS;
+        for r in &res.records {
+            assert!((r.fct() - expected).abs() < 1e-6 * expected, "fct {}", r.fct());
+        }
+    }
+
+    #[test]
+    fn unequal_flows_complete_in_staggered_fashion() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        let r1 = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let r2 = crate::routing::server_route(&topo, topo.server(2), topo.server(1), 0);
+        let flows = vec![
+            FlowSpec::background(1e6, r1.links, 0.0),
+            FlowSpec::background(3e6, r2.links, 0.0),
+        ];
+        let res = eng.run(flows);
+        // Short flow shares the 1 Gbps downlink until it finishes at 2e6
+        // bytes total crossing; long flow then runs alone: 4e6 bytes total.
+        let t_short = 2e6 / GBPS;
+        let t_long = 4e6 / GBPS;
+        assert!((res.records[0].fct() - t_short).abs() < 1e-6 * t_short);
+        assert!((res.records[1].fct() - t_long).abs() < 1e-6 * t_long);
+    }
+
+    #[test]
+    fn late_start_is_respected() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        let r1 = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let flows = vec![FlowSpec::background(1e6, r1.links, 5.0)];
+        let res = eng.run(flows);
+        assert!(res.records[0].start == 5.0);
+        assert!((res.records[0].finish - (5.0 + 1e6 / GBPS)).abs() < 1e-6);
+        assert!((res.records[0].fct() - 1e6 / GBPS).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_gating_delays_aggregation_output() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        // Worker 0 -> aggregator (server 1), aggregator -> master
+        // (server 2). The output is half the input, so the output flow
+        // drains early but must wait for the inbound flow to finish.
+        let rin = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let rout = crate::routing::server_route(&topo, topo.server(1), topo.server(2), 0);
+        let child = FlowSpec::leaf(
+            2e6,
+            rin.links.into_iter().map(crate::flow::Resource::Link).collect(),
+            0.0,
+            SegmentKind::WorkerPartial,
+            0,
+        );
+        let parent = FlowSpec {
+            size: 1e6,
+            resources: rout.links.into_iter().map(crate::flow::Resource::Link).collect(),
+            children: vec![0],
+            alpha: 0.5,
+            local_input: 0.0,
+            start: 0.0,
+            kind: SegmentKind::AggregatedOutput,
+            request: Some(0),
+        };
+        let res = eng.run(vec![child, parent]);
+        let t_child = 2e6 / GBPS;
+        assert!((res.records[0].fct() - t_child).abs() < 1e-6 * t_child);
+        // The parent cannot finish before the child feeds it its last byte.
+        assert!(
+            (res.records[1].finish - t_child).abs() < 1e-6 * t_child,
+            "parent finish {} expected {t_child}",
+            res.records[1].finish,
+        );
+    }
+
+    #[test]
+    fn gating_cascades_through_deep_chains() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let mut eng = engine_for(&topo);
+        // w0 -> w1 -> w2 -> w3: a three-hop chain where every downstream
+        // flow is smaller; all must finish when the first (largest) does.
+        let mut flows = Vec::new();
+        let mut prev: Option<u32> = None;
+        for i in 0..3u32 {
+            let r = crate::routing::server_route(
+                &topo,
+                topo.server(i),
+                topo.server(i + 1),
+                0,
+            );
+            let resources = r.links.into_iter().map(crate::flow::Resource::Link).collect();
+            let f = match prev {
+                None => FlowSpec::leaf(4e6, resources, 0.0, SegmentKind::WorkerPartial, 0),
+                Some(p) => FlowSpec {
+                    size: 1e6,
+                    resources,
+                    children: vec![p],
+                    alpha: 0.25,
+                    local_input: 0.0,
+                    start: 0.0,
+                    kind: SegmentKind::AggregatedOutput,
+                    request: Some(0),
+                },
+            };
+            prev = Some(flows.len() as u32);
+            flows.push(f);
+        }
+        let res = eng.run(flows);
+        let t_first = 4e6 / GBPS;
+        for r in &res.records {
+            assert!(
+                r.finish >= t_first - 1e-9,
+                "downstream hop finished {} before its input {t_first}",
+                r.finish
+            );
+        }
+    }
+
+    #[test]
+    fn box_processing_rate_caps_throughput() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let cfg = ExperimentConfig {
+            topology: topo.config.clone(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::NetAgg,
+            deployment: Deployment::all(),
+            box_rate: 0.5 * GBPS, // slower than the edge link
+            box_link: 10.0 * GBPS,
+        };
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let mut eng = Engine::new(&topo, &placement, &cfg);
+        let route = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let b = placement.box_for(route.switches[0], 0).unwrap();
+        let res_list = vec![
+            crate::flow::Resource::Link(route.links[0]),
+            crate::flow::Resource::BoxIn(b),
+            crate::flow::Resource::BoxProc(b),
+        ];
+        let f = FlowSpec::leaf(1e6, res_list, 0.0, SegmentKind::WorkerPartial, 0);
+        let res = eng.run(vec![f]);
+        let expected = 1e6 / (0.5 * GBPS);
+        assert!(
+            (res.records[0].fct() - expected).abs() < 1e-6 * expected,
+            "fct {}",
+            res.records[0].fct()
+        );
+    }
+
+    #[test]
+    fn full_experiment_terminates_for_every_strategy() {
+        for strategy in [
+            Strategy::Direct,
+            Strategy::RackLevel,
+            Strategy::DAry(1),
+            Strategy::DAry(2),
+            Strategy::NetAgg,
+        ] {
+            let mut cfg = crate::ExperimentConfig::quick();
+            cfg.strategy = strategy;
+            let res = crate::run_experiment(&cfg);
+            assert!(res.makespan > 0.0, "{strategy:?}");
+            assert!(res.fct_p99(FlowClass::All) > 0.0, "{strategy:?}");
+            for r in &res.records {
+                assert!(
+                    r.finish >= r.start - 1e-12,
+                    "{strategy:?}: finish {} < start {}",
+                    r.finish,
+                    r.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stragglers_terminate_and_delay_completion() {
+        let mut cfg = crate::ExperimentConfig::quick();
+        cfg.strategy = Strategy::NetAgg;
+        cfg.workload.straggler_frac = 0.2;
+        cfg.workload.straggler_delay = 0.5;
+        let res = crate::run_experiment(&cfg);
+        assert!(res.makespan > 0.5, "stragglers push the makespan out");
+    }
+}

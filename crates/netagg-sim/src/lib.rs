@@ -1,0 +1,109 @@
+//! Flow-level discrete-event simulator for data-centre networks with
+//! on-path aggregation, reproducing the simulation half of the NetAgg paper
+//! (Mai et al., CoNEXT 2014).
+//!
+//! The simulator models a three-tier, multi-rooted topology (ECMP-routed)
+//! in a fluid TCP max-min flow-fairness model. Aggregation requests become
+//! *segment trees*: worker flows feed aggregation points (edge servers for
+//! the rack/binary/chain baselines, agg boxes for NetAgg), each of which
+//! forwards `alpha` times the bytes it receives. Agg boxes additionally have
+//! a finite processing rate shared max-min by the flows they serve.
+//!
+//! # Quick example
+//!
+//! ```
+//! use netagg_sim::{ExperimentConfig, Strategy, run_experiment};
+//!
+//! let mut cfg = ExperimentConfig::quick();
+//! cfg.strategy = Strategy::NetAgg;
+//! let result = run_experiment(&cfg);
+//! assert!(result.fct_p99(netagg_sim::metrics::FlowClass::All) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod cost;
+pub mod deployment;
+pub mod engine;
+pub mod flow;
+pub mod metrics;
+pub mod routing;
+pub mod topology;
+pub mod workload;
+
+pub use aggregation::Strategy;
+pub use cost::{CostModel, UpgradeOption};
+pub use deployment::{BoxPlacement, Deployment};
+pub use engine::{Engine, SimResult};
+pub use flow::{FlowId, FlowSpec, SegmentKind};
+pub use metrics::{FlowClass, Metrics};
+pub use topology::{Endpoint, LinkId, NodeId, Topology, TopologyConfig};
+pub use workload::{Request, Workload, WorkloadConfig};
+
+/// Gigabits per second expressed in bytes per second (decimal, as used for
+/// network link capacities).
+pub const GBPS: f64 = 1e9 / 8.0;
+
+/// Complete configuration of one simulation experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Topology (size, link speeds, over-subscription).
+    pub topology: TopologyConfig,
+    /// Workload (flow sizes, fan-in, aggregatable fraction, stragglers).
+    pub workload: WorkloadConfig,
+    /// Aggregation strategy under test.
+    pub strategy: Strategy,
+    /// Where agg boxes are deployed (only meaningful for [`Strategy::NetAgg`]).
+    pub deployment: Deployment,
+    /// Maximum processing rate of one agg box, bytes/s.
+    pub box_rate: f64,
+    /// Capacity of the link attaching an agg box to its switch, bytes/s.
+    pub box_link: f64,
+}
+
+impl ExperimentConfig {
+    /// Paper-scale default: 1 024 servers, 1 Gbps edge, 1:4 over-subscription,
+    /// agg boxes on every switch processing at 9.2 Gbps over 10 Gbps links.
+    pub fn paper() -> Self {
+        Self {
+            topology: TopologyConfig::paper(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::RackLevel,
+            deployment: Deployment::all(),
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+        }
+    }
+
+    /// Reduced scale (256 servers) preserving all capacity *ratios*; used as
+    /// the default for parameter sweeps so a full figure regenerates in
+    /// seconds. Shapes (who wins, crossovers) match the paper-scale runs.
+    pub fn default_scale() -> Self {
+        Self {
+            topology: TopologyConfig::default_scale(),
+            ..Self::paper()
+        }
+    }
+
+    /// Tiny scale for unit tests and doc tests.
+    pub fn quick() -> Self {
+        let mut cfg = Self {
+            topology: TopologyConfig::quick(),
+            ..Self::paper()
+        };
+        cfg.workload.num_flows = 200;
+        cfg
+    }
+}
+
+/// Build the topology, generate the workload, expand it into segment trees
+/// under the configured strategy and run the fluid simulation to completion.
+pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
+    let topo = Topology::build(&cfg.topology);
+    let placement = BoxPlacement::new(&topo, &cfg.deployment);
+    let workload = Workload::generate(&topo, &cfg.workload);
+    let flows = aggregation::expand(&topo, &placement, &workload, cfg);
+    let mut engine = Engine::new(&topo, &placement, cfg);
+    engine.run(flows)
+}

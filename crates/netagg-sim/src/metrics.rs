@@ -1,0 +1,165 @@
+//! Metric helpers: percentiles, CDFs, link-traffic summaries.
+
+use crate::engine::SimResult;
+use crate::flow::SegmentKind;
+
+/// Which flows a metric covers.
+///
+/// FCT percentiles must be computed over a population that is *consistent
+/// across strategies*: the workload's own flows (background traffic plus
+/// each worker's partial-result transfer). Derived segments (aggregation
+/// outputs) differ in number and shape per strategy — a deeper tree emits
+/// more of them — so including them would skew percentile comparisons by
+/// population, not by performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// The workload's flows: background + worker partials (the paper's
+    /// "all flows" population).
+    All,
+    /// Worker partial-result transfers only.
+    Aggregation,
+    /// Non-aggregatable background traffic (Fig. 7).
+    Background,
+    /// Strategy-internal derived segments (aggregation outputs).
+    Derived,
+    /// Every recorded segment, regardless of comparability.
+    Everything,
+}
+
+impl FlowClass {
+    /// Whether a segment of `kind` belongs to this class.
+    pub fn matches(&self, kind: SegmentKind) -> bool {
+        match self {
+            FlowClass::All => kind != SegmentKind::AggregatedOutput,
+            FlowClass::Aggregation => kind == SegmentKind::WorkerPartial,
+            FlowClass::Background => kind == SegmentKind::Background,
+            FlowClass::Derived => kind == SegmentKind::AggregatedOutput,
+            FlowClass::Everything => true,
+        }
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+/// `p` in `[0, 1]`. Returns 0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Empirical CDF of a sample, down-sampled to at most `points` points:
+/// returns `(value, cumulative fraction)` pairs.
+pub fn cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    let step = (n.max(points) / points.max(1)).max(1);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        out.push((sorted[i], (i + 1) as f64 / n as f64));
+        i += step;
+    }
+    if out.last().map(|&(_, f)| f < 1.0).unwrap_or(false) {
+        out.push((sorted[n - 1], 1.0));
+    }
+    out
+}
+
+/// Summary of one simulation run, as reported by the figure harness.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Median FCT over the workload's flows, seconds.
+    pub p50_all: f64,
+    /// 99th-percentile FCT over the workload's flows, seconds.
+    pub p99_all: f64,
+    /// 99th-percentile FCT of background flows, seconds.
+    pub p99_background: f64,
+    /// 99th-percentile FCT of worker partial-result flows, seconds.
+    pub p99_aggregation: f64,
+    /// Time at which the last flow completed, seconds.
+    pub makespan: f64,
+}
+
+impl Metrics {
+    /// Summarise one simulation run.
+    pub fn of(result: &SimResult) -> Self {
+        Self {
+            p50_all: result.fct_median(FlowClass::All),
+            p99_all: result.fct_p99(FlowClass::All),
+            p99_background: result.fct_p99(FlowClass::Background),
+            p99_aggregation: result.fct_p99(FlowClass::Aggregation),
+            makespan: result.makespan,
+        }
+    }
+}
+
+/// Per-link carried bytes of links that carried anything, sorted ascending
+/// (the paper's Fig. 9 CDF of link traffic).
+pub fn link_traffic_sorted(result: &SimResult) -> Vec<f64> {
+    let mut v: Vec<f64> = result
+        .link_bytes
+        .iter()
+        .copied()
+        .filter(|&b| b > 0.0)
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64).sin().abs()).collect();
+        let c = cdf(&v, 50);
+        assert!(c.len() <= 52);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_class_matching() {
+        assert!(FlowClass::All.matches(SegmentKind::Background));
+        assert!(FlowClass::All.matches(SegmentKind::WorkerPartial));
+        assert!(!FlowClass::All.matches(SegmentKind::AggregatedOutput));
+        assert!(!FlowClass::Aggregation.matches(SegmentKind::Background));
+        assert!(FlowClass::Aggregation.matches(SegmentKind::WorkerPartial));
+        assert!(FlowClass::Background.matches(SegmentKind::Background));
+        assert!(!FlowClass::Background.matches(SegmentKind::AggregatedOutput));
+        assert!(FlowClass::Derived.matches(SegmentKind::AggregatedOutput));
+        assert!(FlowClass::Everything.matches(SegmentKind::AggregatedOutput));
+    }
+}

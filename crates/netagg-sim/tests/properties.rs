@@ -1,0 +1,190 @@
+//! Property-based tests of simulator invariants: every strategy, over
+//! randomised workload parameters, must conserve tree semantics, complete
+//! all flows, and respect capacity floors.
+
+use netagg_sim::flow::SegmentKind;
+use netagg_sim::metrics::FlowClass;
+use netagg_sim::{run_experiment, ExperimentConfig, Strategy as AggStrategy, GBPS};
+use proptest::prelude::*;
+
+fn strategies() -> impl Strategy<Value = AggStrategy> {
+    prop_oneof![
+        Just(netagg_sim::Strategy::Direct),
+        Just(netagg_sim::Strategy::RackLevel),
+        Just(netagg_sim::Strategy::DAry(1)),
+        Just(netagg_sim::Strategy::DAry(2)),
+        Just(netagg_sim::Strategy::DAry(4)),
+        Just(netagg_sim::Strategy::NetAgg),
+    ]
+}
+
+fn config(
+    strategy: netagg_sim::Strategy,
+    seed: u64,
+    alpha: f64,
+    frac: f64,
+    flows: usize,
+) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.strategy = strategy;
+    cfg.workload.seed = seed;
+    cfg.workload.alpha = alpha;
+    cfg.workload.frac_aggregatable = frac;
+    cfg.workload.num_flows = flows;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every flow completes with a positive FCT no earlier than its start,
+    /// under any strategy and workload mix.
+    #[test]
+    fn all_flows_complete(
+        strategy in strategies(),
+        seed in 0u64..1_000,
+        alpha in 0.02f64..1.0,
+        frac in 0.1f64..1.0,
+    ) {
+        let cfg = config(strategy, seed, alpha, frac, 150);
+        let result = run_experiment(&cfg);
+        prop_assert!(!result.records.is_empty());
+        for r in &result.records {
+            prop_assert!(r.finish >= r.start - 1e-12, "finish before start");
+            prop_assert!(r.finish <= result.makespan + 1e-9);
+            prop_assert!(r.size > 0.0);
+        }
+        prop_assert!(result.fct_p99(FlowClass::All) > 0.0);
+    }
+
+    /// No flow can beat the serialisation floor of a 1 Gbps edge link
+    /// (every path includes at least one edge link).
+    #[test]
+    fn edge_link_is_a_hard_floor(
+        strategy in strategies(),
+        seed in 0u64..500,
+    ) {
+        let cfg = config(strategy, seed, 0.1, 0.4, 120);
+        let edge = cfg.topology.edge_capacity;
+        let result = run_experiment(&cfg);
+        for r in &result.records {
+            // Background and worker flows traverse their source edge link.
+            if r.kind != SegmentKind::AggregatedOutput {
+                let floor = r.size / edge;
+                prop_assert!(
+                    r.fct() >= floor * (1.0 - 1e-6),
+                    "fct {} beats serialisation floor {}",
+                    r.fct(),
+                    floor
+                );
+            }
+        }
+    }
+
+    /// Identical configurations yield identical results (determinism).
+    #[test]
+    fn runs_are_deterministic(
+        strategy in strategies(),
+        seed in 0u64..200,
+    ) {
+        let cfg = config(strategy, seed, 0.1, 0.4, 100);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        prop_assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            prop_assert_eq!(x.finish, y.finish);
+            prop_assert_eq!(x.size, y.size);
+        }
+    }
+
+    /// Derived (aggregated) traffic never exceeds the raw partial-result
+    /// traffic it represents, for any alpha <= 1.
+    #[test]
+    fn aggregation_reduces_bytes(
+        strategy in prop_oneof![
+            Just(netagg_sim::Strategy::RackLevel),
+            Just(netagg_sim::Strategy::DAry(2)),
+            Just(netagg_sim::Strategy::NetAgg),
+        ],
+        seed in 0u64..500,
+        alpha in 0.02f64..1.0,
+    ) {
+        let cfg = config(strategy, seed, alpha, 0.5, 150);
+        let flows = {
+            let topo = netagg_sim::Topology::build(&cfg.topology);
+            let placement = netagg_sim::BoxPlacement::new(&topo, &cfg.deployment);
+            let workload = netagg_sim::Workload::generate(&topo, &cfg.workload);
+            netagg_sim::aggregation::expand(&topo, &placement, &workload, &cfg)
+        };
+        // Every partial result appears exactly once as a local_input (at
+        // the node that produced it), so the total raw bytes per request
+        // is the sum of local inputs.
+        let raw: f64 = flows
+            .iter()
+            .filter(|f| f.is_aggregation_traffic())
+            .map(|f| f.local_input)
+            .sum();
+        for f in &flows {
+            if f.kind == SegmentKind::AggregatedOutput {
+                // No aggregate exceeds either its own inputs or the raw
+                // total of the workload.
+                prop_assert!(f.size <= f.total_input(&flows) * (1.0 + 1e-9));
+                prop_assert!(f.size <= raw * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    /// Background traffic is byte-identical across strategies (only the
+    /// aggregation flows change).
+    #[test]
+    fn background_population_is_strategy_invariant(seed in 0u64..300) {
+        let count = |strategy| {
+            let cfg = config(strategy, seed, 0.1, 0.4, 120);
+            let r = run_experiment(&cfg);
+            let flows: Vec<(u64, u64)> = r
+                .records
+                .iter()
+                .filter(|x| x.kind == SegmentKind::Background)
+                .map(|x| (x.size as u64, (x.start * 1e9) as u64))
+                .collect();
+            flows
+        };
+        let rack = count(netagg_sim::Strategy::RackLevel);
+        let netagg = count(netagg_sim::Strategy::NetAgg);
+        prop_assert_eq!(rack, netagg);
+    }
+
+    /// Raising a box's processing rate never hurts NetAgg's aggregation
+    /// flows (monotonicity of the feasibility sweep, Fig. 2).
+    #[test]
+    fn box_rate_is_monotone(seed in 0u64..100) {
+        let mut slow = config(netagg_sim::Strategy::NetAgg, seed, 0.1, 0.4, 150);
+        slow.box_rate = 1.0 * GBPS;
+        let mut fast = slow.clone();
+        fast.box_rate = 40.0 * GBPS;
+        let p99_slow = run_experiment(&slow).fct_p99(FlowClass::Aggregation);
+        let p99_fast = run_experiment(&fast).fct_p99(FlowClass::Aggregation);
+        prop_assert!(
+            p99_fast <= p99_slow * 1.001,
+            "faster box made things worse: {p99_fast} vs {p99_slow}"
+        );
+    }
+}
+
+/// Non-proptest sanity check: a fully-aggregatable workload under NetAgg
+/// moves strictly fewer link-bytes than under Direct.
+#[test]
+fn netagg_moves_fewer_link_bytes_than_direct() {
+    for seed in [1u64, 7, 42] {
+        let total = |strategy| -> f64 {
+            let cfg = config(strategy, seed, 0.1, 1.0, 200);
+            run_experiment(&cfg).link_bytes.iter().sum()
+        };
+        let direct = total(AggStrategy::Direct);
+        let netagg = total(AggStrategy::NetAgg);
+        assert!(
+            netagg < direct,
+            "seed {seed}: netagg {netagg} >= direct {direct}"
+        );
+    }
+}

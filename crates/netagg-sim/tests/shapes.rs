@@ -1,0 +1,141 @@
+//! Shape-regression tests: pin the qualitative results of the paper's key
+//! figures at the default sweep scale so model changes that break a
+//! reproduced claim fail loudly. These run the full fluid engine and are
+//! the slowest tests in the crate (~seconds in release, tens of seconds in
+//! debug).
+
+use netagg_sim::metrics::{self, FlowClass};
+use netagg_sim::{run_experiment, ExperimentConfig, Strategy, GBPS};
+
+fn base() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default_scale();
+    cfg.workload.num_flows = 2_400;
+    cfg
+}
+
+fn p99(cfg: &ExperimentConfig, class: FlowClass) -> f64 {
+    run_experiment(cfg).fct_p99(class)
+}
+
+/// Fig. 6's headline at the default load: NetAgg beats every baseline at
+/// the 99th percentile of workload flows.
+#[test]
+fn netagg_wins_the_tail() {
+    let mut results = Vec::new();
+    for strategy in [
+        Strategy::RackLevel,
+        Strategy::DAry(2),
+        Strategy::DAry(1),
+        Strategy::NetAgg,
+    ] {
+        let mut cfg = base();
+        cfg.strategy = strategy;
+        results.push((strategy.label(), p99(&cfg, FlowClass::All)));
+    }
+    let netagg = results.last().unwrap().1;
+    for (label, v) in &results[..3] {
+        assert!(
+            netagg < *v,
+            "netagg p99 {netagg} should beat {label} p99 {v}"
+        );
+    }
+    // And the reduction vs rack is substantial (paper: large; ours >= 25%).
+    let rack = results[0].1;
+    assert!(
+        netagg < 0.75 * rack,
+        "netagg/rack = {:.3} not a substantial reduction",
+        netagg / rack
+    );
+}
+
+/// Fig. 2's feasibility claim: even a 2 Gbps box beats rack-level
+/// aggregation, and faster boxes do not do worse.
+#[test]
+fn modest_box_rates_suffice() {
+    let mut rack = base();
+    rack.strategy = Strategy::RackLevel;
+    let rack_p99 = p99(&rack, FlowClass::All);
+    let mut prev = f64::INFINITY;
+    for rate in [2.0, 6.0, 10.0] {
+        let mut cfg = base();
+        cfg.strategy = Strategy::NetAgg;
+        cfg.box_rate = rate * GBPS;
+        let v = p99(&cfg, FlowClass::All);
+        assert!(v < rack_p99, "R={rate}G: {v} vs rack {rack_p99}");
+        assert!(v <= prev * 1.05, "faster box got worse at R={rate}G");
+        prev = v;
+    }
+}
+
+/// Fig. 9's claim: the chain baseline carries much more traffic per link
+/// than rack-level; NetAgg carries the least.
+#[test]
+fn chain_link_traffic_exceeds_rack() {
+    let median = |strategy| -> f64 {
+        let mut cfg = base();
+        cfg.strategy = strategy;
+        let lt = metrics::link_traffic_sorted(&run_experiment(&cfg));
+        metrics::percentile(&lt, 0.5)
+    };
+    let rack = median(Strategy::RackLevel);
+    let chain = median(Strategy::DAry(1));
+    let netagg = median(Strategy::NetAgg);
+    assert!(
+        chain > 2.0 * rack,
+        "chain median {chain} should far exceed rack {rack}"
+    );
+    assert!(netagg < rack, "netagg {netagg} should undercut rack {rack}");
+}
+
+/// Fig. 10's claim: the more aggregatable the traffic, the larger NetAgg's
+/// benefit — strictly improving across the sweep.
+#[test]
+fn benefit_grows_with_aggregatable_fraction() {
+    let rel = |frac: f64| -> f64 {
+        let mut cfg = base();
+        cfg.workload.frac_aggregatable = frac;
+        cfg.strategy = Strategy::NetAgg;
+        let mut rack = cfg.clone();
+        rack.strategy = Strategy::RackLevel;
+        p99(&cfg, FlowClass::All) / p99(&rack, FlowClass::All)
+    };
+    let low = rel(0.2);
+    let mid = rel(0.6);
+    let high = rel(1.0);
+    assert!(mid < low, "{mid} !< {low}");
+    assert!(high < mid * 1.1, "{high} !<~ {mid}");
+    assert!(high < 0.5, "fully aggregatable workload should at least halve p99");
+}
+
+/// Fig. 7's claim: NetAgg does not hurt (and slightly helps) background
+/// traffic, while chain hurts it.
+#[test]
+fn background_traffic_is_not_harmed() {
+    let bg = |strategy| -> f64 {
+        let mut cfg = base();
+        cfg.strategy = strategy;
+        p99(&cfg, FlowClass::Background)
+    };
+    let rack = bg(Strategy::RackLevel);
+    let netagg = bg(Strategy::NetAgg);
+    let chain = bg(Strategy::DAry(1));
+    assert!(netagg <= rack * 1.05, "netagg bg {netagg} vs rack {rack}");
+    assert!(chain >= netagg, "chain bg {chain} vs netagg {netagg}");
+}
+
+/// Fig. 3's cost-effectiveness ordering: NetAgg's cost is a small fraction
+/// of any fabric upgrade while still improving the tail substantially.
+#[test]
+fn netagg_is_cost_effective() {
+    use netagg_sim::{CostModel, UpgradeOption};
+    let prices = CostModel::default();
+    let topo = base().topology;
+    let netagg_cost = UpgradeOption::NetAgg.upgrade_cost(&topo, &prices);
+    let fabric_cost = UpgradeOption::Oversub10G.upgrade_cost(&topo, &prices);
+    assert!(netagg_cost < 0.5 * fabric_cost);
+
+    let base_cfg = base();
+    let rack_p99 = p99(&UpgradeOption::Base.experiment(&base_cfg), FlowClass::All);
+    let netagg_p99 = p99(&UpgradeOption::NetAgg.experiment(&base_cfg), FlowClass::All);
+    assert!(netagg_p99 < 0.8 * rack_p99);
+}

@@ -1,0 +1,178 @@
+//! Writing your own aggregation function: an approximate distinct-count
+//! sketch aggregated on-path.
+//!
+//! The platform runs ANY associative + commutative function on the agg
+//! boxes. This example builds a HyperLogLog-style cardinality sketch —
+//! workers count distinct user ids locally, boxes merge sketches with a
+//! register-wise max, and the master reads one estimate — and shows the
+//! recommended workflow:
+//!
+//!  1. implement [`AggregationFunction`],
+//!  2. verify the algebraic laws with [`netagg_core::laws`]
+//!     (a function that fails them gives tree-shape-dependent answers),
+//!  3. deploy and aggregate on-path.
+//!
+//! Run with: `cargo run --example custom_aggregation`
+
+use bytes::Bytes;
+use netagg_core::prelude::*;
+use netagg_core::{laws, protocol_hash};
+use netagg_net::ChannelTransport;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of HyperLogLog registers (2^8; ~6.5 % standard error).
+const REGISTERS: usize = 256;
+
+/// A HyperLogLog cardinality sketch: register `i` holds the maximum
+/// leading-zero rank observed among hashes routed to bucket `i`.
+#[derive(Clone, PartialEq, Eq)]
+struct Sketch {
+    registers: [u8; REGISTERS],
+}
+
+impl Sketch {
+    fn new() -> Self {
+        Self {
+            registers: [0; REGISTERS],
+        }
+    }
+
+    /// Observe one item.
+    fn insert(&mut self, item: u64) {
+        let h = protocol_hash(item);
+        let bucket = (h & (REGISTERS as u64 - 1)) as usize;
+        // Rank = position of the first 1-bit in the remaining 56 bits.
+        let rank = ((h >> 8) | (1 << 56)).trailing_zeros() as u8 + 1;
+        self.registers[bucket] = self.registers[bucket].max(rank);
+    }
+
+    /// Merge another sketch into this one (register-wise max): the
+    /// associative, commutative operation the boxes run.
+    fn merge(&mut self, other: &Sketch) {
+        for (r, o) in self.registers.iter_mut().zip(&other.registers) {
+            *r = (*r).max(*o);
+        }
+    }
+
+    /// Standard HyperLogLog estimator with the small-range correction.
+    fn estimate(&self) -> f64 {
+        let m = REGISTERS as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(r as i32)))
+            .sum();
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+/// The platform adapter: one register byte-array on the wire.
+struct DistinctCount;
+
+impl AggregationFunction for DistinctCount {
+    type Item = Sketch;
+
+    fn deserialize(&self, payload: &Bytes) -> Result<Sketch, AggError> {
+        if payload.len() != REGISTERS {
+            return Err(AggError::Corrupt(format!(
+                "sketch must be {REGISTERS} bytes, got {}",
+                payload.len()
+            )));
+        }
+        let mut s = Sketch::new();
+        s.registers.copy_from_slice(payload);
+        Ok(s)
+    }
+
+    fn serialize(&self, item: &Sketch) -> Bytes {
+        Bytes::copy_from_slice(&item.registers)
+    }
+
+    fn aggregate(&self, items: Vec<Sketch>) -> Sketch {
+        let mut out = Sketch::new();
+        for s in &items {
+            out.merge(s);
+        }
+        out
+    }
+
+    fn empty(&self) -> Sketch {
+        Sketch::new()
+    }
+}
+
+fn main() {
+    // Step 1: check the laws BEFORE deploying. Register-wise max is
+    // associative, commutative, and the all-zero sketch is its identity —
+    // but verify mechanically rather than by argument.
+    let sample_payloads: Vec<Bytes> = (0..6)
+        .map(|w| {
+            let mut s = Sketch::new();
+            for i in 0..500u64 {
+                s.insert(w * 137 + i * 3);
+            }
+            DistinctCount.serialize(&s)
+        })
+        .collect();
+    laws::assert_laws(&DistinctCount, &sample_payloads);
+    println!("laws hold: merge consistency, commutativity, identity, stability");
+
+    // Step 2: deploy. Two racks, one agg box each; sketches merge at the
+    // rack box, then at the root box, and the master sees ONE sketch.
+    let transport = Arc::new(ChannelTransport::new());
+    let cluster = ClusterSpec::multi_rack(2, 4, 1);
+    let mut deployment = NetAggDeployment::launch(transport, &cluster).expect("launch");
+    let app = deployment.register_app("distinct", Arc::new(AggWrapper::new(DistinctCount)), 1.0);
+    let master = deployment.master_shim(app);
+    let workers: Vec<_> = cluster
+        .all_workers()
+        .into_iter()
+        .map(|w| deployment.worker_shim(app, w))
+        .collect();
+
+    // Step 3: each worker observes an overlapping slice of a stream of
+    // user ids (heavy duplication across workers) and ships ONE sketch.
+    let ids_per_worker = 30_000u64;
+    let overlap = 10_000u64; // shared prefix seen by every worker
+    let pending = master.register_request(1, workers.len());
+    for (i, w) in workers.iter().enumerate() {
+        let mut sketch = Sketch::new();
+        for id in 0..overlap {
+            sketch.insert(id);
+        }
+        let base = overlap + i as u64 * (ids_per_worker - overlap);
+        for id in 0..(ids_per_worker - overlap) {
+            sketch.insert(base + id);
+        }
+        w.send_partial(1, DistinctCount.serialize(&sketch))
+            .expect("send sketch");
+    }
+    let result = pending.wait(Duration::from_secs(10)).expect("aggregate");
+    let merged = DistinctCount.deserialize(&result.combined).expect("decode");
+
+    let true_distinct = overlap + workers.len() as u64 * (ids_per_worker - overlap);
+    let estimate = merged.estimate();
+    let err = (estimate - true_distinct as f64).abs() / true_distinct as f64;
+    println!(
+        "true distinct ids: {true_distinct}, on-path estimate: {estimate:.0} ({:.1} % error)",
+        err * 100.0
+    );
+    println!(
+        "master received {} sketch(es) of {} bytes — not {} workers x {} bytes",
+        result.master_inputs,
+        result.master_input_bytes,
+        workers.len(),
+        REGISTERS
+    );
+    assert!(err < 0.25, "estimate should be within the sketch's error bound");
+    assert_eq!(result.master_inputs, 1, "aggregation happened on-path");
+    deployment.shutdown();
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the NetAgg reproduction: re-exports the workspace
+//! crates so examples and integration tests have one coherent entry point.
+//!
+//! * [`netagg_core`] — the middlebox platform (the paper's contribution).
+//! * [`netagg_net`] — transports, framing, link emulation, fault injection.
+//! * [`netagg_sim`] — the flow-level data-centre simulator.
+//! * [`minisearch`] — the distributed search engine (Solr substitute).
+//! * [`minimr`] — the map/reduce framework (Hadoop substitute).
+
+pub use minimr;
+pub use minisearch;
+pub use netagg_core;
+pub use netagg_net;
+pub use netagg_sim;

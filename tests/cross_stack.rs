@@ -1,0 +1,285 @@
+//! Cross-crate integration tests: both applications sharing one NetAgg
+//! deployment, the emulated testbed reproducing the paper's headline
+//! ratios at small scale, and simulation/testbed consistency.
+
+use bytes::Bytes;
+use minimr::cluster::{JobConfig, MRCluster};
+use minimr::jobs::Benchmark;
+use minisearch::corpus::CorpusConfig;
+use minisearch::frontend::FrontendConfig;
+use minisearch::netagg::{SearchCluster, SearchFunction};
+use netagg_repro::netagg_core::prelude::*;
+use netagg_repro::netagg_core::runtime::NetAggDeployment;
+use netagg_repro::netagg_core::shim::TreeSelection;
+use netagg_repro::netagg_sim;
+use netagg_net::{ChannelTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Both applications (search + map/reduce) share one deployment and one
+/// agg box; the box's scheduler accounts CPU per application.
+#[test]
+fn search_and_mapreduce_share_one_deployment() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster_spec = ClusterSpec::single_rack(4, 1);
+    let mut dep = NetAggDeployment::launch(transport.clone(), &cluster_spec).unwrap();
+
+    let mut search = SearchCluster::launch(
+        &mut dep,
+        transport.clone(),
+        &CorpusConfig {
+            num_docs: 200,
+            vocabulary: 800,
+            mean_words: 40,
+            markers_per_doc: 3,
+            seed: 5,
+        },
+        SearchFunction::TopK { k: 10 },
+        FrontendConfig {
+            backend_k: 30,
+            timeout: Duration::from_secs(10),
+        },
+        2.0,
+    )
+    .unwrap();
+    let mr = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    assert_ne!(search.app, mr.app);
+
+    // Interleave work from both applications.
+    let mr_inputs = vec![
+        vec![Bytes::from_static(b"x y x")],
+        vec![Bytes::from_static(b"y z")],
+        vec![Bytes::from_static(b"x")],
+        vec![],
+    ];
+    let mr_result = mr.run(mr_inputs, &JobConfig::default()).unwrap();
+    for q in 0..5 {
+        let out = search
+            .frontend
+            .query(&[minisearch::corpus::word(q)])
+            .unwrap();
+        assert!(out.latency < Duration::from_secs(10));
+    }
+    let count = |k: &[u8]| {
+        mr_result
+            .output
+            .iter()
+            .find(|p| p.key.as_ref() == k)
+            .and_then(|p| minimr::types::parse_u64(&p.value))
+    };
+    assert_eq!(count(b"x"), Some(3));
+    assert_eq!(count(b"y"), Some(2));
+
+    // The box's scheduler ran tasks for both applications.
+    let cpu = dep.boxes()[0].scheduler().cpu_times();
+    assert_eq!(cpu.len(), 2);
+    for c in &cpu {
+        assert!(c.tasks_run > 0, "app {:?} ran no box tasks", c.app);
+    }
+    search.shutdown();
+    dep.shutdown();
+}
+
+/// The simulator's headline comparison holds under contention: NetAgg
+/// beats rack-level aggregation at the 99th percentile of workload flows.
+#[test]
+fn sim_netagg_beats_rack_under_load() {
+    use netagg_sim::metrics::FlowClass;
+    let mut base = netagg_sim::ExperimentConfig::default_scale();
+    base.workload.num_flows = 1_200;
+    let mut rack = base.clone();
+    rack.strategy = netagg_sim::Strategy::RackLevel;
+    let mut netagg = base;
+    netagg.strategy = netagg_sim::Strategy::NetAgg;
+    let rack_p99 = netagg_sim::run_experiment(&rack).fct_p99(FlowClass::All);
+    let net_p99 = netagg_sim::run_experiment(&netagg).fct_p99(FlowClass::All);
+    assert!(
+        net_p99 < rack_p99,
+        "netagg p99 {net_p99} should beat rack {rack_p99}"
+    );
+    // Aggregation flows see the strongest effect (the funnel moves from a
+    // 1 Gbps server to a 10 Gbps box).
+    let rack_agg = netagg_sim::run_experiment(&rack).fct_p99(FlowClass::Aggregation);
+    let net_agg = netagg_sim::run_experiment(&netagg).fct_p99(FlowClass::Aggregation);
+    assert!(net_agg < 0.7 * rack_agg, "agg flows: {net_agg} vs {rack_agg}");
+}
+
+/// The flow-level simulator and the emulated testbed agree on the headline
+/// mechanism: on-path aggregation relieves the master's edge link.
+#[test]
+fn sim_and_testbed_agree_on_reduction() {
+    use netagg_sim::metrics::FlowClass;
+    // Simulator at quick scale.
+    let mut cfg = netagg_sim::ExperimentConfig::quick();
+    cfg.workload.num_flows = 400;
+    cfg.strategy = netagg_sim::Strategy::NetAgg;
+    let sim = netagg_sim::run_experiment(&cfg);
+    assert!(sim.fct_p99(FlowClass::All) > 0.0);
+    // Derived segments carry less than the raw partials (data reduction).
+    let raw: f64 = sim
+        .records
+        .iter()
+        .filter(|r| netagg_sim::metrics::FlowClass::Aggregation.matches(r.kind))
+        .map(|r| r.size)
+        .sum();
+    let derived: f64 = sim
+        .records
+        .iter()
+        .filter(|r| netagg_sim::metrics::FlowClass::Derived.matches(r.kind))
+        .map(|r| r.size)
+        .sum();
+    assert!(
+        derived < raw,
+        "derived {derived} should be reduced below raw {raw}"
+    );
+}
+
+/// One deployment with the straggler policy enabled serves both
+/// applications and completes requests even when a rack box lags.
+#[test]
+fn multi_rack_search_with_straggler_policy() {
+    use netagg_repro::netagg_core::runtime::DeploymentConfig;
+    use netagg_repro::netagg_core::straggler::StragglerPolicy;
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster_spec = ClusterSpec::multi_rack(2, 2, 1);
+    let mut dep = NetAggDeployment::launch_with(
+        transport.clone(),
+        &cluster_spec,
+        DeploymentConfig {
+            straggler: Some(StragglerPolicy {
+                threshold: Duration::from_millis(300),
+                repeat_limit: 100,
+            }),
+            ..DeploymentConfig::default()
+        },
+    )
+    .unwrap();
+    let mut search = SearchCluster::launch(
+        &mut dep,
+        transport,
+        &CorpusConfig {
+            num_docs: 150,
+            vocabulary: 500,
+            mean_words: 30,
+            markers_per_doc: 3,
+            seed: 9,
+        },
+        SearchFunction::TopK { k: 5 },
+        FrontendConfig {
+            backend_k: 20,
+            timeout: Duration::from_secs(10),
+        },
+        1.0,
+    )
+    .unwrap();
+    for q in 0..8 {
+        let out = search
+            .frontend
+            .query(&[minisearch::corpus::word(q % 20)])
+            .unwrap();
+        assert!(out.results.docs.len() <= 5);
+    }
+    search.shutdown();
+    dep.shutdown();
+}
+
+/// A search cluster keeps answering queries after its agg box dies: the
+/// failure detector re-points the backends' shims at the master and
+/// replay buffers recover the in-flight query.
+#[test]
+fn search_survives_box_failure() {
+    use netagg_repro::netagg_core::failure::DetectorConfig;
+    use netagg_net::{FaultController, FaultTransport};
+    let ctl = FaultController::new();
+    let transport: Arc<dyn Transport> =
+        Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
+    let cluster_spec = ClusterSpec::single_rack(4, 1);
+    let mut dep = NetAggDeployment::launch(transport.clone(), &cluster_spec).unwrap();
+    let mut search = SearchCluster::launch(
+        &mut dep,
+        transport,
+        &CorpusConfig {
+            num_docs: 200,
+            vocabulary: 800,
+            mean_words: 40,
+            markers_per_doc: 3,
+            seed: 11,
+        },
+        SearchFunction::TopK { k: 10 },
+        FrontendConfig {
+            backend_k: 30,
+            timeout: Duration::from_secs(10),
+        },
+        1.0,
+    )
+    .unwrap();
+    dep.enable_failure_detection(DetectorConfig {
+        interval: Duration::from_millis(30),
+        timeout: Duration::from_millis(60),
+        misses: 2,
+    });
+
+    let before = search
+        .frontend
+        .query(&[minisearch::corpus::word(0)])
+        .unwrap();
+    assert!(!before.results.docs.is_empty());
+
+    ctl.kill(dep.boxes()[0].addr());
+    std::thread::sleep(Duration::from_millis(400)); // detector fires
+
+    // Queries after the failure bypass the dead box and return the same
+    // results (the merge is deterministic either way).
+    let after = search
+        .frontend
+        .query(&[minisearch::corpus::word(0)])
+        .unwrap();
+    let ids = |o: &minisearch::QueryOutcome| o.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
+    assert_eq!(ids(&before), ids(&after));
+    ctl.revive(dep.boxes()[0].addr());
+    search.shutdown();
+    dep.shutdown();
+}
+
+/// Speculative re-execution emits duplicate mapper output; the boxes'
+/// per-source sequence suppression keeps the job's result exact.
+#[test]
+fn mapreduce_speculative_duplicates_are_exact() {
+    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
+    let cluster_spec = ClusterSpec::single_rack(3, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster_spec).unwrap();
+    let mr = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let inputs = vec![
+        vec![Bytes::from_static(b"a b a c"), Bytes::from_static(b"b b")],
+        vec![Bytes::from_static(b"c a")],
+        vec![Bytes::from_static(b"a")],
+    ];
+    let plain = mr
+        .run(inputs.clone(), &JobConfig { request_id: 1, ..JobConfig::default() })
+        .unwrap();
+    let speculative = mr
+        .run(
+            inputs,
+            &JobConfig {
+                request_id: 2,
+                speculate_every: 1, // every worker re-sends its chunks
+                ..JobConfig::default()
+            },
+        )
+        .unwrap();
+    assert!(minimr::types::outputs_equivalent(
+        &plain.output,
+        &speculative.output
+    ));
+    let count = |k: &[u8]| {
+        speculative
+            .output
+            .iter()
+            .find(|p| p.key.as_ref() == k)
+            .and_then(|p| minimr::types::parse_u64(&p.value))
+    };
+    assert_eq!(count(b"a"), Some(4));
+    assert_eq!(count(b"b"), Some(3));
+    assert_eq!(count(b"c"), Some(2));
+    dep.shutdown();
+}
