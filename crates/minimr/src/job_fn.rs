@@ -1,5 +1,5 @@
 //! Closure-based job construction: define a map/reduce job from three
-//! functions without implementing [`Job`](crate::job::Job) by hand.
+//! functions without implementing [`Job`] by hand.
 //!
 //! ```
 //! use bytes::Bytes;

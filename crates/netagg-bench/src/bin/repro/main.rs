@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <target> [--quick|--paper] [--seeds N]
+//! repro <target> [--quick|--paper] [--seeds N] [--metrics]
 //! targets: fig2 fig3 tab1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!          fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23
 //!          fig24 fig25 fig26
@@ -29,6 +29,8 @@ pub struct Options {
     pub seeds: Option<u64>,
     /// Seconds per load point in testbed drives.
     pub drive_secs: f64,
+    /// Dump the process-global metrics snapshot as JSON after the run.
+    pub metrics: bool,
 }
 
 impl Options {
@@ -44,6 +46,7 @@ fn main() {
         scale: SimScale::Default,
         seeds: None,
         drive_secs: 2.0,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -53,6 +56,7 @@ fn main() {
                 opts.drive_secs = 0.8;
             }
             "--paper" => opts.scale = SimScale::Paper,
+            "--metrics" => opts.metrics = true,
             "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.seeds = Some(n),
                 None => usage("--seeds needs a number"),
@@ -130,12 +134,18 @@ fn main() {
         }
         t => run_one(t),
     }
+
+    if opts.metrics {
+        // Everything the figures built — emulated deployments, shims,
+        // transports, simulation sweeps — publishes into this registry.
+        println!("\n{}", netagg_bench::obs::global().snapshot().to_json());
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <fig2..fig26|tab1|ablate-*|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S]"
+        "usage: repro <fig2..fig26|tab1|ablate-*|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics]"
     );
     std::process::exit(2);
 }

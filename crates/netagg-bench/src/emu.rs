@@ -104,7 +104,7 @@ pub fn search_testbed(
     // The search app will be AppId(0): endpoints are declared up front.
     let emu = build_emu(&cfg, &[AppId(0)]);
     let transport: Arc<dyn Transport> = Arc::new(emu);
-    let mut deployment = NetAggDeployment::launch_with(
+    let mut deployment = NetAggDeployment::launch_with_obs(
         transport.clone(),
         &cfg.cluster_spec(),
         DeploymentConfig {
@@ -115,6 +115,7 @@ pub fn search_testbed(
             selection: cfg.selection,
             ..DeploymentConfig::default()
         },
+        crate::obs::global().clone(),
     )
     .expect("launch deployment");
     let cluster = SearchCluster::launch(
@@ -211,7 +212,7 @@ pub fn drive_search(testbed: &SearchTestbed, clients: u32, duration: Duration) -
 pub fn mr_deployment(cfg: &TestbedConfig) -> (NetAggDeployment, Arc<dyn Transport>) {
     let emu = build_emu(cfg, &[AppId(0)]);
     let transport: Arc<dyn Transport> = Arc::new(emu);
-    let deployment = NetAggDeployment::launch_with(
+    let deployment = NetAggDeployment::launch_with_obs(
         transport.clone(),
         &cfg.cluster_spec(),
         DeploymentConfig {
@@ -222,6 +223,7 @@ pub fn mr_deployment(cfg: &TestbedConfig) -> (NetAggDeployment, Arc<dyn Transpor
             selection: cfg.selection,
             ..DeploymentConfig::default()
         },
+        crate::obs::global().clone(),
     )
     .expect("launch deployment");
     (deployment, transport)

@@ -3,6 +3,7 @@
 //! plain-text table printer.
 
 pub mod emu;
+pub mod obs;
 pub mod sim;
 pub mod table;
 

@@ -1,0 +1,19 @@
+//! Process-wide metrics registry for the benchmark binaries.
+//!
+//! The `repro` figures build deployments and run simulations deep inside
+//! the figure drivers; rather than thread a registry through every one,
+//! the harness publishes everything into a single process-global
+//! [`MetricsRegistry`]. `repro --metrics` dumps it as JSON after the
+//! figure completes. Counters accumulate across seeds and load points of
+//! a figure, which is what you want for a per-figure traffic/latency
+//! record (see EXPERIMENTS.md).
+
+use netagg_obs::MetricsRegistry;
+use std::sync::OnceLock;
+
+/// The process-global registry all testbeds and simulation sweeps in this
+/// crate publish into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}

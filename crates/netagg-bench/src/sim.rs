@@ -3,7 +3,7 @@
 //! baseline as the paper does.
 
 use netagg_sim::metrics::FlowClass;
-use netagg_sim::{run_experiment, ExperimentConfig, SimResult, Strategy};
+use netagg_sim::{run_experiment_with_obs, ExperimentConfig, SimResult, Strategy};
 
 /// Scale of the sweeps: `quick` shrinks workloads for CI, `full` uses the
 /// paper-scale topology.
@@ -55,7 +55,7 @@ pub fn mean_p99(cfg: &ExperimentConfig, class: FlowClass, seeds: u64) -> f64 {
     for s in 0..seeds {
         let mut c = cfg.clone();
         c.workload.seed = 42 + s * 1_000;
-        total += run_experiment(&c).fct_p99(class);
+        total += run_experiment_with_obs(&c, crate::obs::global()).fct_p99(class);
     }
     total / seeds as f64
 }
@@ -72,7 +72,7 @@ pub fn p99_relative_to_rack(cfg: &ExperimentConfig, class: FlowClass, seeds: u64
 
 /// One full run for CDF-style figures (single seed, deterministic).
 pub fn single_run(cfg: &ExperimentConfig) -> SimResult {
-    run_experiment(cfg)
+    run_experiment_with_obs(cfg, crate::obs::global())
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use crate::DynAggregator;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,6 +43,9 @@ pub struct AggBoxConfig {
     /// this many bytes, instead of holding the whole request in memory
     /// (`None` = emit only the final aggregate).
     pub flush_bytes: Option<usize>,
+    /// Metrics registry the box (and its scheduler) publishes to
+    /// (`aggbox.*`, `straggler.*`). `None` disables metrics.
+    pub obs: Option<MetricsRegistry>,
 }
 
 impl AggBoxConfig {
@@ -55,6 +59,7 @@ impl AggBoxConfig {
             straggler_threshold: None,
             straggler_repeat_limit: 3,
             flush_bytes: None,
+            obs: None,
         }
     }
 }
@@ -148,6 +153,37 @@ impl OutReplay {
     }
 }
 
+/// Pre-resolved metric handles mirroring [`BoxStats`] into a
+/// [`MetricsRegistry`] (plus latency and event streams the legacy counters
+/// do not carry).
+struct BoxObs {
+    messages_in: std::sync::Arc<Counter>,
+    bytes_in: std::sync::Arc<Counter>,
+    requests_completed: std::sync::Arc<Counter>,
+    duplicates_dropped: std::sync::Arc<Counter>,
+    send_errors: std::sync::Arc<Counter>,
+    request_agg_us: std::sync::Arc<Histogram>,
+    straggler_redirects: std::sync::Arc<Counter>,
+    straggler_escalations: std::sync::Arc<Counter>,
+    registry: MetricsRegistry,
+}
+
+impl BoxObs {
+    fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            messages_in: registry.counter("aggbox.messages_in"),
+            bytes_in: registry.counter("aggbox.bytes_in"),
+            requests_completed: registry.counter("aggbox.requests_completed"),
+            duplicates_dropped: registry.counter("aggbox.duplicates_dropped"),
+            send_errors: registry.counter("aggbox.send_errors"),
+            request_agg_us: registry.histogram("aggbox.request_agg_us"),
+            straggler_redirects: registry.counter("straggler.redirects"),
+            straggler_escalations: registry.counter("straggler.escalations"),
+            registry,
+        }
+    }
+}
+
 /// Counters exposed for the evaluation harness.
 #[derive(Debug, Default)]
 pub struct BoxStats {
@@ -209,6 +245,7 @@ struct Inner {
     egress_tx: Sender<(NodeId, Message)>,
     shutdown: AtomicBool,
     stats: BoxStats,
+    obs: Option<BoxObs>,
 }
 
 /// A running agg box.
@@ -223,7 +260,11 @@ impl AggBox {
     pub fn start(transport: Arc<dyn Transport>, cfg: AggBoxConfig) -> Result<Arc<Self>, NetError> {
         let mut listener = transport.bind(cfg.addr)?;
         let (egress_tx, egress_rx) = unbounded();
-        let scheduler = Arc::new(TaskScheduler::new(cfg.scheduler.clone()));
+        let scheduler = Arc::new(TaskScheduler::new_with_obs(
+            cfg.scheduler.clone(),
+            cfg.obs.clone(),
+        ));
+        let obs = cfg.obs.clone().map(BoxObs::new);
         let inner = Arc::new(Inner {
             cfg,
             transport: transport.clone(),
@@ -237,6 +278,7 @@ impl AggBox {
             egress_tx,
             shutdown: AtomicBool::new(false),
             stats: BoxStats::default(),
+            obs,
         });
         let boxed = Arc::new(Self {
             inner: inner.clone(),
@@ -534,6 +576,10 @@ fn handle_data(
         .stats
         .bytes_in
         .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    if let Some(o) = &inner.obs {
+        o.messages_in.inc();
+        o.bytes_in.add(payload.len() as u64);
+    }
     let to_close = {
         let mut states = inner.states.lock();
         let Some(st) = get_or_create(inner, &mut states, app, request, tree) else {
@@ -541,12 +587,18 @@ fn handle_data(
         };
         if st.ignored.contains(&source) {
             inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &inner.obs {
+                o.duplicates_dropped.inc();
+            }
             return;
         }
         // Duplicate suppression (failure recovery resends).
         if let Some(&prev) = st.last_seq.get(&source) {
             if seq <= prev {
                 inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &inner.obs {
+                    o.duplicates_dropped.inc();
+                }
                 return;
             }
         }
@@ -640,12 +692,12 @@ fn get_or_create<'a>(
                         .map(|r| r.parent)
                 });
                 let Some(dest) = dest else { return };
-                let seq = inner
+                let (seq, first_data) = inner
                     .states
                     .lock()
                     .get(&(app, request, tree))
-                    .map(|st| st.out_seq)
-                    .unwrap_or(0);
+                    .map(|st| (st.out_seq, Some(st.first_data)))
+                    .unwrap_or((0, None));
                 let msg = Message::Data {
                     app,
                     request,
@@ -655,18 +707,29 @@ fn get_or_create<'a>(
                     last: true,
                     payload: payload.clone(),
                 };
-                let _ = inner.egress_tx.send((dest, msg));
-                inner
-                    .out_replay
-                    .lock()
-                    .record((app, request, tree), payload);
+                // Count the completion before handing the aggregate to the
+                // egress thread: observers polling after the master saw the
+                // result must find the counter already incremented.
                 inner
                     .stats
                     .requests_completed
                     .fetch_add(1, Ordering::Relaxed);
-                // Clean up the request state.
+                if let Some(o) = &inner.obs {
+                    o.requests_completed.inc();
+                    if let Some(t0) = first_data {
+                        // First data byte in → final aggregate out.
+                        o.request_agg_us.record_duration(t0.elapsed());
+                    }
+                }
+                inner
+                    .out_replay
+                    .lock()
+                    .record((app, request, tree), payload);
+                // Clean up the request state (also before the egress
+                // hand-off, for the same observer-visibility reason).
                 inner.states.lock().remove(&(app, request, tree));
                 inner.out_redirects.lock().remove(&(app, request, tree));
+                let _ = inner.egress_tx.send((dest, msg));
             }));
             Some(v.insert(ReqState {
                 tree: ltree,
@@ -722,6 +785,9 @@ fn egress_loop(inner: &Arc<Inner>, rx: Receiver<(NodeId, Message)>) {
         }
         if !sent {
             inner.stats.send_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = &inner.obs {
+                o.send_errors.inc();
+            }
         }
     }
 }
@@ -831,6 +897,23 @@ fn straggler_loop(inner: &Arc<Inner>) {
             *counts.entry(box_id).or_insert(0) += 1;
             let escalate = counts[&box_id] >= inner.cfg.straggler_repeat_limit;
             drop(counts);
+            if let Some(o) = &inner.obs {
+                o.straggler_redirects.inc();
+                o.registry.emit(
+                    "straggler",
+                    format!(
+                        "box {} bypassed child box {box_id} for app {} request {} tree {}{}",
+                        inner.cfg.box_id,
+                        app.0,
+                        request.0,
+                        tree.0,
+                        if escalate { " (escalated to permanent)" } else { "" },
+                    ),
+                );
+                if escalate {
+                    o.straggler_escalations.inc();
+                }
+            }
             if escalate {
                 // Repeated slowness across requests: treat the box as
                 // permanently failed (Section 3.1) — its children re-point

@@ -15,6 +15,7 @@
 //! (Fig. 26).
 
 use crate::protocol::AppId;
+use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,6 +64,32 @@ struct AppQueue {
     tasks_run: u64,
     /// Tasks that panicked (isolated; the pool thread survives).
     tasks_panicked: u64,
+    /// Published effective WFQ weight (`aggbox.wfq_weight.app<N>`).
+    wfq_weight: Option<Arc<Gauge>>,
+}
+
+/// Pre-resolved metric handles so the hot worker loop never does a name
+/// lookup.
+struct SchedObs {
+    tasks_executed: Arc<Counter>,
+    tasks_panicked: Arc<Counter>,
+    tasks_dropped: Arc<Counter>,
+    task_exec_us: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    registry: MetricsRegistry,
+}
+
+impl SchedObs {
+    fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            tasks_executed: registry.counter("aggbox.tasks_executed"),
+            tasks_panicked: registry.counter("aggbox.tasks_panicked"),
+            tasks_dropped: registry.counter("aggbox.tasks_dropped"),
+            task_exec_us: registry.histogram("aggbox.task_exec_us"),
+            queue_depth: registry.gauge("aggbox.queue_depth"),
+            registry,
+        }
+    }
 }
 
 struct State {
@@ -78,6 +105,7 @@ struct Inner {
     idle_cv: Condvar,
     shutdown: AtomicBool,
     cfg: SchedulerConfig,
+    obs: Option<SchedObs>,
 }
 
 /// Per-application CPU accounting snapshot.
@@ -105,6 +133,13 @@ pub struct TaskScheduler {
 impl TaskScheduler {
     /// Start a pool of `cfg.threads` worker threads.
     pub fn new(cfg: SchedulerConfig) -> Self {
+        Self::new_with_obs(cfg, None)
+    }
+
+    /// Like [`TaskScheduler::new`], but additionally publishing scheduler
+    /// metrics (`aggbox.tasks_*`, `aggbox.task_exec_us`,
+    /// `aggbox.queue_depth`, `aggbox.wfq_weight.app<N>`) to `obs`.
+    pub fn new_with_obs(cfg: SchedulerConfig, obs: Option<MetricsRegistry>) -> Self {
         assert!(cfg.threads > 0);
         assert!(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0);
         let inner = Arc::new(Inner {
@@ -118,6 +153,7 @@ impl TaskScheduler {
             idle_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cfg: cfg.clone(),
+            obs: obs.map(SchedObs::new),
         });
         let workers = (0..cfg.threads)
             .map(|i| {
@@ -135,6 +171,13 @@ impl TaskScheduler {
     /// relative (they need not sum to 1).
     pub fn register_app(&self, app: AppId, share: f64) {
         assert!(share > 0.0);
+        let wfq_weight = self.inner.obs.as_ref().map(|o| {
+            let g = o.registry.gauge(&format!("aggbox.wfq_weight.app{}", app.0));
+            // Before the first measurement the effective weight equals the
+            // configured share (see `weight`'s unmeasured-app handling).
+            g.set(share);
+            g
+        });
         let mut s = self.inner.state.lock();
         s.apps.entry(app).or_insert(AppQueue {
             queue: VecDeque::new(),
@@ -143,6 +186,7 @@ impl TaskScheduler {
             cpu_time: 0.0,
             tasks_run: 0,
             tasks_panicked: 0,
+            wfq_weight,
         });
     }
 
@@ -155,6 +199,9 @@ impl TaskScheduler {
             .unwrap_or_else(|| panic!("app {app:?} not registered"));
         q.queue.push_back(task);
         s.queued += 1;
+        if let Some(o) = &self.inner.obs {
+            o.queue_depth.set(s.queued as f64);
+        }
         drop(s);
         self.inner.work_cv.notify_one();
     }
@@ -200,6 +247,14 @@ impl TaskScheduler {
     /// is detached instead of joined.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(o) = &self.inner.obs {
+            // Account the tasks this shutdown abandons.
+            let mut s = self.inner.state.lock();
+            let dropped: usize = s.apps.values_mut().map(|q| q.queue.drain(..).count()).sum();
+            s.queued = 0;
+            o.tasks_dropped.add(dropped as u64);
+            o.queue_depth.set(0.0);
+        }
         self.inner.work_cv.notify_all();
         let me = std::thread::current().id();
         for w in self.workers.drain(..) {
@@ -284,6 +339,9 @@ fn worker_loop(inner: &Inner) {
             let task = q.queue.pop_front().expect("non-empty queue");
             s.queued -= 1;
             s.running += 1;
+            if let Some(o) = &inner.obs {
+                o.queue_depth.set(s.queued as f64);
+            }
             (app, task)
         };
         let (app, task) = task;
@@ -292,7 +350,15 @@ fn worker_loop(inner: &Inner) {
         // take down the pool thread or other applications (the paper lists
         // this isolation as future work; we provide the panic half of it).
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err();
-        let dt = t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed();
+        let dt = elapsed.as_secs_f64();
+        if let Some(o) = &inner.obs {
+            o.tasks_executed.inc();
+            if panicked {
+                o.tasks_panicked.inc();
+            }
+            o.task_exec_us.record_duration(elapsed);
+        }
         let mut s = inner.state.lock();
         s.running -= 1;
         if let Some(q) = s.apps.get_mut(&app) {
@@ -304,6 +370,9 @@ fn worker_loop(inner: &Inner) {
             } else {
                 (1.0 - inner.cfg.ema_alpha) * q.ema_task_time + inner.cfg.ema_alpha * dt
             };
+            if let Some(g) = &q.wfq_weight {
+                g.set(weight(&inner.cfg, q));
+            }
         }
         if s.queued == 0 && s.running == 0 {
             inner.idle_cv.notify_all();
@@ -461,6 +530,32 @@ mod tests {
         assert_eq!(faulty.tasks_panicked, 5);
         let healthy = cpu.iter().find(|c| c.app == AppId(2)).unwrap();
         assert_eq!(healthy.tasks_panicked, 0);
+    }
+
+    #[test]
+    fn obs_counts_tasks_and_weights() {
+        let obs = netagg_obs::MetricsRegistry::new();
+        let mut s = TaskScheduler::new_with_obs(cfg(2, true), Some(obs.clone()));
+        s.register_app(AppId(3), 2.0);
+        for _ in 0..10 {
+            s.submit(AppId(3), Box::new(|| std::thread::sleep(Duration::from_micros(200))));
+        }
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        // Queue a task that can never run, then shut down: it must be
+        // accounted as dropped.
+        s.inner.shutdown.store(true, Ordering::SeqCst);
+        s.submit(AppId(3), Box::new(|| {}));
+        s.shutdown();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("aggbox.tasks_executed"), Some(10));
+        assert_eq!(snap.counter("aggbox.tasks_dropped"), Some(1));
+        assert_eq!(snap.counter("aggbox.tasks_panicked"), Some(0));
+        let h = snap.histogram("aggbox.task_exec_us").unwrap();
+        assert_eq!(h.count, 10);
+        assert!(h.p50 >= 200, "tasks sleep 200us, p50 was {}", h.p50);
+        let w = snap.gauge("aggbox.wfq_weight.app3").unwrap();
+        assert!(w > 0.0);
+        assert_eq!(snap.gauge("aggbox.queue_depth"), Some(0.0));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::protocol::{AppId, Message, TreeId};
 use netagg_net::{NetError, NodeId, Transport};
+use netagg_obs::MetricsRegistry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -69,12 +70,30 @@ impl FailureDetector {
         cfg: DetectorConfig,
         on_failed: Box<dyn Fn(u32) + Send>,
     ) -> Self {
+        Self::start_with_obs(transport, self_addr, redirect_to, children, cfg, on_failed, None)
+    }
+
+    /// Like [`FailureDetector::start`], but additionally publishing
+    /// `failure.detections` / `failure.repoints` metrics (and `failure`
+    /// events) to `obs`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with_obs(
+        transport: Arc<dyn Transport>,
+        self_addr: NodeId,
+        redirect_to: NodeId,
+        children: Vec<WatchedChild>,
+        cfg: DetectorConfig,
+        on_failed: Box<dyn Fn(u32) + Send>,
+        obs: Option<MetricsRegistry>,
+    ) -> Self {
         let shutdown = Arc::new(AtomicBool::new(false));
         let sd = shutdown.clone();
         let thread = std::thread::Builder::new()
             .name(format!("failure-detector-{self_addr}"))
             .spawn(move || {
-                detector_loop(&transport, self_addr, redirect_to, children, &cfg, on_failed, &sd)
+                detector_loop(
+                    &transport, self_addr, redirect_to, children, &cfg, on_failed, &sd, &obs,
+                )
             })
             .expect("spawn failure detector");
         Self {
@@ -107,6 +126,7 @@ fn detector_loop(
     cfg: &DetectorConfig,
     on_failed: Box<dyn Fn(u32) + Send>,
     shutdown: &AtomicBool,
+    obs: &Option<MetricsRegistry>,
 ) {
     let mut conns: HashMap<u32, Box<dyn netagg_net::Connection>> = HashMap::new();
     let mut miss_count: HashMap<u32, u32> = HashMap::new();
@@ -131,6 +151,16 @@ fn detector_loop(
             }
             // Declare failure: re-point the box's children at us.
             failed.insert(child.box_id, true);
+            if let Some(o) = obs {
+                o.counter("failure.detections").inc();
+                o.emit(
+                    "failure",
+                    format!(
+                        "detector at {self_addr} declared box {} (addr {}) failed after {} missed probes",
+                        child.box_id, child.addr, cfg.misses
+                    ),
+                );
+            }
             for &(app, tree) in &child.apps_trees {
                 let msg = Message::Redirect {
                     app,
@@ -142,6 +172,9 @@ fn detector_loop(
                 for &grandchild in &child.children_addrs {
                     if let Ok(mut c) = transport.connect(self_addr, grandchild) {
                         let _ = c.send(msg.encode());
+                        if let Some(o) = obs {
+                            o.counter("failure.repoints").inc();
+                        }
                     }
                 }
             }

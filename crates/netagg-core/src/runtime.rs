@@ -10,7 +10,8 @@ use crate::shim::{MasterShim, MasterShimConfig, TreeSelection, WorkerShim};
 use crate::straggler::StragglerPolicy;
 use crate::tree::{build_tree_specs, master_addr, ClusterSpec, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
-use netagg_net::Transport;
+use netagg_net::{MeteredTransport, Transport};
+use netagg_obs::{MetricsRegistry, MetricsSnapshot};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -59,6 +60,7 @@ pub struct NetAggDeployment {
     master_shims: HashMap<AppId, Arc<MasterShim>>,
     detectors: Vec<FailureDetector>,
     next_app: u16,
+    obs: MetricsRegistry,
 }
 
 impl NetAggDeployment {
@@ -70,13 +72,30 @@ impl NetAggDeployment {
         Self::launch_with(transport, cluster, DeploymentConfig::default())
     }
 
-    /// Launch with explicit options.
+    /// Launch with explicit options, publishing metrics into a fresh
+    /// deployment-private registry (see [`NetAggDeployment::snapshot`]).
     pub fn launch_with(
         transport: Arc<dyn Transport>,
         cluster: &ClusterSpec,
         cfg: DeploymentConfig,
     ) -> Result<Self, AggError> {
+        Self::launch_with_obs(transport, cluster, cfg, MetricsRegistry::new())
+    }
+
+    /// Launch with explicit options and an externally owned metrics
+    /// registry, so several deployments (or a surrounding harness) can
+    /// share one registry and one snapshot.
+    pub fn launch_with_obs(
+        transport: Arc<dyn Transport>,
+        cluster: &ClusterSpec,
+        cfg: DeploymentConfig,
+        obs: MetricsRegistry,
+    ) -> Result<Self, AggError> {
         let specs = build_tree_specs(cluster);
+        // Everything the deployment starts talks through a metered
+        // transport, so `net.*` traffic counters come for free.
+        let transport: Arc<dyn Transport> =
+            Arc::new(MeteredTransport::new(transport, obs.clone()));
         let mut boxes = Vec::new();
         for b in 0..cluster.total_boxes() {
             let mut bc = AggBoxConfig::new(b, crate::tree::box_addr(b));
@@ -87,6 +106,7 @@ impl NetAggDeployment {
                 bc.straggler_repeat_limit = p.repeat_limit;
             }
             bc.flush_bytes = cfg.flush_bytes;
+            bc.obs = Some(obs.clone());
             boxes.push(AggBox::start(transport.clone(), bc)?);
         }
         Ok(Self {
@@ -98,6 +118,7 @@ impl NetAggDeployment {
             master_shims: HashMap::new(),
             detectors: Vec::new(),
             next_app: 0,
+            obs,
         })
     }
 
@@ -166,6 +187,7 @@ impl NetAggDeployment {
         let cfg = MasterShimConfig {
             selection: self.cfg.selection,
             straggler_threshold: self.cfg.straggler.map(|p| p.threshold),
+            obs: Some(self.obs.clone()),
             ..MasterShimConfig::default()
         };
         let shim = MasterShim::start(self.transport.clone(), app, agg, &self.specs, cfg)
@@ -176,12 +198,13 @@ impl NetAggDeployment {
 
     /// A worker shim for one application worker.
     pub fn worker_shim(&mut self, app: AppId, worker: u32) -> Arc<WorkerShim> {
-        WorkerShim::start(
+        WorkerShim::start_with_obs(
             self.transport.clone(),
             app,
             worker,
             &self.specs,
             self.cfg.selection,
+            Some(self.obs.clone()),
         )
         .expect("start worker shim")
     }
@@ -209,7 +232,7 @@ impl NetAggDeployment {
             }
             let shim2 = shim.clone();
             let specs = self.specs.clone();
-            self.detectors.push(FailureDetector::start(
+            self.detectors.push(FailureDetector::start_with_obs(
                 self.transport.clone(),
                 master_addr(app),
                 master_addr(app),
@@ -222,6 +245,7 @@ impl NetAggDeployment {
                         }
                     }
                 }),
+                Some(self.obs.clone()),
             ));
         }
         // Box-side detectors (watch child boxes). Box liveness is
@@ -252,7 +276,7 @@ impl NetAggDeployment {
             let owner = aggbox.clone();
             let specs = self.specs.clone();
             let apps2 = apps.clone();
-            self.detectors.push(FailureDetector::start(
+            self.detectors.push(FailureDetector::start_with_obs(
                 self.transport.clone(),
                 aggbox.addr(),
                 aggbox.addr(),
@@ -267,6 +291,7 @@ impl NetAggDeployment {
                         }
                     }
                 }),
+                Some(self.obs.clone()),
             ));
         }
     }
@@ -281,9 +306,24 @@ impl NetAggDeployment {
         &self.specs
     }
 
-    /// The transport the deployment runs over.
+    /// The transport the deployment runs over (metered: all traffic it
+    /// carries shows up in [`NetAggDeployment::snapshot`]).
     pub fn transport(&self) -> &Arc<dyn Transport> {
         &self.transport
+    }
+
+    /// The deployment-wide metrics registry. Boxes, shims, detectors and
+    /// the transport all publish into it; see DESIGN.md ("Observability")
+    /// for the metric names.
+    pub fn obs(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the deployment publishes
+    /// (serialisable with [`MetricsSnapshot::to_json`] /
+    /// [`MetricsSnapshot::to_text`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Stop detectors, shims and boxes.

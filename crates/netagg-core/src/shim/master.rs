@@ -14,6 +14,7 @@ use crate::tree::{master_addr, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,6 +61,9 @@ pub struct MasterShimConfig {
     /// Drop per-request state not claimed by a waiter within this age
     /// (abandoned requests would otherwise accumulate forever).
     pub pending_ttl: Duration,
+    /// Metrics registry the shim publishes to (`shim.master.*`,
+    /// `straggler.master_bypasses`). `None` disables metrics.
+    pub obs: Option<MetricsRegistry>,
 }
 
 impl Default for MasterShimConfig {
@@ -68,6 +72,34 @@ impl Default for MasterShimConfig {
             selection: TreeSelection::PerRequest,
             straggler_threshold: None,
             pending_ttl: Duration::from_secs(600),
+            obs: None,
+        }
+    }
+}
+
+/// Pre-resolved `shim.master.*` metric handles.
+struct MasterObs {
+    requests_registered: Arc<Counter>,
+    requests_completed: Arc<Counter>,
+    messages_in: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    emulated_empties: Arc<Counter>,
+    request_wait_us: Arc<Histogram>,
+    master_bypasses: Arc<Counter>,
+    registry: MetricsRegistry,
+}
+
+impl MasterObs {
+    fn new(registry: MetricsRegistry) -> Self {
+        Self {
+            requests_registered: registry.counter("shim.master.requests_registered"),
+            requests_completed: registry.counter("shim.master.requests_completed"),
+            messages_in: registry.counter("shim.master.messages_in"),
+            bytes_in: registry.counter("shim.master.bytes_in"),
+            emulated_empties: registry.counter("shim.master.emulated_empties"),
+            request_wait_us: registry.histogram("shim.master.request_wait_us"),
+            master_bypasses: registry.counter("straggler.master_bypasses"),
+            registry,
         }
     }
 }
@@ -104,6 +136,7 @@ struct Inner {
     cv: Condvar,
     num_trees: u32,
     shutdown: AtomicBool,
+    obs: Option<MasterObs>,
 }
 
 /// A handle to one registered request.
@@ -152,6 +185,7 @@ impl MasterShim {
                 },
             );
         }
+        let obs = cfg.obs.clone().map(MasterObs::new);
         let inner = Arc::new(Inner {
             app,
             addr,
@@ -164,6 +198,7 @@ impl MasterShim {
             cv: Condvar::new(),
             num_trees: specs.len() as u32,
             shutdown: AtomicBool::new(false),
+            obs,
         });
         let shim = Arc::new(Self {
             inner: inner.clone(),
@@ -213,6 +248,9 @@ impl MasterShim {
     /// uses it to emulate that many minus one empty results.
     pub fn register_request(&self, request: u64, expected_workers: usize) -> PendingRequest {
         let request = RequestId(request);
+        if let Some(o) = &self.inner.obs {
+            o.requests_registered.inc();
+        }
         let mut pending = self.inner.pending.lock();
         // Opportunistic GC: drop abandoned request state older than the TTL
         // (completed results nobody waited for, or requests that never
@@ -244,6 +282,9 @@ impl MasterShim {
     /// records request information and forwards it to the agg boxes).
     pub fn register_request_subset(&self, request: u64, workers: &[u32]) -> PendingRequest {
         let rid = RequestId(request);
+        if let Some(o) = &self.inner.obs {
+            o.requests_registered.inc();
+        }
         let subset: std::collections::HashSet<u32> = workers.iter().copied().collect();
         let mut master_expected = 0usize;
         for tree_id in trees_for_request(&self.inner, rid) {
@@ -410,6 +451,13 @@ impl PendingRequest {
             if p.complete {
                 let p = pending.remove(&self.request).unwrap();
                 drop(pending);
+                if let Some(o) = &self.inner.obs {
+                    // Registration → fully merged result, as the unmodified
+                    // master logic experiences it.
+                    o.request_wait_us.record_duration(p.registered_at.elapsed());
+                    o.emulated_empties
+                        .add(p.expected_workers.saturating_sub(1) as u64);
+                }
                 // Final aggregation step across tree roots / direct workers
                 // (Section 3.1: with multiple trees the master merges the
                 // roots' results).
@@ -482,6 +530,10 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 if app != inner.app {
                     continue;
                 }
+                if let Some(o) = &inner.obs {
+                    o.messages_in.inc();
+                    o.bytes_in.add(payload.len() as u64);
+                }
                 let mut pending = inner.pending.lock();
                 // Unregistered requests are recorded (the data may arrive
                 // before register_request on another thread).
@@ -510,6 +562,9 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     let done = p.ended.difference(&p.ignored).count() as i64;
                     if done >= expected_total(inner, request, p) {
                         p.complete = true;
+                        if let Some(o) = &inner.obs {
+                            o.requests_completed.inc();
+                        }
                         inner.cv.notify_all();
                     }
                 }
@@ -564,6 +619,16 @@ fn straggler_loop(inner: &Arc<Inner>) {
             }
         }
         for (request, tree, children) in redirects {
+            if let Some(o) = &inner.obs {
+                o.master_bypasses.inc();
+                o.registry.emit(
+                    "straggler",
+                    format!(
+                        "master shim (app {}) bypassed a root box for request {} tree {}",
+                        inner.app.0, request.0, tree.0
+                    ),
+                );
+            }
             let msg = Message::Redirect {
                 app: inner.app,
                 permanent: false,
@@ -593,6 +658,9 @@ fn straggler_loop(inner: &Arc<Inner>) {
             if expected > 0 && done >= expected {
                 p.complete = true;
                 completed = true;
+                if let Some(o) = &inner.obs {
+                    o.requests_completed.inc();
+                }
             }
         }
         if completed {

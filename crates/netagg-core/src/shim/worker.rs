@@ -5,6 +5,7 @@ use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
 use crate::AggError;
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -36,6 +37,25 @@ pub struct WorkerStats {
     pub redirects: AtomicU64,
 }
 
+/// Pre-resolved `shim.worker.*` metric handles.
+struct WorkerObs {
+    chunks_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    chunks_resent: Arc<Counter>,
+    redirects_applied: Arc<Counter>,
+}
+
+impl WorkerObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            chunks_sent: registry.counter("shim.worker.chunks_sent"),
+            bytes_sent: registry.counter("shim.worker.bytes_sent"),
+            chunks_resent: registry.counter("shim.worker.chunks_resent"),
+            redirects_applied: registry.counter("shim.worker.redirects_applied"),
+        }
+    }
+}
+
 /// Replay entries kept for straggler/failure resends.
 #[derive(Clone)]
 struct SentChunk {
@@ -61,6 +81,7 @@ struct Inner {
     broadcast_tx: crossbeam::channel::Sender<(u64, Bytes)>,
     broadcast_rx: crossbeam::channel::Receiver<(u64, Bytes)>,
     stats: WorkerStats,
+    obs: Option<WorkerObs>,
     shutdown: AtomicBool,
 }
 
@@ -101,6 +122,19 @@ impl WorkerShim {
         specs: &[TreeSpec],
         selection: TreeSelection,
     ) -> Result<Arc<Self>, NetError> {
+        Self::start_with_obs(transport, app, worker, specs, selection, None)
+    }
+
+    /// Like [`WorkerShim::start`], but additionally publishing
+    /// `shim.worker.*` metrics to `obs`.
+    pub fn start_with_obs(
+        transport: Arc<dyn Transport>,
+        app: AppId,
+        worker: u32,
+        specs: &[TreeSpec],
+        selection: TreeSelection,
+        obs: Option<MetricsRegistry>,
+    ) -> Result<Arc<Self>, NetError> {
         let addr = worker_addr(app, worker);
         let mut assignments = HashMap::new();
         for spec in specs {
@@ -130,6 +164,7 @@ impl WorkerShim {
             broadcast_tx,
             broadcast_rx,
             stats: WorkerStats::default(),
+            obs: obs.as_ref().map(WorkerObs::new),
             shutdown: AtomicBool::new(false),
         });
         let shim = Arc::new(Self {
@@ -330,6 +365,10 @@ impl Inner {
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.chunks_sent.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.bytes_sent.add(payload.len() as u64);
+            o.chunks_sent.inc();
+        }
         self.send_data(dest, request, tree, seq, last, payload)
     }
 
@@ -391,6 +430,9 @@ impl Inner {
         for (req, chunks) in targets {
             for c in chunks.into_iter().filter(|c| c.tree == tree) {
                 self.stats.chunks_resent.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &self.obs {
+                    o.chunks_resent.inc();
+                }
                 let _ = self.send_data(dest, req, c.tree, c.seq, c.last, c.payload);
             }
         }
@@ -419,6 +461,9 @@ fn control_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     continue;
                 }
                 inner.stats.redirects.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &inner.obs {
+                    o.redirects_applied.inc();
+                }
                 if permanent {
                     inner.assignments.write().insert(tree, new_parent);
                     // Resend everything still buffered on that tree so

@@ -596,7 +596,20 @@ fn box_snapshot_reflects_activity() {
     }
     p.wait(Duration::from_secs(5)).unwrap();
 
-    let after = dep.boxes()[0].snapshot();
+    // The box's bookkeeping trails the master's completion by a moment
+    // (the scheduler stamps per-app accounting after the task whose own
+    // sends already delivered the aggregate), so poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let after = loop {
+        let s = dep.boxes()[0].snapshot();
+        let settled = s.requests_completed == 1
+            && s.active_requests == 0
+            && s.apps.first().is_some_and(|a| a.tasks_run > 0);
+        if settled || std::time::Instant::now() > deadline {
+            break s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
     assert_eq!(after.box_id, 0);
     assert_eq!(after.requests_completed, 1);
     assert_eq!(after.active_requests, 0, "state cleaned up after completion");

@@ -18,6 +18,8 @@
 //!   ingress/egress link capacities.
 //! * [`fault`] — fault injection (killing endpoints, delaying messages) for
 //!   failure-recovery and straggler experiments.
+//! * [`metered`] — [`metered::MeteredTransport`]: a decorator that counts
+//!   frames and bytes per link into a metrics registry.
 //! * [`wire`] — small binary (de)serialisation helpers over [`bytes`].
 
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod channel;
 pub mod emu;
 pub mod fault;
 pub mod framing;
+pub mod metered;
 pub mod ratelimit;
 pub mod tcp;
 pub mod transport;
@@ -35,6 +38,7 @@ pub use channel::ChannelTransport;
 pub use emu::{EmuNet, EmuNetBuilder};
 pub use fault::{FaultController, FaultTransport};
 pub use framing::{encode_frame, FrameDecoder, MAX_FRAME};
+pub use metered::MeteredTransport;
 pub use ratelimit::TokenBucket;
 pub use tcp::TcpTransport;
 pub use transport::{Connection, Listener, NetError, NodeId, Transport};

@@ -1,0 +1,196 @@
+//! A transport decorator that meters traffic into a
+//! [`MetricsRegistry`].
+//!
+//! [`MeteredTransport`] wraps any [`Transport`] and counts every frame and
+//! payload byte crossing it:
+//!
+//! * `net.frames_sent` / `net.bytes_sent` — global egress counters,
+//! * `net.frames_recv` / `net.bytes_recv` — global ingress counters,
+//! * `net.link.<from>-><to>.frames` / `.bytes` — per-link counters,
+//!   incremented on the sending side only (so each link direction is
+//!   counted exactly once even when both endpoints share the registry).
+//!
+//! Deployments wrap their transport once ([`crate::Transport`] objects
+//! compose), so agg boxes, shims and detectors are metered without any
+//! change to their code.
+
+use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
+use bytes::Bytes;
+use netagg_obs::{Counter, MetricsRegistry};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct GlobalCounters {
+    frames_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    frames_recv: Arc<Counter>,
+    bytes_recv: Arc<Counter>,
+}
+
+impl GlobalCounters {
+    fn new(obs: &MetricsRegistry) -> Self {
+        Self {
+            frames_sent: obs.counter("net.frames_sent"),
+            bytes_sent: obs.counter("net.bytes_sent"),
+            frames_recv: obs.counter("net.frames_recv"),
+            bytes_recv: obs.counter("net.bytes_recv"),
+        }
+    }
+}
+
+/// A [`Transport`] decorator that publishes `net.*` traffic metrics.
+pub struct MeteredTransport {
+    inner: Arc<dyn Transport>,
+    obs: MetricsRegistry,
+}
+
+impl MeteredTransport {
+    /// Wrap `inner`, publishing traffic counters to `obs`.
+    pub fn new(inner: Arc<dyn Transport>, obs: MetricsRegistry) -> Self {
+        Self { inner, obs }
+    }
+
+    /// The registry this transport publishes to.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+}
+
+impl Transport for MeteredTransport {
+    fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError> {
+        let inner = self.inner.bind(local)?;
+        Ok(Box::new(MeteredListener {
+            inner,
+            local,
+            obs: self.obs.clone(),
+        }))
+    }
+
+    fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError> {
+        let inner = self.inner.connect(local, peer)?;
+        Ok(Box::new(MeteredConnection::new(
+            inner, local, peer, &self.obs,
+        )))
+    }
+}
+
+struct MeteredListener {
+    inner: Box<dyn Listener>,
+    local: NodeId,
+    obs: MetricsRegistry,
+}
+
+impl MeteredListener {
+    fn wrap(&self, conn: Box<dyn Connection>) -> Box<dyn Connection> {
+        let peer = conn.peer();
+        Box::new(MeteredConnection::new(conn, self.local, peer, &self.obs))
+    }
+}
+
+impl Listener for MeteredListener {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, NetError> {
+        let conn = self.inner.accept()?;
+        Ok(self.wrap(conn))
+    }
+
+    fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError> {
+        let conn = self.inner.accept_timeout(timeout)?;
+        Ok(self.wrap(conn))
+    }
+}
+
+struct MeteredConnection {
+    inner: Box<dyn Connection>,
+    global: GlobalCounters,
+    /// `net.link.<local>-><peer>.frames` / `.bytes` (egress direction).
+    link_frames: Arc<Counter>,
+    link_bytes: Arc<Counter>,
+}
+
+impl MeteredConnection {
+    fn new(
+        inner: Box<dyn Connection>,
+        local: NodeId,
+        peer: NodeId,
+        obs: &MetricsRegistry,
+    ) -> Self {
+        Self {
+            inner,
+            global: GlobalCounters::new(obs),
+            link_frames: obs.counter(&format!("net.link.{local}->{peer}.frames")),
+            link_bytes: obs.counter(&format!("net.link.{local}->{peer}.bytes")),
+        }
+    }
+
+    fn count_recv(&self, frame: &Bytes) {
+        self.global.frames_recv.inc();
+        self.global.bytes_recv.add(frame.len() as u64);
+    }
+}
+
+impl Connection for MeteredConnection {
+    fn send(&mut self, payload: Bytes) -> Result<(), NetError> {
+        let len = payload.len() as u64;
+        self.inner.send(payload)?;
+        self.global.frames_sent.inc();
+        self.global.bytes_sent.add(len);
+        self.link_frames.inc();
+        self.link_bytes.add(len);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Bytes, NetError> {
+        let frame = self.inner.recv()?;
+        self.count_recv(&frame);
+        Ok(frame)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
+        let frame = self.inner.recv_timeout(timeout)?;
+        self.count_recv(&frame);
+        Ok(frame)
+    }
+
+    fn peer(&self) -> NodeId {
+        self.inner.peer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelTransport;
+
+    #[test]
+    fn counts_frames_and_bytes_per_link() {
+        let obs = MetricsRegistry::new();
+        let t = MeteredTransport::new(Arc::new(ChannelTransport::new()), obs.clone());
+        let mut listener = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        c.send(Bytes::from_static(b"hello")).unwrap();
+        let mut accepted = listener.accept_timeout(Duration::from_secs(1)).unwrap();
+        let got = accepted.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&got[..], b"hello");
+        accepted.send(Bytes::from_static(b"ack!")).unwrap();
+        let back = c.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(&back[..], b"ack!");
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("net.frames_sent"), Some(2));
+        assert_eq!(snap.counter("net.frames_recv"), Some(2));
+        assert_eq!(snap.counter("net.bytes_sent"), Some(9));
+        assert_eq!(snap.counter("net.bytes_recv"), Some(9));
+        assert_eq!(snap.counter("net.link.2->1.frames"), Some(1));
+        assert_eq!(snap.counter("net.link.2->1.bytes"), Some(5));
+        assert_eq!(snap.counter("net.link.1->2.frames"), Some(1));
+        assert_eq!(snap.counter("net.link.1->2.bytes"), Some(4));
+    }
+
+    #[test]
+    fn unmetered_errors_pass_through() {
+        let obs = MetricsRegistry::new();
+        let t = MeteredTransport::new(Arc::new(ChannelTransport::new()), obs.clone());
+        assert!(matches!(t.connect(5, 99), Err(NetError::NotFound(99))));
+        assert_eq!(obs.snapshot().counter("net.frames_sent"), None);
+    }
+}

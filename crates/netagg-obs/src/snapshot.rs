@@ -1,0 +1,272 @@
+//! Point-in-time snapshot of a registry, with JSON and text rendering.
+
+use crate::events::Event;
+use crate::histogram::HistogramSnapshot;
+use std::fmt;
+
+/// A point-in-time copy of every metric in a
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+///
+/// Names are sorted; rendering the same registry state twice yields
+/// byte-identical output, which keeps snapshots diffable across runs.
+///
+/// ```
+/// use netagg_obs::MetricsRegistry;
+///
+/// let obs = MetricsRegistry::new();
+/// obs.counter("aggbox.tasks_executed").add(2);
+/// obs.histogram("aggbox.task_exec_us").record(100);
+///
+/// let snap = obs.snapshot();
+/// let json = snap.to_json();
+/// assert!(json.starts_with('{') && json.ends_with('}'));
+/// assert!(json.contains("\"aggbox.tasks_executed\": 2"));
+/// assert!(snap.to_text().contains("aggbox.task_exec_us"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Total events ever emitted (including ones evicted from the ring).
+    pub events_recorded: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Render as a JSON object.
+    ///
+    /// The layout is `{"counters": {..}, "gauges": {..}, "histograms":
+    /// {name: {count, sum, min, max, p50, p95, p99}, ..},
+    /// "events_recorded": N, "events": [{seq, kind, detail}, ..]}`.
+    /// Serialization is hand-rolled (the workspace deliberately carries no
+    /// JSON dependency); non-finite gauge values render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            push_sep(&mut out, i, "    ");
+            out.push_str(&format!("{}: {v}", json_string(name)));
+        }
+        close_obj(&mut out, self.counters.is_empty(), "  ");
+        out.push_str(",\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            push_sep(&mut out, i, "    ");
+            out.push_str(&format!("{}: {}", json_string(name), json_f64(*v)));
+        }
+        close_obj(&mut out, self.gauges.is_empty(), "  ");
+        out.push_str(",\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            push_sep(&mut out, i, "    ");
+            out.push_str(&format!(
+                "{}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        close_obj(&mut out, self.histograms.is_empty(), "  ");
+        out.push_str(&format!(
+            ",\n  \"events_recorded\": {},\n  \"events\": [",
+            self.events_recorded
+        ));
+        for (i, ev) in self.events.iter().enumerate() {
+            push_sep(&mut out, i, "    ");
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"kind\": {}, \"detail\": {}}}",
+                ev.seq,
+                json_string(&ev.kind),
+                json_string(&ev.detail)
+            ));
+        }
+        if self.events.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}");
+        out
+    }
+
+    /// Render as aligned human-readable text (also used by `Display`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v:.3}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count {}  mean {:.1}  min {}  max {}  \
+                     p50 {}  p95 {}  p99 {}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                    h.p50,
+                    h.p95,
+                    h.p99
+                ));
+            }
+        }
+        out.push_str(&format!("events: {} recorded", self.events_recorded));
+        if self.events.len() as u64 != self.events_recorded {
+            out.push_str(&format!(", last {} retained", self.events.len()));
+        }
+        out.push('\n');
+        for ev in &self.events {
+            out.push_str(&format!("  [{}] {}: {}\n", ev.seq, ev.kind, ev.detail));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+fn push_sep(out: &mut String, i: usize, indent: &str) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push('\n');
+    out.push_str(indent);
+}
+
+fn close_obj(out: &mut String, empty: bool, indent: &str) {
+    if empty {
+        out.push('}');
+    } else {
+        out.push('\n');
+        out.push_str(indent);
+        out.push('}');
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point or exponent, so the token is
+        // unambiguously a JSON number (e.g. `1.0`, not `1`).
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_numbers_are_valid_tokens() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(-2.5), "-2.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let json = MetricsSnapshot::default().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn populated_snapshot_round_trips_names() {
+        let obs = MetricsRegistry::new();
+        obs.counter("a.b").add(7);
+        obs.gauge("g").set(0.5);
+        obs.histogram("h_us").record(123);
+        obs.emit("kind", "detail \"quoted\"");
+        let snap = obs.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"a.b\": 7"));
+        assert!(json.contains("\"g\": 0.5"));
+        assert!(json.contains("\"h_us\": {\"count\": 1"));
+        assert!(json.contains("\\\"quoted\\\""));
+        let text = snap.to_text();
+        assert!(text.contains("a.b"));
+        assert!(text.contains("events: 1 recorded"));
+        assert_eq!(format!("{snap}"), text);
+    }
+}

@@ -6,22 +6,25 @@
 //!        [--oversub F] [--flows N] [--seed N] [--frac F]
 //!        [--box-rate GBPS] [--paper|--quick]
 //!        [--deployment all|incremental|tor|aggr|core|none]
-//!        [--per-switch N] [--stragglers F] [--csv PATH]
+//!        [--per-switch N] [--stragglers F] [--csv PATH] [--metrics]
 //! ```
 //!
 //! Prints the run's FCT summary, per-class percentiles and link-traffic
 //! statistics. `--csv PATH` additionally dumps every simulated flow
 //! (kind, request, size, start, finish, fct) for external analysis.
+//! `--metrics` appends the run's `sim.*` metrics snapshot as JSON (the
+//! contract is documented in DESIGN.md, "Observability").
 
 use netagg_sim::metrics::{self, FlowClass};
 use netagg_sim::topology::Tier;
-use netagg_sim::{run_experiment, Deployment, ExperimentConfig, Strategy, GBPS};
+use netagg_sim::{run_experiment_with_obs, Deployment, ExperimentConfig, Strategy, GBPS};
 
 fn main() {
     let mut cfg = ExperimentConfig::default_scale();
     let mut per_switch = 1u32;
     let mut deployment = String::from("all");
     let mut csv_path: Option<String> = None;
+    let mut metrics_json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -52,6 +55,7 @@ fn main() {
             "--per-switch" => per_switch = parse::<f64>(&value("--per-switch")) as u32,
             "--deployment" => deployment = value("--deployment"),
             "--csv" => csv_path = Some(value("--csv")),
+            "--metrics" => metrics_json = true,
             "--paper" => cfg.topology = netagg_sim::TopologyConfig::paper(),
             "--quick" => cfg.topology = netagg_sim::TopologyConfig::quick(),
             "--help" | "-h" => usage("")
@@ -78,7 +82,8 @@ fn main() {
     };
 
     let t0 = std::time::Instant::now();
-    let result = run_experiment(&cfg);
+    let obs = netagg_obs::MetricsRegistry::new();
+    let result = run_experiment_with_obs(&cfg, &obs);
     let elapsed = t0.elapsed();
 
     println!(
@@ -148,6 +153,10 @@ fn main() {
             Err(e) => usage(&format!("could not write {path}: {e}")),
         }
     }
+
+    if metrics_json {
+        println!("\n{}", obs.snapshot().to_json());
+    }
 }
 
 fn parse<T: std::str::FromStr>(v: &str) -> T {
@@ -163,7 +172,7 @@ fn usage(err: &str) -> ! {
         "usage: simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F] \
          [--oversub F] [--flows N] [--seed N] [--frac F] [--box-rate GBPS] \
          [--deployment all|incremental|tor|aggr|core|none] [--per-switch N] \
-         [--stragglers F] [--paper|--quick] [--csv PATH]"
+         [--stragglers F] [--paper|--quick] [--csv PATH] [--metrics]"
     );
     std::process::exit(2);
 }

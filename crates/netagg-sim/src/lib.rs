@@ -107,3 +107,39 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
     let mut engine = Engine::new(&topo, &placement, cfg);
     engine.run(flows)
 }
+
+/// Like [`run_experiment`], but additionally publishing the run's outcome
+/// as `sim.*` metrics to `obs` (see DESIGN.md, "Observability"):
+/// `sim.flows_completed`, `sim.requests_completed`, `sim.bytes_delivered`,
+/// and the latency histograms `sim.fct_us` / `sim.request_completion_us`.
+pub fn run_experiment_with_obs(
+    cfg: &ExperimentConfig,
+    obs: &netagg_obs::MetricsRegistry,
+) -> SimResult {
+    let result = run_experiment(cfg);
+    let flows_completed = obs.counter("sim.flows_completed");
+    let bytes_delivered = obs.counter("sim.bytes_delivered");
+    let fct_us = obs.histogram("sim.fct_us");
+    for r in &result.records {
+        flows_completed.inc();
+        bytes_delivered.add(r.size as u64);
+        fct_us.record((r.fct() * 1e6) as u64);
+    }
+    // Per-request span: first segment start to last segment finish.
+    let mut spans: std::collections::HashMap<u32, (f64, f64)> =
+        std::collections::HashMap::new();
+    for r in &result.records {
+        if let Some(q) = r.request {
+            let e = spans.entry(q).or_insert((f64::INFINITY, 0.0));
+            e.0 = e.0.min(r.start);
+            e.1 = e.1.max(r.finish);
+        }
+    }
+    let requests_completed = obs.counter("sim.requests_completed");
+    let request_completion_us = obs.histogram("sim.request_completion_us");
+    for (_, (start, finish)) in spans {
+        requests_completed.inc();
+        request_completion_us.record(((finish - start) * 1e6) as u64);
+    }
+    result
+}

@@ -1,0 +1,211 @@
+//! Offline shim for the [`rand`](https://docs.rs/rand) crate (0.9 API).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `rand` to this self-contained subset (see `vendor/README.md`).
+//! [`rngs::StdRng`] is a SplitMix64 generator: not the real crate's
+//! ChaCha12, but deterministic for a given `seed_from_u64` seed, which is
+//! all the simulator and workload generators rely on. Streams therefore
+//! differ from upstream `rand` — seeds reproduce results *within* this
+//! tree, not across implementations.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of random `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from an `RngCore`.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_from(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_from(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample_from(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Standard for bool {
+    fn sample_from(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_from(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can be sampled uniformly (`Range` and `RangeInclusive`
+/// over the primitive numeric types).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Lemire's multiply-shift keeps the draw uniform enough
+                // for workload generation without a rejection loop.
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = f64::sample_from(rng) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (floats in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+
+    /// A uniform value in `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_from(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64 in this shim).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush when
+            // used as a stream, one add + two xor-shift-multiplies a draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    /// Alias kept for call sites that name the small generator.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = r.random_range(3..12);
+            assert!((3..12).contains(&v));
+            let f: f64 = r.random_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&f));
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniformish() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The build container has no crates.io access and the workspace never
+//! serializes through serde (there is no `serde_json`); the derives on
+//! simulator config/result types exist so a future environment with real
+//! serde can emit them. This shim keeps those annotations compiling:
+//! `Serialize`/`Deserialize` are marker traits and the derives (enabled by
+//! the `derive` feature, like upstream) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

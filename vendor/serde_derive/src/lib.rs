@@ -1,0 +1,21 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The workspace carries no serializer (there is no `serde_json`), so the
+//! `#[derive(serde::Serialize, serde::Deserialize)]` annotations in the
+//! tree only need to parse, not generate code. Both derives expand to
+//! nothing; the marker traits in the `serde` shim are never required as
+//! bounds anywhere in the workspace.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
