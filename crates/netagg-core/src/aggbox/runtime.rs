@@ -10,6 +10,7 @@
 
 use crate::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
 use crate::aggbox::tree::LocalAggTree;
+use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::DynAggregator;
 use bytes::Bytes;
@@ -65,13 +66,40 @@ impl AggBoxConfig {
 }
 
 /// Information about one child box of this box within a tree, used by the
-/// straggler/failure machinery.
-#[derive(Debug, Clone)]
+/// straggler/failure machinery. The structure is recursive: when a child
+/// box fails, its parent *adopts* the grandchild box infos so a later
+/// failure of one of those can be re-pointed too (chained failures).
+#[derive(Debug, Clone, Default)]
 pub struct ChildBoxInfo {
-    /// How many sources feed that child (its own expected count).
-    pub sources_behind: usize,
+    /// The logical sources feeding that child (its direct children:
+    /// workers and boxes). On failure these move into the parent's owed
+    /// set (see `crate::ledger::FanInLedger::repoint`).
+    pub behind_sources: Vec<SourceId>,
     /// Transport addresses of its children (workers and boxes).
     pub children_addrs: Vec<NodeId>,
+    /// The child's own child boxes, adopted on its failure.
+    pub child_boxes: HashMap<u32, ChildBoxInfo>,
+}
+
+impl ChildBoxInfo {
+    /// Build the recursive info for `box_id` within `spec`, resolving
+    /// worker addresses for one application.
+    pub fn from_spec(spec: &crate::tree::TreeSpec, app: AppId, box_id: u32) -> Self {
+        let child_boxes = spec
+            .tree_box(box_id)
+            .map(|tb| {
+                tb.box_children
+                    .iter()
+                    .map(|c| (*c, ChildBoxInfo::from_spec(spec, app, *c)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Self {
+            behind_sources: spec.children_sources(box_id),
+            children_addrs: spec.children_addrs(app, box_id),
+            child_boxes,
+        }
+    }
 }
 
 /// Per-(app, tree) routing state installed at deployment time.
@@ -83,8 +111,9 @@ pub struct RouteInstall {
     pub tree: TreeId,
     /// Where this box's output goes (next box or master shim address).
     pub parent: NodeId,
-    /// Number of distinct sources expected per request.
-    pub expected: usize,
+    /// The distinct sources expected per request (workers and child
+    /// boxes). Requests seed their fan-in ledger from this set.
+    pub owed: Vec<SourceId>,
     /// Child boxes by global box id.
     pub child_boxes: HashMap<u32, ChildBoxInfo>,
     /// Addresses of this box's direct children (workers and boxes), used
@@ -94,7 +123,7 @@ pub struct RouteInstall {
 
 struct Route {
     parent: NodeId,
-    expected: usize,
+    owed: HashSet<SourceId>,
     child_boxes: HashMap<u32, ChildBoxInfo>,
     children_addrs: Vec<NodeId>,
 }
@@ -104,13 +133,9 @@ struct ReqState {
     /// Sequence number of the next outgoing chunk (streaming flushes).
     out_seq: u32,
     first_data: Instant,
-    ended: HashSet<SourceId>,
-    seen: HashSet<SourceId>,
-    ignored: HashSet<SourceId>,
-    last_seq: HashMap<SourceId, u32>,
-    /// Net adjustment of the expected source count from redirects.
-    expected_extra: i64,
-    expected_override: Option<usize>,
+    /// Set-based accounting of which sources are still owed (replaces the
+    /// old counter + `expected_extra` arithmetic; see DESIGN.md §8).
+    ledger: FanInLedger<SourceId>,
     input_closed: bool,
 }
 
@@ -165,6 +190,7 @@ struct BoxObs {
     request_agg_us: std::sync::Arc<Histogram>,
     straggler_redirects: std::sync::Arc<Counter>,
     straggler_escalations: std::sync::Arc<Counter>,
+    repoints: std::sync::Arc<Counter>,
     registry: MetricsRegistry,
 }
 
@@ -179,6 +205,7 @@ impl BoxObs {
             request_agg_us: registry.histogram("aggbox.request_agg_us"),
             straggler_redirects: registry.counter("straggler.redirects"),
             straggler_escalations: registry.counter("straggler.escalations"),
+            repoints: registry.counter("aggbox.repoints"),
             registry,
         }
     }
@@ -355,7 +382,7 @@ impl AggBox {
             (route.app, route.tree),
             Route {
                 parent: route.parent,
-                expected: route.expected,
+                owed: route.owed.into_iter().collect(),
                 child_boxes: route.child_boxes,
                 children_addrs: route.children_addrs,
             },
@@ -364,14 +391,11 @@ impl AggBox {
 
     /// React to a confirmed failure of a child box: future requests expect
     /// that box's children directly (the failure detector has already told
-    /// them to re-point here).
+    /// them to re-point here), and every in-flight request's ledger moves
+    /// the box's obligations onto its behind-sources. Idempotent under
+    /// repeated detector firings.
     pub fn on_child_box_failed(&self, app: AppId, tree: TreeId, failed_box: u32) {
-        let mut routes = self.inner.routes.write();
-        if let Some(r) = routes.get_mut(&(app, tree)) {
-            if let Some(info) = r.child_boxes.remove(&failed_box) {
-                r.expected = r.expected - 1 + info.sources_behind;
-            }
-        }
+        child_box_failed(&self.inner, app, tree, failed_box);
     }
 
     /// Counters exposed for the harness and tests.
@@ -466,15 +490,15 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 app,
                 request,
                 tree,
-                expected_sources,
+                sources,
             } => {
                 let to_close = {
                     let mut states = inner.states.lock();
                     let st = get_or_create(inner, &mut states, app, request, tree);
                     match st {
                         Some(st) => {
-                            st.expected_override = Some(expected_sources as usize);
-                            maybe_close_input(inner, &mut states, app, request, tree)
+                            st.ledger.set_requirement(sources);
+                            maybe_close_input(&mut states, app, request, tree)
                         }
                         None => None,
                     }
@@ -585,33 +609,26 @@ fn handle_data(
         let Some(st) = get_or_create(inner, &mut states, app, request, tree) else {
             return; // unknown app or route
         };
-        if st.ignored.contains(&source) {
-            inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = &inner.obs {
-                o.duplicates_dropped.inc();
-            }
-            return;
-        }
-        // Duplicate suppression (failure recovery resends).
-        if let Some(&prev) = st.last_seq.get(&source) {
-            if seq <= prev {
+        // Ledger-side duplicate suppression: re-pointed-away sources and
+        // replayed sequence numbers are both dropped here.
+        match st.ledger.accept_chunk(source, seq) {
+            ChunkDisposition::Ignored | ChunkDisposition::Duplicate => {
                 inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
                 if let Some(o) = &inner.obs {
                     o.duplicates_dropped.inc();
                 }
                 return;
             }
+            ChunkDisposition::Fresh { .. } => {}
         }
-        st.last_seq.insert(source, seq);
-        st.seen.insert(source);
         if !payload.is_empty() {
             let tree_ref = st.tree.clone();
             // LocalAggTree has its own fine-grained lock; push never blocks.
             tree_ref.push(&inner.scheduler, app, payload);
         }
         if last {
-            st.ended.insert(source);
-            maybe_close_input(inner, &mut states, app, request, tree)
+            st.ledger.note_end(source);
+            maybe_close_input(&mut states, app, request, tree)
         } else {
             None
         }
@@ -627,35 +644,89 @@ fn close_input(inner: &Arc<Inner>, tree: Option<Arc<LocalAggTree>>, app: AppId) 
     }
 }
 
-fn effective_expected(route_expected: usize, st: &ReqState) -> i64 {
-    st.expected_override.unwrap_or(route_expected) as i64 + st.expected_extra
-}
-
-/// Check whether all expected sources have delivered; if so, mark the
-/// input closed and return the tree so the caller can call `end_input`
-/// *after releasing the states lock* (completion may re-lock `states`).
+/// Check whether all owed sources have delivered; if so, mark the input
+/// closed and return the tree so the caller can call `end_input` *after
+/// releasing the states lock* (completion may re-lock `states`).
 #[must_use]
 fn maybe_close_input(
-    inner: &Arc<Inner>,
     states: &mut HashMap<(AppId, RequestId, TreeId), ReqState>,
     app: AppId,
     request: RequestId,
     tree: TreeId,
 ) -> Option<Arc<LocalAggTree>> {
-    let route_expected = {
-        let routes = inner.routes.read();
-        routes.get(&(app, tree)).map(|r| r.expected)?
-    };
     let st = states.get_mut(&(app, request, tree))?;
     if st.input_closed {
         return None;
     }
-    let done_sources = st.ended.difference(&st.ignored).count() as i64;
-    if done_sources >= effective_expected(route_expected, st) {
+    if st.ledger.is_complete() {
         st.input_closed = true;
         Some(st.tree.clone())
     } else {
         None
+    }
+}
+
+/// Shared failure re-point path: update the steady-state route (future
+/// requests owe the failed box's children directly, and its grandchild
+/// boxes are adopted for chained failures), then move the obligations of
+/// every in-flight request's ledger. Lock order: states before routes
+/// (matches `straggler_loop`).
+fn child_box_failed(inner: &Arc<Inner>, app: AppId, tree: TreeId, failed_box: u32) {
+    let mut to_close = Vec::new();
+    let mut repointed = 0u64;
+    {
+        let mut states = inner.states.lock();
+        let info = {
+            let mut routes = inner.routes.write();
+            let Some(r) = routes.get_mut(&(app, tree)) else {
+                return;
+            };
+            // Absent entry = already handled (repeated detector firing or a
+            // straggler escalation that raced the failure detector).
+            let Some(info) = r.child_boxes.remove(&failed_box) else {
+                return;
+            };
+            r.owed.remove(&SourceId::Box(failed_box));
+            for s in &info.behind_sources {
+                r.owed.insert(*s);
+            }
+            for (id, gi) in &info.child_boxes {
+                r.child_boxes.insert(*id, gi.clone());
+            }
+            info
+        };
+        for ((a, req, t), st) in states.iter_mut() {
+            if *a != app || *t != tree || st.input_closed {
+                continue;
+            }
+            match st
+                .ledger
+                .repoint(SourceId::Box(failed_box), &info.behind_sources)
+            {
+                RepointOutcome::Moved { .. } | RepointOutcome::DuplicateSuppressed => {
+                    repointed += 1;
+                }
+                RepointOutcome::AlreadyRepointed | RepointOutcome::NotOwed => {}
+            }
+            if st.ledger.is_complete() {
+                st.input_closed = true;
+                to_close.push((*req, st.tree.clone()));
+            }
+        }
+    }
+    if let Some(o) = &inner.obs {
+        o.repoints.add(repointed.max(1));
+        o.registry.emit(
+            "repoint",
+            format!(
+                "box {} re-pointed failed child box {failed_box} for app {} tree {} \
+                 ({repointed} in-flight requests moved)",
+                inner.cfg.box_id, app.0, tree.0
+            ),
+        );
+    }
+    for (_, t) in to_close {
+        close_input(inner, Some(t), app);
     }
 }
 
@@ -672,9 +743,13 @@ fn get_or_create<'a>(
         Entry::Occupied(e) => Some(e.into_mut()),
         Entry::Vacant(v) => {
             let agg = inner.apps.read().get(&app)?.clone();
-            if !inner.routes.read().contains_key(&(app, tree)) {
-                return None;
-            }
+            // Seed the fan-in ledger from the route's current owed set (a
+            // box that already failed permanently is no longer owed; its
+            // children are).
+            let owed: Vec<SourceId> = {
+                let routes = inner.routes.read();
+                routes.get(&(app, tree))?.owed.iter().copied().collect()
+            };
             let ltree = LocalAggTree::new(agg, inner.cfg.fanin);
             let weak: Weak<Inner> = Arc::downgrade(inner);
             ltree.on_complete(Box::new(move |result| {
@@ -735,12 +810,7 @@ fn get_or_create<'a>(
                 tree: ltree,
                 out_seq: 0,
                 first_data: Instant::now(),
-                ended: HashSet::new(),
-                seen: HashSet::new(),
-                ignored: HashSet::new(),
-                last_seq: HashMap::new(),
-                expected_extra: 0,
-                expected_override: None,
+                ledger: FanInLedger::new(owed),
                 input_closed: false,
             }))
         }
@@ -860,12 +930,14 @@ fn straggler_loop(inner: &Arc<Inner>) {
         std::thread::sleep(threshold / 4);
         let mut redirects: Vec<(AppId, RequestId, TreeId, u32, Vec<NodeId>)> = Vec::new();
         {
-            // Lock order: states before routes (matches handle_data via
-            // maybe_close_input).
+            // Lock order: states before routes (matches child_box_failed).
             let mut states = inner.states.lock();
             let routes = inner.routes.read();
             for ((app, request, tree), st) in states.iter_mut() {
-                if st.input_closed || st.first_data.elapsed() < threshold || st.seen.is_empty() {
+                if st.input_closed
+                    || st.first_data.elapsed() < threshold
+                    || st.ledger.seen_len() == 0
+                {
                     continue;
                 }
                 let Some(route) = routes.get(&(*app, *tree)) else {
@@ -873,18 +945,23 @@ fn straggler_loop(inner: &Arc<Inner>) {
                 };
                 for (box_id, info) in &route.child_boxes {
                     let src = SourceId::Box(*box_id);
-                    if st.seen.contains(&src) || st.ignored.contains(&src) {
+                    if st.ledger.has_seen(&src) || st.ledger.was_repointed(&src) {
                         continue; // it has delivered something, or already bypassed
                     }
-                    st.ignored.insert(src);
-                    st.expected_extra += info.sources_behind as i64 - 1;
-                    redirects.push((
-                        *app,
-                        *request,
-                        *tree,
-                        *box_id,
-                        info.children_addrs.clone(),
-                    ));
+                    // Move the straggling box's obligations to its children
+                    // for this request only; redirect only when the ledger
+                    // actually owed the box (subset requests may not).
+                    if let RepointOutcome::Moved { .. } =
+                        st.ledger.repoint(src, &info.behind_sources)
+                    {
+                        redirects.push((
+                            *app,
+                            *request,
+                            *tree,
+                            *box_id,
+                            info.children_addrs.clone(),
+                        ));
+                    }
                 }
             }
         }
@@ -917,13 +994,10 @@ fn straggler_loop(inner: &Arc<Inner>) {
             if escalate {
                 // Repeated slowness across requests: treat the box as
                 // permanently failed (Section 3.1) — its children re-point
-                // here and future requests no longer expect it.
-                let mut routes = inner.routes.write();
-                if let Some(r) = routes.get_mut(&(app, tree)) {
-                    if let Some(info) = r.child_boxes.remove(&box_id) {
-                        r.expected = r.expected - 1 + info.sources_behind;
-                    }
-                }
+                // here, future requests no longer expect it, and in-flight
+                // ledgers move its obligations (idempotent with the failure
+                // detector firing for the same box).
+                child_box_failed(inner, app, tree, box_id);
             }
             let msg = Message::Redirect {
                 app,
@@ -935,11 +1009,11 @@ fn straggler_loop(inner: &Arc<Inner>) {
             for child in children {
                 let _ = inner.egress_tx.send((child, msg.clone()));
             }
-            // Re-check whether the bypass completes the request (the
-            // expected count changed).
+            // Re-check whether the bypass completes the request (the owed
+            // set changed).
             let to_close = {
                 let mut states = inner.states.lock();
-                maybe_close_input(inner, &mut states, app, request, tree)
+                maybe_close_input(&mut states, app, request, tree)
             };
             close_input(inner, to_close, app);
         }

@@ -12,6 +12,7 @@
 use crate::protocol::{AppId, Message, TreeId};
 use netagg_net::{NetError, NodeId, Transport};
 use netagg_obs::MetricsRegistry;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +52,60 @@ pub struct WatchedChild {
     pub apps_trees: Vec<(AppId, TreeId)>,
 }
 
+/// A shared, mutable set of children one detector probes. Clones are
+/// cheap and refer to the same set, so recovery logic can *adopt* the
+/// children of a failed box into a running detector: after a re-point,
+/// the new watches make a later failure of an orphaned subtree box
+/// (double-kill chains) detectable too.
+#[derive(Clone, Default)]
+pub struct WatchSet {
+    children: Arc<Mutex<Vec<WatchedChild>>>,
+}
+
+impl WatchSet {
+    /// A watch set with the given initial children (merged via
+    /// [`WatchSet::add`]).
+    pub fn new(children: Vec<WatchedChild>) -> Self {
+        let s = Self::default();
+        for c in children {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Add a watched child. Entries for an already-watched box merge
+    /// their (app, tree) pairs and child addresses instead of
+    /// duplicating: the detector tracks liveness per box id, and a
+    /// duplicate entry would stop being probed (and re-pointed) the
+    /// moment the first one fires.
+    pub fn add(&self, child: WatchedChild) {
+        let mut v = self.children.lock();
+        if let Some(e) = v.iter_mut().find(|e| e.box_id == child.box_id) {
+            for at in child.apps_trees {
+                if !e.apps_trees.contains(&at) {
+                    e.apps_trees.push(at);
+                }
+            }
+            for a in child.children_addrs {
+                if !e.children_addrs.contains(&a) {
+                    e.children_addrs.push(a);
+                }
+            }
+            return;
+        }
+        v.push(child);
+    }
+
+    /// Whether no children are watched.
+    pub fn is_empty(&self) -> bool {
+        self.children.lock().is_empty()
+    }
+
+    fn snapshot(&self) -> Vec<WatchedChild> {
+        self.children.lock().clone()
+    }
+}
+
 /// A running failure detector.
 pub struct FailureDetector {
     shutdown: Arc<AtomicBool>,
@@ -82,6 +137,31 @@ impl FailureDetector {
         self_addr: NodeId,
         redirect_to: NodeId,
         children: Vec<WatchedChild>,
+        cfg: DetectorConfig,
+        on_failed: Box<dyn Fn(u32) + Send>,
+        obs: Option<MetricsRegistry>,
+    ) -> Self {
+        Self::start_watching(
+            transport,
+            self_addr,
+            redirect_to,
+            WatchSet::new(children),
+            cfg,
+            on_failed,
+            obs,
+        )
+    }
+
+    /// Like [`FailureDetector::start_with_obs`], but probing a live
+    /// [`WatchSet`]: children added to the set while the detector runs
+    /// are picked up on the next probe round (recovery logic uses this
+    /// to adopt the children of a failed box).
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_watching(
+        transport: Arc<dyn Transport>,
+        self_addr: NodeId,
+        redirect_to: NodeId,
+        children: WatchSet,
         cfg: DetectorConfig,
         on_failed: Box<dyn Fn(u32) + Send>,
         obs: Option<MetricsRegistry>,
@@ -122,7 +202,7 @@ fn detector_loop(
     transport: &Arc<dyn Transport>,
     self_addr: NodeId,
     redirect_to: NodeId,
-    children: Vec<WatchedChild>,
+    children: WatchSet,
     cfg: &DetectorConfig,
     on_failed: Box<dyn Fn(u32) + Send>,
     shutdown: &AtomicBool,
@@ -134,7 +214,9 @@ fn detector_loop(
     let mut nonce = 0u64;
     while !shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(cfg.interval);
-        for child in &children {
+        // Snapshot per round: `on_failed` may adopt the failed box's
+        // children into the set mid-round.
+        for child in children.snapshot() {
             if failed.get(&child.box_id).copied().unwrap_or(false) {
                 continue;
             }
@@ -149,7 +231,10 @@ fn detector_loop(
             if *m < cfg.misses {
                 continue;
             }
-            // Declare failure: re-point the box's children at us.
+            // Declare failure. Accounting first, data movement second:
+            // `on_failed` re-points the owner's fan-in ledgers *before*
+            // the redirects trigger worker replays, so a replayed chunk
+            // can never race the expected-source update (the seed bug).
             failed.insert(child.box_id, true);
             if let Some(o) = obs {
                 o.counter("failure.detections").inc();
@@ -161,6 +246,7 @@ fn detector_loop(
                     ),
                 );
             }
+            on_failed(child.box_id);
             for &(app, tree) in &child.apps_trees {
                 let msg = Message::Redirect {
                     app,
@@ -178,7 +264,6 @@ fn detector_loop(
                     }
                 }
             }
-            on_failed(child.box_id);
         }
     }
 }

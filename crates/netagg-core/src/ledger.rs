@@ -1,0 +1,312 @@
+//! Exact fan-in ledgers for failure-tolerant aggregation accounting.
+//!
+//! The seed implementation tracked "how many inputs are still expected"
+//! as an integer and patched it with `expected_extra` deltas whenever a
+//! box failed or was bypassed. Counter arithmetic is inherently racy
+//! under re-pointing: a worker replay that arrives *before* the
+//! re-point command can satisfy the old count (one replayed `last`
+//! chunk looked like the single expected box input and completed the
+//! request with a partial sum). A [`FanInLedger`] instead tracks the
+//! *set* of logical contributors still owed. A `Worker(w)` end can
+//! never satisfy a `Box(b)` entry, so completion is immune to the
+//! ordering of redirects, replays and failure notifications.
+//!
+//! Invariants (see DESIGN.md "Fan-in ledger"):
+//!
+//! * `owed` and `ignored` are disjoint; a key moves from `owed` to
+//!   `ignored` exactly once (via [`FanInLedger::repoint`]).
+//! * A request is complete iff `owed` is non-empty and every owed key
+//!   has ended (`owed ⊆ ended`).
+//! * `repoint` is idempotent: repeated detector firings, straggler
+//!   redirects racing the failure detector, and replayed duplicates
+//!   all collapse to a single ledger transition.
+//! * If a box already delivered its combined partial (its key is in
+//!   `ended`) and *then* fails, its behind-sources are ignored rather
+//!   than owed — their replays are duplicates of data the box already
+//!   folded in (duplicate suppression).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// What [`FanInLedger::accept_chunk`] decided about an incoming chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkDisposition {
+    /// New data from this contributor; `first` is true on the first
+    /// chunk ever accepted from it.
+    Fresh {
+        /// True if this is the first chunk accepted from the source.
+        first: bool,
+    },
+    /// Sequence number at or below the last accepted one — a replayed
+    /// duplicate that must not be aggregated again.
+    Duplicate,
+    /// The contributor has been moved to the ignored set (its subtree
+    /// was re-pointed away, or its parent box already delivered a
+    /// combined partial covering it).
+    Ignored,
+}
+
+/// Result of a [`FanInLedger::repoint`] transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepointOutcome {
+    /// The box key was owed; it is now ignored and `added` of its
+    /// behind-sources became directly owed.
+    Moved {
+        /// Number of behind-sources newly inserted into the owed set.
+        added: usize,
+    },
+    /// The box had already delivered its combined partial before the
+    /// failure was observed; its behind-sources were ignored so their
+    /// replays are suppressed as duplicates.
+    DuplicateSuppressed,
+    /// This box key was already re-pointed — repeated detector firing
+    /// or a straggler redirect racing the failure detector. No-op.
+    AlreadyRepointed,
+    /// The box key was not in the owed set (for example a subset
+    /// request this box does not participate in). Recorded as
+    /// re-pointed so later firings stay no-ops.
+    NotOwed,
+}
+
+/// Set-based accounting of which logical contributors a fan-in point
+/// (master shim or agg box) is still owed for one in-flight request.
+#[derive(Debug, Clone, Default)]
+pub struct FanInLedger<K: Eq + Hash + Copy> {
+    owed: HashSet<K>,
+    ended: HashSet<K>,
+    seen: HashSet<K>,
+    ignored: HashSet<K>,
+    last_seq: HashMap<K, u32>,
+    repointed: HashSet<K>,
+}
+
+impl<K: Eq + Hash + Copy> FanInLedger<K> {
+    /// Create a ledger owing exactly the given contributors.
+    pub fn new(owed: impl IntoIterator<Item = K>) -> Self {
+        FanInLedger {
+            owed: owed.into_iter().collect(),
+            ended: HashSet::new(),
+            seen: HashSet::new(),
+            ignored: HashSet::new(),
+            last_seq: HashMap::new(),
+            repointed: HashSet::new(),
+        }
+    }
+
+    /// Replace the owed set (subset requests deliver the participating
+    /// set after the ledger was provisioned from the full route).
+    /// Keys already ignored by an earlier re-point stay ignored.
+    pub fn set_requirement(&mut self, owed: impl IntoIterator<Item = K>) {
+        self.owed = owed
+            .into_iter()
+            .filter(|k| !self.ignored.contains(k))
+            .collect();
+    }
+
+    /// Record an incoming chunk from `key` with per-source sequence
+    /// number `seq` and classify it.
+    pub fn accept_chunk(&mut self, key: K, seq: u32) -> ChunkDisposition {
+        if self.ignored.contains(&key) {
+            return ChunkDisposition::Ignored;
+        }
+        if let Some(&prev) = self.last_seq.get(&key) {
+            if seq <= prev {
+                return ChunkDisposition::Duplicate;
+            }
+        }
+        self.last_seq.insert(key, seq);
+        let first = self.seen.insert(key);
+        ChunkDisposition::Fresh { first }
+    }
+
+    /// Record that `key` delivered its final chunk. Returns false if
+    /// the key is ignored or had already ended (nothing changed).
+    pub fn note_end(&mut self, key: K) -> bool {
+        if self.ignored.contains(&key) {
+            return false;
+        }
+        self.ended.insert(key)
+    }
+
+    /// Move a failed (or bypassed) box's obligations to its
+    /// behind-sources. Idempotent; see [`RepointOutcome`].
+    pub fn repoint(&mut self, box_key: K, behind: &[K]) -> RepointOutcome {
+        if !self.repointed.insert(box_key) {
+            return RepointOutcome::AlreadyRepointed;
+        }
+        if self.ended.contains(&box_key) {
+            // The box's combined partial is already in; replays from
+            // its behind-sources would double-count.
+            for b in behind {
+                if !self.ended.contains(b) {
+                    self.owed.remove(b);
+                    self.ignored.insert(*b);
+                }
+            }
+            return RepointOutcome::DuplicateSuppressed;
+        }
+        if !self.owed.remove(&box_key) {
+            return RepointOutcome::NotOwed;
+        }
+        self.ignored.insert(box_key);
+        let mut added = 0;
+        for b in behind {
+            if !self.ignored.contains(b) && self.owed.insert(*b) {
+                added += 1;
+            }
+        }
+        RepointOutcome::Moved { added }
+    }
+
+    /// True iff the owed set is non-empty and every owed contributor
+    /// has ended.
+    pub fn is_complete(&self) -> bool {
+        !self.owed.is_empty() && self.owed.iter().all(|k| self.ended.contains(k))
+    }
+
+    /// Owed contributors that have not yet ended.
+    pub fn outstanding(&self) -> usize {
+        self.owed.iter().filter(|k| !self.ended.contains(k)).count()
+    }
+
+    /// Number of contributors currently owed.
+    pub fn owed_len(&self) -> usize {
+        self.owed.len()
+    }
+
+    /// Number of contributors that delivered a final chunk.
+    pub fn ended_len(&self) -> usize {
+        self.ended.len()
+    }
+
+    /// Whether `key` is currently owed.
+    pub fn is_owed(&self, key: &K) -> bool {
+        self.owed.contains(key)
+    }
+
+    /// Whether chunks from `key` are being discarded.
+    pub fn is_ignored(&self, key: &K) -> bool {
+        self.ignored.contains(key)
+    }
+
+    /// Whether `key` delivered its final chunk.
+    pub fn has_ended(&self, key: &K) -> bool {
+        self.ended.contains(key)
+    }
+
+    /// Whether any chunk has been accepted from `key`.
+    pub fn has_seen(&self, key: &K) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Number of distinct contributors a chunk has been accepted from.
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether `key` was already re-pointed.
+    pub fn was_repointed(&self, key: &K) -> bool {
+        self.repointed.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_single_box_completes() {
+        let mut l = FanInLedger::new([1u32]);
+        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        assert!(!l.is_complete());
+        assert!(l.note_end(1));
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn replay_before_repoint_does_not_complete() {
+        // Master owes one box; a worker replay lands first. The old
+        // counter would have completed here; the ledger must not.
+        let mut l = FanInLedger::new([100u32]);
+        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        l.note_end(1);
+        assert!(!l.is_complete(), "worker end must not satisfy a box entry");
+        // All three behind-sources become owed; worker 1 already ended,
+        // so its new entry is satisfied immediately.
+        assert_eq!(l.repoint(100, &[1, 2, 3]), RepointOutcome::Moved { added: 3 });
+        assert!(!l.is_complete());
+        l.note_end(2);
+        l.note_end(3);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn repoint_is_idempotent() {
+        let mut l = FanInLedger::new([100u32]);
+        assert_eq!(l.repoint(100, &[1, 2]), RepointOutcome::Moved { added: 2 });
+        assert_eq!(l.repoint(100, &[1, 2]), RepointOutcome::AlreadyRepointed);
+        assert_eq!(l.owed_len(), 2);
+        l.note_end(1);
+        l.note_end(2);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn box_that_ended_then_failed_suppresses_replays() {
+        let mut l = FanInLedger::new([100u32]);
+        l.accept_chunk(100, 1);
+        l.note_end(100);
+        assert!(l.is_complete());
+        assert_eq!(l.repoint(100, &[1, 2]), RepointOutcome::DuplicateSuppressed);
+        assert!(l.is_complete());
+        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Ignored);
+        assert_eq!(l.accept_chunk(2, 1), ChunkDisposition::Ignored);
+    }
+
+    #[test]
+    fn seq_duplicates_are_dropped() {
+        let mut l = FanInLedger::new([1u32]);
+        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Duplicate);
+        assert_eq!(l.accept_chunk(1, 2), ChunkDisposition::Fresh { first: false });
+    }
+
+    #[test]
+    fn chained_repoint_moves_grandchildren() {
+        // Root box 100 fails -> owes leaf box 200 + worker 1; then
+        // leaf box 200 fails -> owes workers 2, 3.
+        let mut l = FanInLedger::new([100u32]);
+        assert_eq!(l.repoint(100, &[200, 1]), RepointOutcome::Moved { added: 2 });
+        assert_eq!(l.repoint(200, &[2, 3]), RepointOutcome::Moved { added: 2 });
+        l.note_end(1);
+        l.note_end(2);
+        assert!(!l.is_complete());
+        l.note_end(3);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn repoint_of_unowed_box_is_recorded_noop() {
+        let mut l = FanInLedger::new([1u32]);
+        assert_eq!(l.repoint(100, &[2]), RepointOutcome::NotOwed);
+        assert_eq!(l.repoint(100, &[2]), RepointOutcome::AlreadyRepointed);
+        assert_eq!(l.owed_len(), 1);
+    }
+
+    #[test]
+    fn set_requirement_respects_ignored() {
+        let mut l = FanInLedger::new([100u32]);
+        l.repoint(100, &[1, 2]);
+        l.set_requirement([100, 1]);
+        assert!(!l.is_owed(&100), "ignored keys must not be re-owed");
+        assert!(l.is_owed(&1));
+        l.note_end(1);
+        assert!(l.is_complete());
+    }
+
+    #[test]
+    fn empty_owed_is_not_complete() {
+        let l: FanInLedger<u32> = FanInLedger::new([]);
+        assert!(!l.is_complete());
+    }
+}

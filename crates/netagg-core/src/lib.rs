@@ -75,6 +75,7 @@
 pub mod aggbox;
 pub mod failure;
 pub mod laws;
+pub mod ledger;
 pub mod protocol;
 pub mod runtime;
 pub mod shim;

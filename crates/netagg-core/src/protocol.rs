@@ -76,7 +76,9 @@ pub enum Message {
         payload: Bytes,
     },
     /// Master shim -> box: per-request metadata (the paper's shim-layer
-    /// request tracking): how many sources the box should expect.
+    /// request tracking): exactly which sources the box should expect.
+    /// Carrying the set (not a count) keeps the receiving box's fan-in
+    /// ledger exact under failure re-points (see `netagg_core::ledger`).
     RequestMeta {
         /// Application of the request.
         app: AppId,
@@ -84,8 +86,9 @@ pub enum Message {
         request: RequestId,
         /// Tree the metadata applies to.
         tree: TreeId,
-        /// How many distinct sources the receiving box should expect.
-        expected_sources: u32,
+        /// The distinct sources participating in the request at the
+        /// receiving box.
+        sources: Vec<SourceId>,
     },
     /// Parent -> children of a failed/straggling box: send future data for
     /// `request` (or all requests if `None`... encoded as request with
@@ -166,13 +169,16 @@ impl Message {
                 app,
                 request,
                 tree,
-                expected_sources,
+                sources,
             } => {
                 b.put_u8(TAG_META);
                 b.put_u16(app.0);
                 b.put_u64(request.0);
                 b.put_u32(tree.0);
-                b.put_u32(*expected_sources);
+                b.put_u32(sources.len() as u32);
+                for s in sources {
+                    s.encode(&mut b);
+                }
             }
             Message::Redirect {
                 app,
@@ -235,12 +241,25 @@ impl Message {
                     payload,
                 })
             }
-            TAG_META => Ok(Message::RequestMeta {
-                app: get_app(&mut src)?,
-                request: RequestId(wire::get_u64(&mut src)?),
-                tree: TreeId(wire::get_u32(&mut src)?),
-                expected_sources: wire::get_u32(&mut src)?,
-            }),
+            TAG_META => {
+                let app = get_app(&mut src)?;
+                let request = RequestId(wire::get_u64(&mut src)?);
+                let tree = TreeId(wire::get_u32(&mut src)?);
+                let n = wire::get_u32(&mut src)? as usize;
+                if n > src.len() {
+                    return Err(NetError::Corrupt("meta source count too large".into()));
+                }
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sources.push(SourceId::decode(&mut src)?);
+                }
+                Ok(Message::RequestMeta {
+                    app,
+                    request,
+                    tree,
+                    sources,
+                })
+            }
             TAG_REDIRECT => Ok(Message::Redirect {
                 app: get_app(&mut src)?,
                 permanent: wire::get_u8(&mut src)? != 0,
@@ -314,7 +333,13 @@ mod tests {
             app: AppId(7),
             request: RequestId(1),
             tree: TreeId(0),
-            expected_sources: 12,
+            sources: vec![SourceId::Worker(3), SourceId::Box(1), SourceId::Worker(12)],
+        });
+        roundtrip(Message::RequestMeta {
+            app: AppId(7),
+            request: RequestId(2),
+            tree: TreeId(1),
+            sources: Vec::new(),
         });
     }
 

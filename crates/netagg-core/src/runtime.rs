@@ -4,7 +4,7 @@
 use crate::aggbox::runtime::{ChildBoxInfo, RouteInstall};
 use crate::aggbox::scheduler::SchedulerConfig;
 use crate::aggbox::{AggBox, AggBoxConfig};
-use crate::failure::{DetectorConfig, FailureDetector, WatchedChild};
+use crate::failure::{DetectorConfig, FailureDetector, WatchSet, WatchedChild};
 use crate::protocol::AppId;
 use crate::shim::{MasterShim, MasterShimConfig, TreeSelection, WorkerShim};
 use crate::straggler::StragglerPolicy;
@@ -143,22 +143,13 @@ impl NetAggDeployment {
                 let child_boxes: HashMap<u32, ChildBoxInfo> = tb
                     .box_children
                     .iter()
-                    .map(|c| {
-                        let cb = spec.tree_box(*c).expect("child box in spec");
-                        (
-                            *c,
-                            ChildBoxInfo {
-                                sources_behind: cb.expected_sources(),
-                                children_addrs: spec.children_addrs(app, *c),
-                            },
-                        )
-                    })
+                    .map(|c| (*c, ChildBoxInfo::from_spec(spec, app, *c)))
                     .collect();
                 aggbox.install_route(RouteInstall {
                     app,
                     tree: spec.tree,
                     parent: spec.parent_addr(app, tb.box_id),
-                    expected: tb.expected_sources(),
+                    owed: spec.children_sources(tb.box_id),
                     child_boxes,
                     children_addrs: spec.children_addrs(app, tb.box_id),
                 });
@@ -216,10 +207,10 @@ impl NetAggDeployment {
         let apps: Vec<AppId> = self.apps.iter().map(|a| a.id).collect();
         // Master-side detectors (watch root boxes).
         for (&app, shim) in &self.master_shims {
-            let mut watched = Vec::new();
+            let watch = WatchSet::default();
             for spec in &self.specs {
                 for tb in spec.boxes.iter().filter(|b| b.parent == Parent::Master) {
-                    watched.push(WatchedChild {
+                    watch.add(WatchedChild {
                         box_id: tb.box_id,
                         addr: tb.addr,
                         children_addrs: spec.children_addrs(app, tb.box_id),
@@ -227,21 +218,36 @@ impl NetAggDeployment {
                     });
                 }
             }
-            if watched.is_empty() {
+            if watch.is_empty() {
                 continue;
             }
             let shim2 = shim.clone();
             let specs = self.specs.clone();
-            self.detectors.push(FailureDetector::start_with_obs(
+            let adopt = watch.clone();
+            self.detectors.push(FailureDetector::start_watching(
                 self.transport.clone(),
                 master_addr(app),
                 master_addr(app),
-                watched,
+                watch,
                 cfg.clone(),
                 Box::new(move |box_id| {
                     for spec in &specs {
-                        if spec.tree_box(box_id).is_some() {
-                            shim2.on_child_box_failed(spec.tree, box_id);
+                        let Some(tb) = spec.tree_box(box_id) else {
+                            continue;
+                        };
+                        shim2.on_child_box_failed(spec.tree, box_id);
+                        // Adopt the failed box's child boxes: the master
+                        // is their parent now, so it must watch them too
+                        // (double-kill chains).
+                        for c in &tb.box_children {
+                            if let Some(cb) = spec.tree_box(*c) {
+                                adopt.add(WatchedChild {
+                                    box_id: cb.box_id,
+                                    addr: cb.addr,
+                                    children_addrs: spec.children_addrs(app, cb.box_id),
+                                    apps_trees: vec![(app, spec.tree)],
+                                });
+                            }
                         }
                     }
                 }),
@@ -249,9 +255,10 @@ impl NetAggDeployment {
             ));
         }
         // Box-side detectors (watch child boxes). Box liveness is
-        // app-independent, so each box runs one detector covering all apps.
+        // app-independent, so each box runs one detector covering all apps
+        // (the watch set merges per-app entries by box id).
         for aggbox in &self.boxes {
-            let mut watched: Vec<WatchedChild> = Vec::new();
+            let watch = WatchSet::default();
             for spec in &self.specs {
                 let Some(tb) = spec.tree_box(aggbox.box_id()) else {
                     continue;
@@ -261,7 +268,7 @@ impl NetAggDeployment {
                     // A redirect must be issued per app; children_addrs are
                     // per app for workers.
                     for &app in &apps {
-                        watched.push(WatchedChild {
+                        watch.add(WatchedChild {
                             box_id: cb.box_id,
                             addr: cb.addr,
                             children_addrs: spec.children_addrs(app, cb.box_id),
@@ -270,23 +277,39 @@ impl NetAggDeployment {
                     }
                 }
             }
-            if watched.is_empty() {
+            if watch.is_empty() {
                 continue;
             }
             let owner = aggbox.clone();
             let specs = self.specs.clone();
             let apps2 = apps.clone();
-            self.detectors.push(FailureDetector::start_with_obs(
+            let adopt = watch.clone();
+            self.detectors.push(FailureDetector::start_watching(
                 self.transport.clone(),
                 aggbox.addr(),
                 aggbox.addr(),
-                watched,
+                watch,
                 cfg.clone(),
                 Box::new(move |box_id| {
                     for spec in &specs {
-                        if spec.tree_box(box_id).is_some() {
-                            for &app in &apps2 {
-                                owner.on_child_box_failed(app, spec.tree, box_id);
+                        let Some(tb) = spec.tree_box(box_id) else {
+                            continue;
+                        };
+                        for &app in &apps2 {
+                            owner.on_child_box_failed(app, spec.tree, box_id);
+                        }
+                        // Adopt the failed box's own child boxes so a
+                        // chained failure below it is detected as well.
+                        for c in &tb.box_children {
+                            if let Some(cb) = spec.tree_box(*c) {
+                                for &app in &apps2 {
+                                    adopt.add(WatchedChild {
+                                        box_id: cb.box_id,
+                                        addr: cb.addr,
+                                        children_addrs: spec.children_addrs(app, cb.box_id),
+                                        apps_trees: vec![(app, spec.tree)],
+                                    });
+                                }
                             }
                         }
                     }

@@ -7,6 +7,7 @@
 //! it runs the same straggler bypass the boxes do.
 
 use crate::aggbox::runtime::ChildBoxInfo;
+use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::shim::worker::per_request_tree;
 use crate::shim::TreeSelection;
@@ -14,9 +15,9 @@ use crate::tree::{master_addr, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
-use netagg_obs::{Counter, Histogram, MetricsRegistry};
+use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,6 +85,10 @@ struct MasterObs {
     messages_in: Arc<Counter>,
     bytes_in: Arc<Counter>,
     emulated_empties: Arc<Counter>,
+    duplicates_dropped: Arc<Counter>,
+    repoints: Arc<Counter>,
+    requests_inflight: Arc<Gauge>,
+    sources_outstanding: Arc<Gauge>,
     request_wait_us: Arc<Histogram>,
     master_bypasses: Arc<Counter>,
     registry: MetricsRegistry,
@@ -97,28 +102,49 @@ impl MasterObs {
             messages_in: registry.counter("shim.master.messages_in"),
             bytes_in: registry.counter("shim.master.bytes_in"),
             emulated_empties: registry.counter("shim.master.emulated_empties"),
+            duplicates_dropped: registry.counter("shim.master.duplicates_dropped"),
+            repoints: registry.counter("shim.master.repoints"),
+            requests_inflight: registry.gauge("shim.master.requests_inflight"),
+            sources_outstanding: registry.gauge("shim.master.sources_outstanding"),
             request_wait_us: registry.histogram("shim.master.request_wait_us"),
             master_bypasses: registry.counter("straggler.master_bypasses"),
             registry,
         }
     }
+
+    /// Refresh the per-request ledger gauges. Called with the pending map
+    /// locked after any transition that changes owed/ended accounting.
+    fn update_ledger_gauges(&self, pending: &HashMap<RequestId, Pending>) {
+        let inflight = pending.values().filter(|p| !p.complete).count();
+        let outstanding: usize = pending
+            .values()
+            .filter(|p| !p.complete)
+            .map(|p| p.ledger.outstanding())
+            .sum();
+        self.requests_inflight.set(inflight as f64);
+        self.sources_outstanding.set(outstanding as f64);
+    }
 }
 
 struct TreeRoute {
-    expected: usize,
+    /// The logical contributors the master is owed per request on this
+    /// tree (root boxes and direct workers). Updated when a root box
+    /// fails; new requests seed their ledger from it.
+    owed: std::collections::HashSet<SourceId>,
     child_boxes: HashMap<u32, ChildBoxInfo>,
 }
 
 struct Pending {
     expected_workers: usize,
-    /// Per-request override of the expected master source count (used for
-    /// subset requests registered via `register_request_subset`).
-    expected_override: Option<usize>,
-    inputs: Vec<Bytes>,
-    ended: HashSet<(TreeId, SourceId)>,
-    seen: HashSet<(TreeId, SourceId)>,
-    ignored: HashSet<(TreeId, SourceId)>,
-    expected_extra: i64,
+    /// Set-based fan-in accounting, keyed by (tree, source): completion
+    /// means every owed contributor has delivered its final chunk.
+    /// Replaces the old `expected`/`expected_extra` counters, which were
+    /// racy under failure re-points (see DESIGN.md §8).
+    ledger: FanInLedger<(TreeId, SourceId)>,
+    /// Received chunks tagged by contributor, so the final merge can drop
+    /// everything from contributors the ledger ignored (exact duplicate
+    /// suppression when a box streamed partial chunks and then failed).
+    inputs: Vec<((TreeId, SourceId), Bytes)>,
     registered_at: Instant,
     first_data: Option<Instant>,
     complete: bool,
@@ -168,19 +194,13 @@ impl MasterShim {
             let mut child_boxes = HashMap::new();
             for b in &spec.boxes {
                 if b.parent == crate::tree::Parent::Master && b.expected_sources() > 0 {
-                    child_boxes.insert(
-                        b.box_id,
-                        ChildBoxInfo {
-                            sources_behind: b.expected_sources(),
-                            children_addrs: spec.children_addrs(app, b.box_id),
-                        },
-                    );
+                    child_boxes.insert(b.box_id, ChildBoxInfo::from_spec(spec, app, b.box_id));
                 }
             }
             routes.insert(
                 spec.tree,
                 TreeRoute {
-                    expected: spec.expected_master_sources(),
+                    owed: spec.master_sources().into_iter().collect(),
                     child_boxes,
                 },
             );
@@ -257,18 +277,13 @@ impl MasterShim {
         // finished).
         let ttl = self.inner.cfg.pending_ttl;
         pending.retain(|_, p| p.registered_at.elapsed() < ttl);
-        pending.entry(request).or_insert_with(|| Pending {
-            expected_workers,
-            expected_override: None,
-            inputs: Vec::new(),
-            ended: HashSet::new(),
-            seen: HashSet::new(),
-            ignored: HashSet::new(),
-            expected_extra: 0,
-            registered_at: Instant::now(),
-            first_data: None,
-            complete: false,
-        });
+        let p = pending
+            .entry(request)
+            .or_insert_with(|| fresh_pending(&self.inner, request));
+        p.expected_workers = expected_workers;
+        if let Some(o) = &self.inner.obs {
+            o.update_ledger_gauges(&pending);
+        }
         PendingRequest {
             inner: self.inner.clone(),
             request,
@@ -286,14 +301,15 @@ impl MasterShim {
             o.requests_registered.inc();
         }
         let subset: std::collections::HashSet<u32> = workers.iter().copied().collect();
-        let mut master_expected = 0usize;
+        let mut master_owed: Vec<(TreeId, SourceId)> = Vec::new();
         for tree_id in trees_for_request(&self.inner, rid) {
             let Some(spec) = self.inner.specs.iter().find(|s| s.tree == tree_id) else {
                 continue;
             };
-            // Count each box's per-request sources bottom-up: participating
-            // direct workers plus child boxes with non-empty subtrees.
-            let mut counts: HashMap<u32, usize> = HashMap::new();
+            // Compute each box's participating source *set* bottom-up:
+            // direct workers in the subset plus child boxes with non-empty
+            // participating subtrees.
+            let mut part: HashMap<u32, Vec<SourceId>> = HashMap::new();
             let mut order: Vec<&crate::tree::TreeBox> = spec.boxes.iter().collect();
             // Children before parents: sort by depth (walk to master).
             let depth = |mut b: u32| -> usize {
@@ -306,58 +322,80 @@ impl MasterShim {
             };
             order.sort_by_key(|tb| std::cmp::Reverse(depth(tb.box_id)));
             for tb in order {
-                let direct = tb
+                let mut sources: Vec<SourceId> = tb
                     .worker_children
                     .iter()
                     .filter(|w| subset.contains(w))
-                    .count();
-                let from_boxes = tb
-                    .box_children
-                    .iter()
-                    .filter(|c| counts.get(c).copied().unwrap_or(0) > 0)
-                    .count();
-                counts.insert(tb.box_id, direct + from_boxes);
+                    .map(|w| SourceId::Worker(*w))
+                    .collect();
+                sources.extend(
+                    tb.box_children
+                        .iter()
+                        .filter(|c| part.get(c).map(|v| !v.is_empty()).unwrap_or(false))
+                        .map(|c| SourceId::Box(*c)),
+                );
+                part.insert(tb.box_id, sources);
             }
-            // Tell every participating box its expected source count.
+            // Tell every participating box exactly which sources to expect.
             for tb in &spec.boxes {
-                let n = counts.get(&tb.box_id).copied().unwrap_or(0);
-                if n == 0 {
+                let Some(sources) = part.get(&tb.box_id) else {
+                    continue;
+                };
+                if sources.is_empty() {
                     continue;
                 }
                 let msg = Message::RequestMeta {
                     app: self.inner.app,
                     request: rid,
                     tree: tree_id,
-                    expected_sources: n as u32,
+                    sources: sources.clone(),
                 };
                 if let Ok(mut c) = self.inner.transport.connect(self.inner.addr, tb.addr) {
                     let _ = c.send(msg.encode());
                 }
-                if tb.parent == Parent::Master {
-                    master_expected += 1;
+            }
+            // Master-facing owed entries for this tree. A root box that
+            // already failed (dropped from the route's owed set) is
+            // substituted by its participating children directly.
+            {
+                let routes = self.inner.routes.lock();
+                let route = routes.get(&tree_id);
+                for tb in &spec.boxes {
+                    if tb.parent != Parent::Master {
+                        continue;
+                    }
+                    let Some(sources) = part.get(&tb.box_id) else {
+                        continue;
+                    };
+                    if sources.is_empty() {
+                        continue;
+                    }
+                    let still_routed = route
+                        .map(|r| r.owed.contains(&SourceId::Box(tb.box_id)))
+                        .unwrap_or(true);
+                    if still_routed {
+                        master_owed.push((tree_id, SourceId::Box(tb.box_id)));
+                    } else {
+                        master_owed.extend(sources.iter().map(|s| (tree_id, *s)));
+                    }
                 }
             }
-            master_expected += spec
-                .direct_workers
-                .iter()
-                .filter(|w| subset.contains(w))
-                .count();
+            master_owed.extend(
+                spec.direct_workers
+                    .iter()
+                    .filter(|w| subset.contains(w))
+                    .map(|w| (tree_id, SourceId::Worker(*w))),
+            );
         }
         let mut pending = self.inner.pending.lock();
-        let p = pending.entry(rid).or_insert_with(|| Pending {
-            expected_workers: workers.len(),
-            expected_override: None,
-            inputs: Vec::new(),
-            ended: HashSet::new(),
-            seen: HashSet::new(),
-            ignored: HashSet::new(),
-            expected_extra: 0,
-            registered_at: Instant::now(),
-            first_data: None,
-            complete: false,
-        });
-        p.expected_override = Some(master_expected);
+        let p = pending
+            .entry(rid)
+            .or_insert_with(|| fresh_pending(&self.inner, rid));
         p.expected_workers = workers.len();
+        p.ledger.set_requirement(master_owed);
+        if let Some(o) = &self.inner.obs {
+            o.update_ledger_gauges(&pending);
+        }
         PendingRequest {
             inner: self.inner.clone(),
             request: rid,
@@ -405,13 +443,67 @@ impl MasterShim {
     }
 
     /// React to a confirmed root-box failure (called by the failure
-    /// detector): expect the box's children directly from now on.
+    /// detector): *move* the box's behind-sources into direct-to-master
+    /// ledger entries, for the route (future requests) and every
+    /// in-flight request. Idempotent under repeated detector firings,
+    /// straggler redirects racing the detector, and replayed duplicates.
     pub fn on_child_box_failed(&self, tree: TreeId, failed_box: u32) {
+        // Lock order: pending before routes (matches the reader path).
+        let mut pending = self.inner.pending.lock();
         let mut routes = self.inner.routes.lock();
-        if let Some(r) = routes.get_mut(&tree) {
-            if let Some(info) = r.child_boxes.remove(&failed_box) {
-                r.expected = r.expected - 1 + info.sources_behind;
+        let Some(r) = routes.get_mut(&tree) else {
+            return;
+        };
+        // Route-level idempotency: only the first firing finds the entry.
+        let Some(info) = r.child_boxes.remove(&failed_box) else {
+            return;
+        };
+        r.owed.remove(&SourceId::Box(failed_box));
+        for s in &info.behind_sources {
+            r.owed.insert(*s);
+        }
+        // Adopt the failed box's child boxes so a later failure of one
+        // of them re-points as well (double-kill chains).
+        for (id, child) in &info.child_boxes {
+            r.child_boxes.entry(*id).or_insert_with(|| child.clone());
+        }
+        drop(routes);
+        let behind: Vec<(TreeId, SourceId)> =
+            info.behind_sources.iter().map(|s| (tree, *s)).collect();
+        let mut repointed = 0u64;
+        let mut completed = 0u64;
+        for p in pending.values_mut() {
+            if p.complete {
+                continue;
             }
+            match p.ledger.repoint((tree, SourceId::Box(failed_box)), &behind) {
+                RepointOutcome::Moved { .. } | RepointOutcome::DuplicateSuppressed => {
+                    repointed += 1;
+                }
+                RepointOutcome::AlreadyRepointed | RepointOutcome::NotOwed => {}
+            }
+            if p.ledger.is_complete() {
+                p.complete = true;
+                completed += 1;
+            }
+        }
+        if let Some(o) = &self.inner.obs {
+            // Count the route transition even when no request was in
+            // flight, so the audit trail always records the failure.
+            o.repoints.add(repointed.max(1));
+            o.requests_completed.add(completed);
+            o.registry.emit(
+                "repoint",
+                format!(
+                    "master shim (app {}) re-pointed failed box {} on tree {} \
+                     across {} in-flight requests",
+                    self.inner.app.0, failed_box, tree.0, repointed
+                ),
+            );
+            o.update_ledger_gauges(&pending);
+        }
+        if completed > 0 {
+            self.inner.cv.notify_all();
         }
     }
 
@@ -460,14 +552,24 @@ impl PendingRequest {
                 }
                 // Final aggregation step across tree roots / direct workers
                 // (Section 3.1: with multiple trees the master merges the
-                // roots' results).
-                let master_input_bytes = p.inputs.iter().map(Bytes::len).sum();
-                let combined = self.inner.agg.aggregate_serialized(p.inputs.clone())?;
+                // roots' results). Chunks from contributors the ledger
+                // ignored (a box that streamed partials and then failed,
+                // with its workers replaying) are dropped here: exact
+                // duplicate suppression.
+                let kept: Vec<Bytes> = p
+                    .inputs
+                    .iter()
+                    .filter(|(k, _)| !p.ledger.is_ignored(k))
+                    .map(|(_, b)| b.clone())
+                    .collect();
+                let master_inputs = kept.len();
+                let master_input_bytes = kept.iter().map(Bytes::len).sum();
+                let combined = self.inner.agg.aggregate_serialized(kept)?;
                 return Ok(AggregatedResult {
                     combined,
                     emulated_empty: p.expected_workers.saturating_sub(1),
                     empty_payload: self.inner.agg.empty_serialized(),
-                    master_inputs: p.inputs.len(),
+                    master_inputs,
                     master_input_bytes,
                 });
             }
@@ -493,18 +595,26 @@ fn trees_for_request(inner: &Inner, request: RequestId) -> Vec<TreeId> {
     }
 }
 
-fn expected_total(inner: &Inner, request: RequestId, p: &Pending) -> i64 {
-    let base: usize = match p.expected_override {
-        Some(n) => n,
-        None => {
-            let routes = inner.routes.lock();
-            trees_for_request(inner, request)
-                .iter()
-                .map(|t| routes.get(t).map(|r| r.expected).unwrap_or(0))
-                .sum()
+/// Provision per-request state with a fan-in ledger seeded from the
+/// current routing table (the owed contributor set of every tree the
+/// request uses). Callers hold the pending lock; this takes routes
+/// (lock order: pending before routes).
+fn fresh_pending(inner: &Inner, request: RequestId) -> Pending {
+    let routes = inner.routes.lock();
+    let mut owed: Vec<(TreeId, SourceId)> = Vec::new();
+    for tree in trees_for_request(inner, request) {
+        if let Some(r) = routes.get(&tree) {
+            owed.extend(r.owed.iter().map(|s| (tree, *s)));
         }
-    };
-    base as i64 + p.expected_extra
+    }
+    Pending {
+        expected_workers: 0,
+        ledger: FanInLedger::new(owed),
+        inputs: Vec::new(),
+        registered_at: Instant::now(),
+        first_data: None,
+        complete: false,
+    }
 }
 
 fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
@@ -523,7 +633,7 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 request,
                 tree,
                 source,
-                seq: _,
+                seq,
                 last,
                 payload,
             } => {
@@ -536,37 +646,40 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 }
                 let mut pending = inner.pending.lock();
                 // Unregistered requests are recorded (the data may arrive
-                // before register_request on another thread).
-                let p = pending.entry(request).or_insert_with(|| Pending {
-                    expected_workers: 0,
-                    expected_override: None,
-                    inputs: Vec::new(),
-                    ended: HashSet::new(),
-                    seen: HashSet::new(),
-                    ignored: HashSet::new(),
-                    expected_extra: 0,
-                    registered_at: Instant::now(),
-                    first_data: None,
-                    complete: false,
-                });
-                if p.complete || p.ignored.contains(&(tree, source)) {
+                // before register_request on another thread); the ledger
+                // is seeded from the routing table either way.
+                let p = pending
+                    .entry(request)
+                    .or_insert_with(|| fresh_pending(inner, request));
+                if p.complete {
                     continue;
                 }
+                let key = (tree, source);
+                match p.ledger.accept_chunk(key, seq) {
+                    ChunkDisposition::Ignored | ChunkDisposition::Duplicate => {
+                        if let Some(o) = &inner.obs {
+                            o.duplicates_dropped.inc();
+                        }
+                        continue;
+                    }
+                    ChunkDisposition::Fresh { .. } => {}
+                }
                 p.first_data.get_or_insert_with(Instant::now);
-                p.seen.insert((tree, source));
                 if !payload.is_empty() {
-                    p.inputs.push(payload);
+                    p.inputs.push((key, payload));
                 }
                 if last {
-                    p.ended.insert((tree, source));
-                    let done = p.ended.difference(&p.ignored).count() as i64;
-                    if done >= expected_total(inner, request, p) {
+                    p.ledger.note_end(key);
+                    if p.ledger.is_complete() {
                         p.complete = true;
                         if let Some(o) = &inner.obs {
                             o.requests_completed.inc();
                         }
                         inner.cv.notify_all();
                     }
+                }
+                if let Some(o) = &inner.obs {
+                    o.update_ledger_gauges(&pending);
                 }
             }
             Message::Heartbeat { nonce, .. } => {
@@ -594,8 +707,7 @@ fn straggler_loop(inner: &Arc<Inner>) {
         std::thread::sleep(threshold / 4);
         let mut redirects: Vec<(RequestId, TreeId, Vec<NodeId>)> = Vec::new();
         {
-            // Lock order: pending before routes (matches reader_loop via
-            // expected_total).
+            // Lock order: pending before routes (matches fresh_pending).
             let mut pending = inner.pending.lock();
             let routes = inner.routes.lock();
             for (request, p) in pending.iter_mut() {
@@ -608,12 +720,16 @@ fn straggler_loop(inner: &Arc<Inner>) {
                     };
                     for (box_id, info) in &route.child_boxes {
                         let key = (tree, SourceId::Box(*box_id));
-                        if p.seen.contains(&key) || p.ignored.contains(&key) {
+                        if p.ledger.has_seen(&key) || p.ledger.was_repointed(&key) {
                             continue;
                         }
-                        p.ignored.insert(key);
-                        p.expected_extra += info.sources_behind as i64 - 1;
-                        redirects.push((*request, tree, info.children_addrs.clone()));
+                        let behind: Vec<(TreeId, SourceId)> =
+                            info.behind_sources.iter().map(|s| (tree, *s)).collect();
+                        // Per-request bypass shares the re-point transition
+                        // (and its idempotency) with the failure path.
+                        if let RepointOutcome::Moved { .. } = p.ledger.repoint(key, &behind) {
+                            redirects.push((*request, tree, info.children_addrs.clone()));
+                        }
                     }
                 }
             }
@@ -645,23 +761,20 @@ fn straggler_loop(inner: &Arc<Inner>) {
         // Bypass may complete requests whose other sources already ended.
         let mut pending = inner.pending.lock();
         let mut completed = false;
-        let requests: Vec<RequestId> = pending.keys().copied().collect();
-        for request in requests {
-            let Some(p) = pending.get_mut(&request) else {
-                continue;
-            };
+        for p in pending.values_mut() {
             if p.complete {
                 continue;
             }
-            let done = p.ended.difference(&p.ignored).count() as i64;
-            let expected = expected_total(inner, request, p);
-            if expected > 0 && done >= expected {
+            if p.ledger.is_complete() {
                 p.complete = true;
                 completed = true;
                 if let Some(o) = &inner.obs {
                     o.requests_completed.inc();
                 }
             }
+        }
+        if let Some(o) = &inner.obs {
+            o.update_ledger_gauges(&pending);
         }
         if completed {
             inner.cv.notify_all();

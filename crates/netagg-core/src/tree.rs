@@ -200,6 +200,33 @@ impl TreeSpec {
             + self.direct_workers.len()
     }
 
+    /// Logical source identities the master sees per request on this tree:
+    /// root boxes plus direct workers. This is the master's fan-in ledger
+    /// seed (see `crate::ledger`).
+    pub fn master_sources(&self) -> Vec<crate::protocol::SourceId> {
+        use crate::protocol::SourceId;
+        self.boxes
+            .iter()
+            .filter(|b| b.parent == Parent::Master && b.expected_sources() > 0)
+            .map(|b| SourceId::Box(b.box_id))
+            .chain(self.direct_workers.iter().map(|w| SourceId::Worker(*w)))
+            .collect()
+    }
+
+    /// Logical source identities of the children of `box_id` (workers and
+    /// boxes): the contributors its parent inherits when the box fails.
+    pub fn children_sources(&self, box_id: u32) -> Vec<crate::protocol::SourceId> {
+        use crate::protocol::SourceId;
+        let Some(b) = self.tree_box(box_id) else {
+            return Vec::new();
+        };
+        b.worker_children
+            .iter()
+            .map(|w| SourceId::Worker(*w))
+            .chain(b.box_children.iter().map(|c| SourceId::Box(*c)))
+            .collect()
+    }
+
     /// Addresses of the children (workers and boxes) of `box_id` for one
     /// application, used by failure recovery to re-point them at the failed
     /// box's parent.

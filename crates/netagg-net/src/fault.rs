@@ -1,9 +1,13 @@
-//! Fault injection: kill endpoints and delay messages.
+//! Fault injection: kill endpoints, delay messages, and fire
+//! deterministic fault schedules.
 //!
 //! Wraps any [`Transport`]. Killing a node makes every connection touching
 //! it fail with [`NetError::Injected`], which is how the failure-recovery
 //! experiments simulate an agg-box crash; per-node delays simulate
-//! stragglers.
+//! stragglers. A [`FaultStep`] schedule kills a node at an exact point in
+//! the message flow (after the Nth frame delivered to a watched node), so
+//! recovery tests can reproduce precise kill timings from a seed instead
+//! of relying on sleeps.
 
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::Bytes;
@@ -12,11 +16,32 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One step of a deterministic fault schedule: once `after_frames` frames
+/// have been delivered to `watch` (across all connections of the wrapping
+/// [`FaultTransport`]), kill `kill_target`. The kill fires *after* the
+/// Nth frame is through, so the frame itself is delivered.
+///
+/// Frame counts include every message type on the wire — heartbeats,
+/// redirects and replays as well as data — which is exactly the point:
+/// sweeping `after_frames` from a seeded RNG exercises kills at arbitrary
+/// protocol moments, and recovery must be correct for all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStep {
+    /// Node whose delivered-frame count triggers the step.
+    pub watch: NodeId,
+    /// Fire after this many frames have been delivered to `watch`.
+    pub after_frames: u64,
+    /// Node to kill when the step fires.
+    pub kill_target: NodeId,
+}
+
 /// Shared controller used to inject faults at runtime.
 #[derive(Clone, Default)]
 pub struct FaultController {
     dead: Arc<RwLock<HashSet<NodeId>>>,
     delay: Arc<RwLock<HashMap<NodeId, Duration>>>,
+    frames: Arc<RwLock<HashMap<NodeId, u64>>>,
+    schedule: Arc<RwLock<Vec<FaultStep>>>,
 }
 
 impl FaultController {
@@ -52,6 +77,49 @@ impl FaultController {
 
     fn delay_of(&self, node: NodeId) -> Option<Duration> {
         self.delay.read().get(&node).copied()
+    }
+
+    /// Arm a deterministic fault step (see [`FaultStep`]). Steps are
+    /// independent; several can watch the same node.
+    pub fn schedule(&self, step: FaultStep) {
+        self.schedule.write().push(step);
+    }
+
+    /// Drop all armed fault steps (delivered-frame counts are kept).
+    pub fn clear_schedule(&self) {
+        self.schedule.write().clear();
+    }
+
+    /// Total frames successfully delivered to `node` so far.
+    pub fn frames_delivered(&self, node: NodeId) -> u64 {
+        self.frames.read().get(&node).copied().unwrap_or(0)
+    }
+
+    /// Record a successful delivery to `peer` and fire any armed fault
+    /// steps it satisfies.
+    fn note_delivery(&self, peer: NodeId) {
+        let count = {
+            let mut frames = self.frames.write();
+            let c = frames.entry(peer).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let fired: Vec<NodeId> = {
+            let mut sched = self.schedule.write();
+            let mut fired = Vec::new();
+            sched.retain(|s| {
+                if s.watch == peer && count >= s.after_frames {
+                    fired.push(s.kill_target);
+                    false
+                } else {
+                    true
+                }
+            });
+            fired
+        };
+        for target in fired {
+            self.kill(target);
+        }
     }
 }
 
@@ -152,7 +220,9 @@ impl Connection for FaultConnection {
         if let Some(d) = self.ctl.delay_of(self.local) {
             std::thread::sleep(d);
         }
-        self.inner.send(payload)
+        self.inner.send(payload)?;
+        self.ctl.note_delivery(self.inner.peer());
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Bytes, NetError> {
@@ -175,6 +245,34 @@ impl Connection for FaultConnection {
 
     fn peer(&self) -> NodeId {
         self.inner.peer()
+    }
+}
+
+/// A tiny deterministic RNG (splitmix64) for seeded fault schedules.
+/// Not cryptographic; its only job is to make a recovery test's kill
+/// timings reproducible from a printed seed.
+#[derive(Debug, Clone)]
+pub struct DetRng(u64);
+
+impl DetRng {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
     }
 }
 
@@ -223,6 +321,62 @@ mod tests {
         ctl.kill(2);
         let r = h.join().unwrap();
         assert!(matches!(r, Err(NetError::Injected(_))), "{r:?}");
+    }
+
+    #[test]
+    fn schedule_kills_after_nth_delivered_frame() {
+        let (t, ctl) = setup();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let mut server = l.accept().unwrap();
+        ctl.schedule(FaultStep {
+            watch: 1,
+            after_frames: 3,
+            kill_target: 9,
+        });
+        for _ in 0..2 {
+            c.send(Bytes::from_static(b"x")).unwrap();
+            server.recv().unwrap();
+        }
+        assert!(!ctl.is_dead(9), "step must not fire before frame 3");
+        // The third frame is still delivered; the kill lands after it.
+        c.send(Bytes::from_static(b"x")).unwrap();
+        server.recv().unwrap();
+        assert!(ctl.is_dead(9));
+        assert_eq!(ctl.frames_delivered(1), 3);
+        // The step is consumed: further traffic does not re-fire it.
+        ctl.revive(9);
+        c.send(Bytes::from_static(b"x")).unwrap();
+        assert!(!ctl.is_dead(9));
+    }
+
+    #[test]
+    fn clear_schedule_disarms_steps() {
+        let (t, ctl) = setup();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let _server = l.accept().unwrap();
+        ctl.schedule(FaultStep {
+            watch: 1,
+            after_frames: 1,
+            kill_target: 9,
+        });
+        ctl.clear_schedule();
+        c.send(Bytes::from_static(b"x")).unwrap();
+        assert!(!ctl.is_dead(9));
+    }
+
+    #[test]
+    fn det_rng_is_deterministic_per_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(1, 100)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(1, 100)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().all(|v| (1..100).contains(v)));
+        let mut c = DetRng::new(43);
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(1, 100)).collect();
+        assert_ne!(va, vc, "different seeds should diverge");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod wire;
 
 pub use channel::ChannelTransport;
 pub use emu::{EmuNet, EmuNetBuilder};
-pub use fault::{FaultController, FaultTransport};
+pub use fault::{DetRng, FaultController, FaultStep, FaultTransport};
 pub use framing::{encode_frame, FrameDecoder, MAX_FRAME};
 pub use metered::MeteredTransport;
 pub use ratelimit::TokenBucket;

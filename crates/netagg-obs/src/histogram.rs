@@ -168,7 +168,10 @@ fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
     if total == 0 {
         return 0;
     }
-    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    // Exclusive rank (floor + 1): the estimate is the value *above* the
+    // q-fraction of samples, so a tail outlier is reported by the tail
+    // quantile — percentiles must never under-state the latency.
+    let rank = ((q * total as f64).floor() as u64 + 1).clamp(1, total);
     let mut seen = 0u64;
     for (i, &c) in counts.iter().enumerate() {
         seen += c;
