@@ -6,13 +6,13 @@
 use crate::index::{GlobalStats, InvertedIndex};
 use crate::score::{self, QueryMode};
 use bytes::{BufMut, Bytes, BytesMut};
+use netagg_core::lifecycle::{CancelToken, JoinScope, DEFAULT_JOIN_DEADLINE};
 use netagg_core::shim::WorkerShim;
 use netagg_core::tree::service_addr;
 use netagg_core::protocol::AppId;
 use netagg_net::{wire, Connection, NetError, NodeId, Transport};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Application-level messages of the search protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,8 +117,8 @@ pub struct BackendStats {
 /// A running backend.
 pub struct Backend {
     stats: Arc<BackendStats>,
-    shutdown: Arc<AtomicBool>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    cancel: CancelToken,
+    scope: Arc<JoinScope>,
 }
 
 impl Backend {
@@ -146,45 +146,42 @@ impl Backend {
     ) -> Result<Self, NetError> {
         let mut listener = transport.bind(backend_service_addr(app, worker))?;
         let stats = Arc::new(BackendStats::default());
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let sd = shutdown.clone();
+        let cancel = CancelToken::new();
+        let scope = Arc::new(JoinScope::new(
+            format!("backend-{}-{}", app.0, worker),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+        ));
         let st = stats.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("backend-{}-{}", app.0, worker))
-            .spawn(move || {
-                let mut workers_threads = Vec::new();
-                while !sd.load(Ordering::SeqCst) {
-                    match listener.accept_timeout(Duration::from_millis(100)) {
-                        Ok(conn) => {
-                            let index = index.clone();
-                            let global = global.clone();
-                            let shim = shim.clone();
-                            let sd2 = sd.clone();
-                            let st2 = st.clone();
-                            workers_threads.push(std::thread::spawn(move || {
-                                serve(
-                                    conn,
-                                    &index,
-                                    global.as_ref().map(|g| g.as_ref()),
-                                    &shim,
-                                    &sd2,
-                                    &st2,
-                                )
-                            }));
-                        }
-                        Err(NetError::Timeout) => continue,
-                        Err(_) => break,
+        let accept_cancel = cancel.clone();
+        let accept_scope = scope.clone();
+        scope
+            .spawn(format!("backend-{}-{}", app.0, worker), move || loop {
+                match listener.accept_cancellable(&accept_cancel) {
+                    Ok(conn) => {
+                        let index = index.clone();
+                        let global = global.clone();
+                        let shim = shim.clone();
+                        let cancel = accept_cancel.clone();
+                        let st2 = st.clone();
+                        // After cancellation the scope drops the closure
+                        // instead of spawning: a connection accepted during
+                        // teardown is simply closed.
+                        accept_scope
+                            .spawn(format!("backend-{}-{}-serve", app.0, worker), move || {
+                                serve(conn, &index, global.as_deref(), &shim, &cancel, &st2)
+                            })
+                            .expect("spawn backend serve");
                     }
-                }
-                for t in workers_threads {
-                    let _ = t.join();
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => return, // cancelled or listener torn down
                 }
             })
-            .expect("spawn backend");
+            .map_err(|e| NetError::Io(e.to_string()))?;
         Ok(Self {
             stats,
-            shutdown,
-            threads: vec![accept_thread],
+            cancel,
+            scope,
         })
     }
 
@@ -193,12 +190,11 @@ impl Backend {
         &self.stats
     }
 
-    /// Stop serving and join the backend's threads. Idempotent.
+    /// Stop serving, waking blocked accept/recv calls, and join the
+    /// backend's threads under the scope deadline. Idempotent.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.cancel.cancel();
+        self.scope.finish();
     }
 }
 
@@ -213,14 +209,14 @@ fn serve(
     index: &InvertedIndex,
     global: Option<&GlobalStats>,
     shim: &WorkerShim,
-    shutdown: &AtomicBool,
+    cancel: &CancelToken,
     stats: &BackendStats,
 ) {
-    while !shutdown.load(Ordering::SeqCst) {
-        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+    loop {
+        let frame = match conn.recv_cancellable(cancel) {
             Ok(f) => f,
             Err(NetError::Timeout) => continue,
-            Err(_) => return,
+            Err(_) => return, // cancelled or peer gone
         };
         let Ok(SearchMsg::Query {
             request,

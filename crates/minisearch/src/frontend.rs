@@ -5,15 +5,15 @@
 use crate::backend::{backend_service_addr, SearchMsg};
 use crate::score::{QueryMode, SearchResults};
 use bytes::Bytes;
+use netagg_core::lifecycle::{CancelToken, JoinScope, DEFAULT_JOIN_DEADLINE};
 use netagg_core::protocol::AppId;
 use netagg_core::shim::MasterShim;
 use netagg_core::tree::service_addr;
 use netagg_core::AggError;
 use netagg_net::{Connection, NetError, NodeId, Transport};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -68,13 +68,13 @@ struct Inner {
     backend_workers: Vec<u32>,
     stats: FrontendStats,
     next_request: AtomicU64,
-    shutdown: AtomicBool,
+    cancel: CancelToken,
 }
 
 /// A running frontend.
 pub struct Frontend {
     inner: Arc<Inner>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    scope: Arc<JoinScope>,
 }
 
 impl Frontend {
@@ -87,6 +87,7 @@ impl Frontend {
         cfg: FrontendConfig,
     ) -> Result<Arc<Self>, NetError> {
         let mut listener = transport.bind(frontend_service_addr(app))?;
+        let cancel = CancelToken::new();
         let inner = Arc::new(Inner {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             app,
@@ -96,33 +97,37 @@ impl Frontend {
             backend_workers,
             stats: FrontendStats::default(),
             next_request: AtomicU64::new(1),
-            shutdown: AtomicBool::new(false),
+            cancel: cancel.clone(),
         });
+        let scope = Arc::new(JoinScope::new(
+            format!("frontend-{}", app.0),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+        ));
         let fe = Arc::new(Self {
             inner: inner.clone(),
-            threads: Mutex::new(Vec::new()),
+            scope: scope.clone(),
         });
-        let fe2 = Arc::downgrade(&fe);
-        let h = std::thread::Builder::new()
-            .name(format!("frontend-{}", app.0))
-            .spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    match listener.accept_timeout(Duration::from_millis(100)) {
-                        Ok(conn) => {
-                            if let Some(fe) = fe2.upgrade() {
-                                let inner = inner.clone();
-                                fe.threads
-                                    .lock()
-                                    .push(std::thread::spawn(move || serve_client(&inner, conn)));
-                            }
-                        }
-                        Err(NetError::Timeout) => continue,
-                        Err(_) => break,
+        let accept_scope = scope.clone();
+        scope
+            .spawn(format!("frontend-{}", app.0), move || loop {
+                match listener.accept_cancellable(&cancel) {
+                    Ok(conn) => {
+                        let inner = inner.clone();
+                        // After cancellation the scope drops the closure
+                        // instead of spawning: a connection accepted during
+                        // teardown is simply closed.
+                        accept_scope
+                            .spawn(format!("frontend-{}-client", inner.app.0), move || {
+                                serve_client(&inner, conn)
+                            })
+                            .expect("spawn frontend client");
                     }
+                    Err(NetError::Timeout) => continue,
+                    Err(_) => return, // cancelled or listener torn down
                 }
             })
-            .expect("spawn frontend");
-        fe.threads.lock().push(h);
+            .map_err(|e| NetError::Io(e.to_string()))?;
         Ok(fe)
     }
 
@@ -142,12 +147,11 @@ impl Frontend {
         execute(&self.inner, terms, mode)
     }
 
-    /// Stop serving and join the frontend's threads. Idempotent.
+    /// Stop serving, waking blocked accept/recv calls, and join the
+    /// frontend's threads under the scope deadline. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.lock().drain(..) {
-            let _ = t.join();
-        }
+        self.inner.cancel.cancel();
+        self.scope.finish();
     }
 }
 
@@ -229,11 +233,11 @@ thread_local! {
 }
 
 fn serve_client(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+    loop {
+        let frame = match conn.recv_cancellable(&inner.cancel) {
             Ok(f) => f,
             Err(NetError::Timeout) => continue,
-            Err(_) => return,
+            Err(_) => return, // cancelled or client gone
         };
         let Ok(SearchMsg::Query {
             request,

@@ -11,17 +11,22 @@
 use crate::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
 use crate::aggbox::tree::LocalAggTree;
 use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
+use crate::lifecycle::{CancelToken, JoinScope, Mailbox, OverflowPolicy, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::DynAggregator;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// Depth of the egress mailbox. Completion callbacks run on scheduler pool
+/// threads, so the egress queue must never block them: overflow drops the
+/// oldest message and the drop is metric-accounted (DESIGN.md §9).
+const EGRESS_DEPTH: usize = 4096;
 
 /// Configuration of one agg box.
 #[derive(Debug, Clone)]
@@ -269,8 +274,10 @@ struct Inner {
     out_replay: Mutex<OutReplay>,
     /// Straggler event counts per child box.
     straggler_counts: Mutex<HashMap<u32, u32>>,
-    egress_tx: Sender<(NodeId, Message)>,
-    shutdown: AtomicBool,
+    /// Bounded hand-off to the egress thread (`DropOldest`: completion
+    /// callbacks run on scheduler threads and must never block here).
+    egress: Mailbox<(NodeId, Message)>,
+    cancel: CancelToken,
     stats: BoxStats,
     obs: Option<BoxObs>,
 }
@@ -278,7 +285,7 @@ struct Inner {
 /// A running agg box.
 pub struct AggBox {
     inner: Arc<Inner>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    scope: JoinScope,
 }
 
 impl AggBox {
@@ -286,7 +293,29 @@ impl AggBox {
     /// threads.
     pub fn start(transport: Arc<dyn Transport>, cfg: AggBoxConfig) -> Result<Arc<Self>, NetError> {
         let mut listener = transport.bind(cfg.addr)?;
-        let (egress_tx, egress_rx) = unbounded();
+        let cancel = CancelToken::new();
+        let box_id = cfg.box_id;
+        let scope = JoinScope::with_obs(
+            format!("aggbox-{box_id}"),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+            cfg.obs.as_ref(),
+        );
+        let egress = match &cfg.obs {
+            Some(reg) => Mailbox::with_obs(
+                format!("aggbox{box_id}.egress"),
+                EGRESS_DEPTH,
+                OverflowPolicy::DropOldest,
+                cancel.clone(),
+                reg,
+            ),
+            None => Mailbox::new(
+                format!("aggbox{box_id}.egress"),
+                EGRESS_DEPTH,
+                OverflowPolicy::DropOldest,
+                cancel.clone(),
+            ),
+        };
         let scheduler = Arc::new(TaskScheduler::new_with_obs(
             cfg.scheduler.clone(),
             cfg.obs.clone(),
@@ -302,70 +331,62 @@ impl AggBox {
             out_redirects: Mutex::new(HashMap::new()),
             out_replay: Mutex::new(OutReplay::new(64)),
             straggler_counts: Mutex::new(HashMap::new()),
-            egress_tx,
-            shutdown: AtomicBool::new(false),
+            egress,
+            cancel,
             stats: BoxStats::default(),
             obs,
         });
         let boxed = Arc::new(Self {
             inner: inner.clone(),
-            threads: Mutex::new(Vec::new()),
+            scope,
         });
-        let mut threads = Vec::new();
         // Listener thread: accepts connections and spawns a reader each.
         {
             let this = Arc::downgrade(&boxed);
             let inner = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("aggbox-{}-listen", inner.cfg.box_id))
-                    .spawn(move || {
-                        while !inner.shutdown.load(Ordering::SeqCst) {
-                            match listener.accept_timeout(Duration::from_millis(100)) {
-                                Ok(conn) => {
-                                    if let Some(strong) = this.upgrade() {
-                                        strong.spawn_reader(conn);
-                                    }
-                                }
-                                Err(NetError::Timeout) => continue,
-                                Err(_) => break,
+            boxed
+                .scope
+                .spawn(format!("aggbox-{box_id}-listen"), move || loop {
+                    match listener.accept_cancellable(&inner.cancel) {
+                        Ok(conn) => {
+                            if let Some(strong) = this.upgrade() {
+                                strong.spawn_reader(conn);
                             }
                         }
-                    })
-                    .expect("spawn listener"),
-            );
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => return, // cancelled or listener torn down
+                    }
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
         // Egress thread.
         {
             let inner = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("aggbox-{}-egress", inner.cfg.box_id))
-                    .spawn(move || egress_loop(&inner, egress_rx))
-                    .expect("spawn egress"),
-            );
+            boxed
+                .scope
+                .spawn(format!("aggbox-{box_id}-egress"), move || {
+                    egress_loop(&inner)
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
         // Streaming flusher.
         if inner.cfg.flush_bytes.is_some() {
             let inner = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("aggbox-{}-flush", inner.cfg.box_id))
-                    .spawn(move || flush_loop(&inner))
-                    .expect("spawn flusher"),
-            );
+            boxed
+                .scope
+                .spawn(format!("aggbox-{box_id}-flush"), move || flush_loop(&inner))
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
         // Straggler monitor.
         if inner.cfg.straggler_threshold.is_some() {
             let inner = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("aggbox-{}-straggler", inner.cfg.box_id))
-                    .spawn(move || straggler_loop(&inner))
-                    .expect("spawn straggler monitor"),
-            );
+            boxed
+                .scope
+                .spawn(format!("aggbox-{box_id}-straggler"), move || {
+                    straggler_loop(&inner)
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
-        *boxed.threads.lock() = threads;
         Ok(boxed)
     }
 
@@ -441,21 +462,23 @@ impl AggBox {
         self.inner.cfg.box_id
     }
 
-    /// Stop all threads. Idempotent.
+    /// Stop all threads: cancel the box's token (waking every blocked
+    /// accept, recv and egress dequeue immediately) and join the scope
+    /// under its deadline. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.lock().drain(..) {
-            let _ = t.join();
-        }
+        self.inner.cancel.cancel();
+        self.scope.finish();
     }
 
     fn spawn_reader(self: &Arc<Self>, conn: Box<dyn Connection>) {
         let inner = self.inner.clone();
-        let h = std::thread::Builder::new()
-            .name(format!("aggbox-{}-reader", inner.cfg.box_id))
-            .spawn(move || reader_loop(&inner, conn))
+        // After cancellation the scope drops the closure instead of
+        // spawning: a connection accepted during teardown is simply closed.
+        self.scope
+            .spawn(format!("aggbox-{}-reader", inner.cfg.box_id), move || {
+                reader_loop(&inner, conn)
+            })
             .expect("spawn reader");
-        self.threads.lock().push(h);
     }
 }
 
@@ -466,11 +489,11 @@ impl Drop for AggBox {
 }
 
 fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+    loop {
+        let frame = match conn.recv_cancellable(&inner.cancel) {
             Ok(f) => f,
             Err(NetError::Timeout) => continue,
-            Err(_) => return,
+            Err(_) => return, // cancelled, peer closed, or transport error
         };
         let msg = match Message::decode(frame) {
             Ok(m) => m,
@@ -528,7 +551,7 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     if let Some(chunks) = inner.out_replay.lock().get(&(app, request, tree)) {
                         let n = chunks.len();
                         for (i, payload) in chunks.into_iter().enumerate() {
-                            let _ = inner.egress_tx.send((
+                            let _ = inner.egress.send((
                                 new_parent,
                                 Message::Data {
                                     app,
@@ -561,7 +584,7 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                         .unwrap_or_default()
                 };
                 for child in children {
-                    let _ = inner.egress_tx.send((
+                    let _ = inner.egress.send((
                         child,
                         Message::Broadcast {
                             app,
@@ -804,7 +827,7 @@ fn get_or_create<'a>(
                 // hand-off, for the same observer-visibility reason).
                 inner.states.lock().remove(&(app, request, tree));
                 inner.out_redirects.lock().remove(&(app, request, tree));
-                let _ = inner.egress_tx.send((dest, msg));
+                let _ = inner.egress.send((dest, msg));
             }));
             Some(v.insert(ReqState {
                 tree: ltree,
@@ -817,13 +840,13 @@ fn get_or_create<'a>(
     }
 }
 
-fn egress_loop(inner: &Arc<Inner>, rx: Receiver<(NodeId, Message)>) {
+fn egress_loop(inner: &Arc<Inner>) {
     let mut conns: HashMap<NodeId, Box<dyn Connection>> = HashMap::new();
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let (dest, msg) = match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(m) => m,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(_) => return,
+    loop {
+        // Blocks until a message arrives; cancellation wakes it immediately
+        // (the mailbox is bound to the box's token).
+        let Ok((dest, msg)) = inner.egress.recv() else {
+            return; // cancelled or closed
         };
         let frame = msg.encode();
         let mut sent = false;
@@ -867,8 +890,12 @@ fn egress_loop(inner: &Arc<Inner>, rx: Receiver<(NodeId, Message)>) {
 /// executes in a pipelined fashion and "little data is buffered").
 fn flush_loop(inner: &Arc<Inner>) {
     let threshold = inner.cfg.flush_bytes.expect("flusher enabled");
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(10));
+    loop {
+        // Interruptible tick: cancellation ends the sleep (and the loop)
+        // immediately.
+        if inner.cancel.wait_timeout(Duration::from_millis(10)) {
+            return;
+        }
         // Collect candidates without holding the states lock across the
         // tree operations.
         let candidates: Vec<((AppId, RequestId, TreeId), Arc<LocalAggTree>)> = {
@@ -914,7 +941,7 @@ fn flush_loop(inner: &Arc<Inner>) {
                 .out_replay
                 .lock()
                 .record((app, request, tree_id), chunk);
-            let _ = inner.egress_tx.send((dest, msg));
+            let _ = inner.egress.send((dest, msg));
         }
     }
 }
@@ -926,8 +953,10 @@ fn flush_loop(inner: &Arc<Inner>) {
 /// stragglers").
 fn straggler_loop(inner: &Arc<Inner>) {
     let threshold = inner.cfg.straggler_threshold.expect("monitor enabled");
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(threshold / 4);
+    loop {
+        if inner.cancel.wait_timeout(threshold / 4) {
+            return;
+        }
         let mut redirects: Vec<(AppId, RequestId, TreeId, u32, Vec<NodeId>)> = Vec::new();
         {
             // Lock order: states before routes (matches child_box_failed).
@@ -1007,7 +1036,7 @@ fn straggler_loop(inner: &Arc<Inner>) {
                 new_parent: inner.cfg.addr,
             };
             for child in children {
-                let _ = inner.egress_tx.send((child, msg.clone()));
+                let _ = inner.egress.send((child, msg.clone()));
             }
             // Re-check whether the bypass completes the request (the owed
             // set changed).

@@ -14,11 +14,11 @@
 //! `w_i = s_i / t_i  (normalised)`, which equalises achieved CPU shares
 //! (Fig. 26).
 
+use crate::lifecycle::{CancelToken, JoinScope, WakerGuard, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::AppId;
 use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -103,7 +103,7 @@ struct Inner {
     state: Mutex<State>,
     work_cv: Condvar,
     idle_cv: Condvar,
-    shutdown: AtomicBool,
+    cancel: CancelToken,
     cfg: SchedulerConfig,
     obs: Option<SchedObs>,
 }
@@ -127,7 +127,11 @@ pub struct AppCpu {
 /// The agg-box task scheduler.
 pub struct TaskScheduler {
     inner: Arc<Inner>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: JoinScope,
+    // Cancellation must wake workers parked on `work_cv`; dropping the
+    // scheduler unregisters the waker (held here, not in `Inner`, to
+    // avoid a token→waker→Inner→guard→token reference cycle).
+    _waker: WakerGuard,
 }
 
 impl TaskScheduler {
@@ -142,6 +146,13 @@ impl TaskScheduler {
     pub fn new_with_obs(cfg: SchedulerConfig, obs: Option<MetricsRegistry>) -> Self {
         assert!(cfg.threads > 0);
         assert!(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0);
+        let cancel = CancelToken::new();
+        let workers = JoinScope::with_obs(
+            "aggbox-sched",
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+            obs.as_ref(),
+        );
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 apps: HashMap::new(),
@@ -151,20 +162,29 @@ impl TaskScheduler {
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            cancel,
             cfg: cfg.clone(),
             obs: obs.map(SchedObs::new),
         });
-        let workers = (0..cfg.threads)
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("aggbox-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn scheduler worker")
-            })
-            .collect();
-        Self { inner, workers }
+        let wake = inner.clone();
+        let waker = inner.cancel.register_waker(move || {
+            // Lock-then-notify so a worker between its cancel check and its
+            // park cannot miss the wakeup.
+            drop(wake.state.lock());
+            wake.work_cv.notify_all();
+            wake.idle_cv.notify_all();
+        });
+        for i in 0..cfg.threads {
+            let inner = inner.clone();
+            workers
+                .spawn(format!("aggbox-worker-{i}"), move || worker_loop(&inner))
+                .expect("spawn scheduler worker");
+        }
+        Self {
+            inner,
+            workers,
+            _waker: waker,
+        }
     }
 
     /// Register an application with its target resource share. Shares are
@@ -246,23 +266,18 @@ impl TaskScheduler {
     /// pool thread (e.g. the last Arc dropping inside a task), that thread
     /// is detached instead of joined.
     pub fn shutdown(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        if let Some(o) = &self.inner.obs {
+        self.inner.cancel.cancel();
+        {
             // Account the tasks this shutdown abandons.
             let mut s = self.inner.state.lock();
             let dropped: usize = s.apps.values_mut().map(|q| q.queue.drain(..).count()).sum();
             s.queued = 0;
-            o.tasks_dropped.add(dropped as u64);
-            o.queue_depth.set(0.0);
-        }
-        self.inner.work_cv.notify_all();
-        let me = std::thread::current().id();
-        for w in self.workers.drain(..) {
-            if w.thread().id() == me {
-                continue;
+            if let Some(o) = &self.inner.obs {
+                o.tasks_dropped.add(dropped as u64);
+                o.queue_depth.set(0.0);
             }
-            let _ = w.join();
         }
+        self.workers.finish();
     }
 }
 
@@ -301,7 +316,7 @@ fn worker_loop(inner: &Inner) {
         let task = {
             let mut s = inner.state.lock();
             loop {
-                if inner.shutdown.load(Ordering::SeqCst) {
+                if inner.cancel.is_cancelled() {
                     return;
                 }
                 if s.queued > 0 {
@@ -384,7 +399,7 @@ fn worker_loop(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn cfg(threads: usize, adaptive: bool) -> SchedulerConfig {
         SchedulerConfig {
@@ -543,7 +558,7 @@ mod tests {
         assert!(s.wait_idle(Duration::from_secs(5)));
         // Queue a task that can never run, then shut down: it must be
         // accounted as dropped.
-        s.inner.shutdown.store(true, Ordering::SeqCst);
+        s.inner.cancel.cancel();
         s.submit(AppId(3), Box::new(|| {}));
         s.shutdown();
         let snap = obs.snapshot();

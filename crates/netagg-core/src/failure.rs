@@ -9,12 +9,12 @@
 //! Duplicate suppression at the new parent (sequence numbers per source)
 //! keeps resent results from being double-counted.
 
+use crate::lifecycle::{CancelToken, JoinScope, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, TreeId};
 use netagg_net::{NetError, NodeId, Transport};
 use netagg_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -108,8 +108,7 @@ impl WatchSet {
 
 /// A running failure detector.
 pub struct FailureDetector {
-    shutdown: Arc<AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    scope: JoinScope,
 }
 
 impl FailureDetector {
@@ -166,28 +165,27 @@ impl FailureDetector {
         on_failed: Box<dyn Fn(u32) + Send>,
         obs: Option<MetricsRegistry>,
     ) -> Self {
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let sd = shutdown.clone();
-        let thread = std::thread::Builder::new()
-            .name(format!("failure-detector-{self_addr}"))
-            .spawn(move || {
+        let cancel = CancelToken::new();
+        let scope = JoinScope::with_obs(
+            format!("failure-detector-{self_addr}"),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+            obs.as_ref(),
+        );
+        scope
+            .spawn(format!("failure-detector-{self_addr}"), move || {
                 detector_loop(
-                    &transport, self_addr, redirect_to, children, &cfg, on_failed, &sd, &obs,
+                    &transport, self_addr, redirect_to, children, &cfg, on_failed, &cancel, &obs,
                 )
             })
             .expect("spawn failure detector");
-        Self {
-            shutdown,
-            thread: Some(thread),
-        }
+        Self { scope }
     }
 
-    /// Stop probing and join the detector thread. Idempotent.
+    /// Stop probing: cancel the token (ending the current inter-probe
+    /// sleep immediately) and join the detector thread. Idempotent.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.scope.finish();
     }
 }
 
@@ -205,15 +203,18 @@ fn detector_loop(
     children: WatchSet,
     cfg: &DetectorConfig,
     on_failed: Box<dyn Fn(u32) + Send>,
-    shutdown: &AtomicBool,
+    cancel: &CancelToken,
     obs: &Option<MetricsRegistry>,
 ) {
     let mut conns: HashMap<u32, Box<dyn netagg_net::Connection>> = HashMap::new();
     let mut miss_count: HashMap<u32, u32> = HashMap::new();
     let mut failed: HashMap<u32, bool> = HashMap::new();
     let mut nonce = 0u64;
-    while !shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(cfg.interval);
+    loop {
+        // Interruptible inter-probe sleep: stop() ends it immediately.
+        if cancel.wait_timeout(cfg.interval) {
+            return;
+        }
         // Snapshot per round: `on_failed` may adopt the failed box's
         // children into the set mid-round.
         for child in children.snapshot() {
@@ -325,7 +326,7 @@ mod tests {
     use super::*;
     use crate::aggbox::{AggBox, AggBoxConfig};
     use netagg_net::{ChannelTransport, FaultController, FaultTransport};
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn healthy_child_is_not_declared_failed() {

@@ -76,6 +76,7 @@ pub mod aggbox;
 pub mod failure;
 pub mod laws;
 pub mod ledger;
+pub mod lifecycle;
 pub mod protocol;
 pub mod runtime;
 pub mod shim;
@@ -124,6 +125,7 @@ impl From<netagg_net::NetError> for AggError {
     fn from(e: netagg_net::NetError) -> Self {
         match e {
             netagg_net::NetError::Timeout => AggError::Timeout,
+            netagg_net::NetError::Cancelled => AggError::Shutdown,
             other => AggError::Net(other.to_string()),
         }
     }

@@ -8,6 +8,7 @@
 
 use crate::aggbox::runtime::ChildBoxInfo;
 use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
+use crate::lifecycle::{CancelToken, JoinScope, WakerGuard, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::shim::worker::per_request_tree;
 use crate::shim::TreeSelection;
@@ -18,7 +19,6 @@ use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -161,7 +161,11 @@ struct Inner {
     pending: Mutex<HashMap<RequestId, Pending>>,
     cv: Condvar,
     num_trees: u32,
-    shutdown: AtomicBool,
+    cancel: CancelToken,
+    /// Cached control-plane connections (RequestMeta, Broadcast, straggler
+    /// redirects), one per destination. Persistent connections keep
+    /// control traffic ordered per peer and avoid a dial per message.
+    ctrl_conns: Mutex<HashMap<NodeId, Box<dyn Connection>>>,
     obs: Option<MasterObs>,
 }
 
@@ -174,7 +178,9 @@ pub struct PendingRequest {
 /// The master-side shim.
 pub struct MasterShim {
     inner: Arc<Inner>,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    scope: JoinScope,
+    /// Wakes `PendingRequest::wait` condvar sleepers on cancellation.
+    _cv_waker: WakerGuard,
 }
 
 impl MasterShim {
@@ -206,6 +212,13 @@ impl MasterShim {
             );
         }
         let obs = cfg.obs.clone().map(MasterObs::new);
+        let cancel = CancelToken::new();
+        let scope = JoinScope::with_obs(
+            format!("master-shim-{}", app.0),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+            cfg.obs.as_ref(),
+        );
         let inner = Arc::new(Inner {
             app,
             addr,
@@ -217,49 +230,56 @@ impl MasterShim {
             pending: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             num_trees: specs.len() as u32,
-            shutdown: AtomicBool::new(false),
+            cancel: cancel.clone(),
+            ctrl_conns: Mutex::new(HashMap::new()),
             obs,
+        });
+        // Wake condvar waiters on cancellation (takes the pending lock so a
+        // waiter between its cancel check and its park cannot miss the
+        // notify). Weak: a strong ref here would cycle through the token.
+        let weak = Arc::downgrade(&inner);
+        let cv_waker = cancel.register_waker(move || {
+            if let Some(i) = weak.upgrade() {
+                drop(i.pending.lock());
+                i.cv.notify_all();
+            }
         });
         let shim = Arc::new(Self {
             inner: inner.clone(),
-            threads: Mutex::new(Vec::new()),
+            scope,
+            _cv_waker: cv_waker,
         });
-        let mut threads = Vec::new();
         {
             let inner = inner.clone();
             let shim2 = Arc::downgrade(&shim);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("master-shim-{}", app.0))
-                    .spawn(move || {
-                        while !inner.shutdown.load(Ordering::SeqCst) {
-                            match listener.accept_timeout(Duration::from_millis(100)) {
-                                Ok(conn) => {
-                                    if let Some(s) = shim2.upgrade() {
-                                        let inner = inner.clone();
-                                        s.threads.lock().push(std::thread::spawn(move || {
-                                            reader_loop(&inner, conn)
-                                        }));
-                                    }
-                                }
-                                Err(NetError::Timeout) => continue,
-                                Err(_) => break,
+            shim.scope
+                .spawn(format!("master-shim-{}", app.0), move || loop {
+                    match listener.accept_cancellable(&inner.cancel) {
+                        Ok(conn) => {
+                            if let Some(s) = shim2.upgrade() {
+                                let inner = inner.clone();
+                                s.scope
+                                    .spawn(
+                                        format!("master-shim-{}-reader", inner.app.0),
+                                        move || reader_loop(&inner, conn),
+                                    )
+                                    .expect("spawn master shim reader");
                             }
                         }
-                    })
-                    .expect("spawn master shim listener"),
-            );
+                        Err(NetError::Timeout) => continue,
+                        Err(_) => return, // cancelled or listener torn down
+                    }
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
         if inner.cfg.straggler_threshold.is_some() {
             let inner = inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("master-shim-{}-straggler", app.0))
-                    .spawn(move || straggler_loop(&inner))
-                    .expect("spawn master straggler monitor"),
-            );
+            shim.scope
+                .spawn(format!("master-shim-{}-straggler", app.0), move || {
+                    straggler_loop(&inner)
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
         }
-        *shim.threads.lock() = threads;
         Ok(shim)
     }
 
@@ -350,9 +370,7 @@ impl MasterShim {
                     tree: tree_id,
                     sources: sources.clone(),
                 };
-                if let Ok(mut c) = self.inner.transport.connect(self.inner.addr, tb.addr) {
-                    let _ = c.send(msg.encode());
-                }
+                let _ = send_ctrl(&self.inner, tb.addr, msg.encode());
             }
             // Master-facing owed entries for this tree. A root box that
             // already failed (dropped from the route's owed set) is
@@ -431,12 +449,7 @@ impl MasterShim {
                     .map(|w| crate::tree::worker_addr(self.inner.app, *w)),
             );
             for t in targets {
-                let mut c = self
-                    .inner
-                    .transport
-                    .connect(self.inner.addr, t)
-                    .map_err(AggError::from)?;
-                c.send(msg.encode()).map_err(AggError::from)?;
+                send_ctrl(&self.inner, t, msg.encode()).map_err(AggError::from)?;
             }
         }
         Ok(())
@@ -512,14 +525,42 @@ impl MasterShim {
         self.inner.addr
     }
 
-    /// Stop all shim threads. Idempotent.
+    /// Stop all shim threads: cancel the token (waking blocked accepts,
+    /// reads and `wait` condvar sleepers immediately) and join the scope
+    /// under its deadline. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.cv.notify_all();
-        for t in self.threads.lock().drain(..) {
-            let _ = t.join();
+        self.inner.cancel.cancel();
+        self.scope.finish();
+    }
+}
+
+/// Send a control frame over a cached per-destination connection,
+/// redialling once on a stale connection (the agg-box egress idiom).
+fn send_ctrl(inner: &Inner, dest: NodeId, frame: Bytes) -> Result<(), NetError> {
+    let mut conns = inner.ctrl_conns.lock();
+    let mut last = NetError::NotFound(dest);
+    for _ in 0..2 {
+        let conn = match conns.entry(dest) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match inner.transport.connect(inner.addr, dest) {
+                    Ok(c) => v.insert(c),
+                    Err(e) => {
+                        last = e;
+                        continue;
+                    }
+                }
+            }
+        };
+        match conn.send(frame.clone()) {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                conns.remove(&dest); // stale connection: redial once
+                last = e;
+            }
         }
     }
+    Err(last)
 }
 
 impl Drop for MasterShim {
@@ -534,7 +575,7 @@ impl PendingRequest {
         let deadline = Instant::now() + timeout;
         let mut pending = self.inner.pending.lock();
         loop {
-            if self.inner.shutdown.load(Ordering::SeqCst) {
+            if self.inner.cancel.is_cancelled() {
                 return Err(AggError::Shutdown);
             }
             let p = pending
@@ -618,11 +659,11 @@ fn fresh_pending(inner: &Inner, request: RequestId) -> Pending {
 }
 
 fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+    loop {
+        let frame = match conn.recv_cancellable(&inner.cancel) {
             Ok(f) => f,
             Err(NetError::Timeout) => continue,
-            Err(_) => return,
+            Err(_) => return, // cancelled, peer closed, or transport error
         };
         let Ok(msg) = Message::decode(frame) else {
             continue;
@@ -703,8 +744,10 @@ fn straggler_loop(inner: &Arc<Inner>) {
     // Hierarchical thresholds: the master waits longer than the boxes so
     // box-level bypass (closer to the data) resolves stragglers first.
     let threshold = inner.cfg.straggler_threshold.expect("monitor enabled") * 4;
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(threshold / 4);
+    loop {
+        if inner.cancel.wait_timeout(threshold / 4) {
+            return;
+        }
         let mut redirects: Vec<(RequestId, TreeId, Vec<NodeId>)> = Vec::new();
         {
             // Lock order: pending before routes (matches fresh_pending).
@@ -753,9 +796,7 @@ fn straggler_loop(inner: &Arc<Inner>) {
                 new_parent: inner.addr,
             };
             for child in children {
-                if let Ok(mut c) = inner.transport.connect(inner.addr, child) {
-                    let _ = c.send(msg.encode());
-                }
+                let _ = send_ctrl(inner, child, msg.encode());
             }
         }
         // Bypass may complete requests whose other sources already ended.

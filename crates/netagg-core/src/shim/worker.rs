@@ -1,5 +1,9 @@
 //! Worker-side shim layer.
 
+use crate::lifecycle::{
+    CancelToken, JoinScope, Mailbox, MailboxRecvTimeoutError, OverflowPolicy,
+    DEFAULT_JOIN_DEADLINE,
+};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
 use crate::AggError;
@@ -8,9 +12,14 @@ use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::{Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Depth of the broadcast delivery mailbox. An application that does not
+/// consume broadcasts keeps only the newest `BROADCAST_DEPTH` payloads
+/// (`DropOldest`); delivery never blocks the control reader.
+const BROADCAST_DEPTH: usize = 256;
 
 /// How partial results are spread over multiple aggregation trees
 /// (Section 3.1, "Multiple aggregation trees per application").
@@ -35,6 +44,10 @@ pub struct WorkerStats {
     pub chunks_resent: AtomicU64,
     /// Redirect messages received.
     pub redirects: AtomicU64,
+    /// Broadcast messages received off the wire (counted before the
+    /// bounded delivery mailbox applies its drop policy, so tests can wait
+    /// for arrival independently of eviction).
+    pub broadcasts_received: AtomicU64,
 }
 
 /// Pre-resolved `shim.worker.*` metric handles.
@@ -77,12 +90,13 @@ struct Inner {
     conns: Mutex<HashMap<NodeId, Box<dyn Connection>>>,
     seqs: Mutex<HashMap<RequestId, u32>>,
     replay: Mutex<ReplayBuffer>,
-    /// Broadcasts received down the tree, delivered to the application.
-    broadcast_tx: crossbeam::channel::Sender<(u64, Bytes)>,
-    broadcast_rx: crossbeam::channel::Receiver<(u64, Bytes)>,
+    /// Broadcasts received down the tree, delivered to the application
+    /// through a bounded `DropOldest` mailbox (a non-consuming application
+    /// keeps the newest [`BROADCAST_DEPTH`] payloads).
+    broadcasts: Mailbox<(u64, Bytes)>,
     stats: WorkerStats,
     obs: Option<WorkerObs>,
-    shutdown: AtomicBool,
+    cancel: CancelToken,
 }
 
 struct ReplayBuffer {
@@ -109,7 +123,7 @@ impl ReplayBuffer {
 /// them to the assigned agg box.
 pub struct WorkerShim {
     inner: Arc<Inner>,
-    listener_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    scope: JoinScope,
 }
 
 impl WorkerShim {
@@ -145,7 +159,29 @@ impl WorkerShim {
             assignments.insert(spec.tree, dest);
         }
         let mut listener = transport.bind(addr)?;
-        let (broadcast_tx, broadcast_rx) = crossbeam::channel::bounded(256);
+        let cancel = CancelToken::new();
+        let scope = JoinScope::with_obs(
+            format!("worker-shim-{}-{}", app.0, worker),
+            cancel.clone(),
+            DEFAULT_JOIN_DEADLINE,
+            obs.as_ref(),
+        );
+        let mailbox_name = format!("worker{}-{}.broadcast", app.0, worker);
+        let broadcasts = match &obs {
+            Some(reg) => Mailbox::with_obs(
+                mailbox_name,
+                BROADCAST_DEPTH,
+                OverflowPolicy::DropOldest,
+                cancel.clone(),
+                reg,
+            ),
+            None => Mailbox::new(
+                mailbox_name,
+                BROADCAST_DEPTH,
+                OverflowPolicy::DropOldest,
+                cancel.clone(),
+            ),
+        };
         let inner = Arc::new(Inner {
             app,
             worker,
@@ -161,37 +197,43 @@ impl WorkerShim {
                 order: VecDeque::new(),
                 capacity: 64,
             }),
-            broadcast_tx,
-            broadcast_rx,
+            broadcasts,
             stats: WorkerStats::default(),
             obs: obs.as_ref().map(WorkerObs::new),
-            shutdown: AtomicBool::new(false),
+            cancel,
         });
         let shim = Arc::new(Self {
             inner: inner.clone(),
-            listener_thread: Mutex::new(None),
+            scope,
         });
-        let h = std::thread::Builder::new()
-            .name(format!("worker-shim-{}-{}", app.0, worker))
-            .spawn(move || {
-                // Accept control connections (redirects) and handle them.
-                let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    match listener.accept_timeout(Duration::from_millis(100)) {
+        {
+            // Accept control connections (redirects, broadcasts) and spawn
+            // a named reader per connection into the scope.
+            let shim2 = Arc::downgrade(&shim);
+            let inner = inner.clone();
+            shim.scope
+                .spawn(format!("worker-shim-{}-{}", app.0, worker), move || loop {
+                    match listener.accept_cancellable(&inner.cancel) {
                         Ok(conn) => {
-                            let inner = inner.clone();
-                            readers.push(std::thread::spawn(move || control_loop(&inner, conn)));
+                            if let Some(s) = shim2.upgrade() {
+                                let inner = inner.clone();
+                                s.scope
+                                    .spawn(
+                                        format!(
+                                            "worker-shim-{}-{}-ctrl",
+                                            inner.app.0, inner.worker
+                                        ),
+                                        move || control_loop(&inner, conn),
+                                    )
+                                    .expect("spawn worker shim control reader");
+                            }
                         }
                         Err(NetError::Timeout) => continue,
-                        Err(_) => break,
+                        Err(_) => return, // cancelled or listener torn down
                     }
-                }
-                for r in readers {
-                    let _ = r.join();
-                }
-            })
-            .expect("spawn worker shim listener");
-        *shim.listener_thread.lock() = Some(h);
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
+        }
         Ok(shim)
     }
 
@@ -307,18 +349,19 @@ impl WorkerShim {
     /// Receive the next broadcast distributed down the tree (the paper's
     /// one-to-many extension): returns `(request id, payload)`.
     pub fn recv_broadcast(&self, timeout: Duration) -> Result<(u64, Bytes), AggError> {
-        self.inner
-            .broadcast_rx
-            .recv_timeout(timeout)
-            .map_err(|_| AggError::Timeout)
+        match self.inner.broadcasts.recv_timeout(timeout) {
+            Ok(v) => Ok(v),
+            Err(MailboxRecvTimeoutError::Timeout) => Err(AggError::Timeout),
+            Err(_) => Err(AggError::Shutdown), // cancelled or closed
+        }
     }
 
-    /// Stop the shim's listener thread. Idempotent.
+    /// Stop the shim's threads: cancel the token (waking blocked accepts,
+    /// control reads and broadcast receivers immediately) and join the
+    /// scope under its deadline. Idempotent.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.listener_thread.lock().take() {
-            let _ = h.join();
-        }
+        self.inner.cancel.cancel();
+        self.scope.finish();
     }
 }
 
@@ -440,11 +483,11 @@ impl Inner {
 }
 
 fn control_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        let frame = match conn.recv_timeout(Duration::from_millis(100)) {
+    loop {
+        let frame = match conn.recv_cancellable(&inner.cancel) {
             Ok(f) => f,
             Err(NetError::Timeout) => continue,
-            Err(_) => return,
+            Err(_) => return, // cancelled, peer closed, or transport error
         };
         let Ok(msg) = Message::decode(frame) else {
             continue;
@@ -488,9 +531,13 @@ fn control_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 payload,
                 ..
             } if app == inner.app => {
-                // Drop rather than block if the application is not
-                // consuming broadcasts.
-                let _ = inner.broadcast_tx.try_send((request.0, payload));
+                inner
+                    .stats
+                    .broadcasts_received
+                    .fetch_add(1, Ordering::Relaxed);
+                // DropOldest: never blocks; a non-consuming application
+                // keeps only the newest BROADCAST_DEPTH payloads.
+                let _ = inner.broadcasts.send((request.0, payload));
             }
             _ => {}
         }

@@ -269,28 +269,43 @@ fn send_chunk_rejects_keyed_selection() {
 #[test]
 fn broadcast_flood_never_blocks_the_master() {
     // Workers that do not consume broadcasts must not stall the sender:
-    // the shim drops past its 256-message buffer instead of blocking.
+    // the delivery mailbox evicts its oldest entries past the 256-message
+    // bound (DropOldest) instead of blocking the control reader.
     let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
     let cluster = ClusterSpec::single_rack(1, 0);
     let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
     let app = dep.register_app("sum", sum_agg(), 1.0);
     let master = dep.master_shim(app);
     let w0 = dep.worker_shim(app, 0);
-    std::thread::sleep(Duration::from_millis(50));
 
     for req in 0..400u64 {
         master.broadcast(req, Bytes::from_static(b"tick")).unwrap();
     }
-    // The earliest broadcasts are deliverable; the overflow was dropped.
-    let (first, payload) = w0.recv_broadcast(Duration::from_secs(5)).unwrap();
-    assert_eq!(first, 0);
+    // Wait until the shim has taken all 400 off the wire (the counter
+    // increments before the mailbox applies its drop policy), so draining
+    // below races nothing.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while w0.stats().broadcasts_received.load(Relaxed) < 400 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {} of 400 broadcasts arrived",
+            w0.stats().broadcasts_received.load(Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // One ordered control connection + DropOldest(256) means exactly the
+    // newest 256 broadcasts (requests 144..400) remain, in order.
+    let (first, payload) = w0.recv_broadcast(Duration::from_secs(1)).unwrap();
+    assert_eq!(first, 144, "the 144 oldest broadcasts must be evicted");
     assert_eq!(payload.as_ref(), b"tick");
-    let mut delivered = 1;
-    while w0.recv_broadcast(Duration::from_millis(50)).is_ok() {
+    let mut delivered = 1u64;
+    let mut expect = 145u64;
+    while let Ok((req, _)) = w0.recv_broadcast(Duration::from_millis(50)) {
+        assert_eq!(req, expect, "delivery must preserve arrival order");
+        expect += 1;
         delivered += 1;
     }
-    assert!(delivered <= 257, "delivered {delivered} > buffer capacity");
-    assert!(delivered >= 200, "delivered {delivered}, expected ~256");
+    assert_eq!(delivered, 256, "exactly the mailbox bound is deliverable");
     dep.shutdown();
 }
 

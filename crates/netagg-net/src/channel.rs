@@ -1,13 +1,18 @@
-//! In-process transport over bounded crossbeam channels.
+//! In-process transport over bounded lifecycle mailboxes.
 //!
-//! Each connection is a pair of bounded byte-message channels. The bound
-//! gives natural back-pressure: a sender blocks once the receiver's queue
-//! is full, which is exactly the behaviour the paper relies on to slow
-//! workers down when an agg box cannot keep up (Section 3.2.1).
+//! Each connection is a pair of bounded [`Mailbox`]es with
+//! [`OverflowPolicy::Block`]. The bound gives natural back-pressure: a
+//! sender blocks once the receiver's queue is full, which is exactly the
+//! behaviour the paper relies on to slow workers down when an agg box
+//! cannot keep up (Section 3.2.1). Because the queues are lifecycle
+//! mailboxes, `recv_cancellable`/`accept_cancellable` wake instantly on
+//! cancellation — no poll loop.
 
+use crate::lifecycle::{
+    CancelToken, Mailbox, MailboxRecvError, MailboxRecvTimeoutError, OverflowPolicy,
+};
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,15 +21,18 @@ use std::time::Duration;
 /// Messages queued per direction before senders block.
 const CHANNEL_DEPTH: usize = 256;
 
+/// Connections queued at a listener before connects are refused.
+const ACCEPT_DEPTH: usize = 1024;
+
 struct Pending {
     peer: NodeId,
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    tx: Mailbox<Bytes>,
+    rx: Mailbox<Bytes>,
 }
 
 #[derive(Default)]
 struct Registry {
-    accept_queues: HashMap<NodeId, Sender<Pending>>,
+    accept_queues: HashMap<NodeId, Mailbox<Pending>>,
 }
 
 /// In-process transport. Cheap to clone (shared registry).
@@ -42,19 +50,30 @@ impl ChannelTransport {
     /// Remove a binding, making future connects fail (used by fault
     /// injection and clean shutdown).
     pub fn unbind(&self, node: NodeId) {
-        self.registry.lock().accept_queues.remove(&node);
+        if let Some(q) = self.registry.lock().accept_queues.remove(&node) {
+            // Wake a blocked accept with Closed, as dropping the old
+            // crossbeam sender did.
+            q.close();
+        }
     }
 }
 
 impl Transport for ChannelTransport {
     fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError> {
-        let (tx, rx) = bounded::<Pending>(1024);
+        // The accept queue rejects (rather than blocks) when flooded so a
+        // connect against a stalled listener fails fast.
+        let inbox = Mailbox::new(
+            format!("chan.accept.{local}"),
+            ACCEPT_DEPTH,
+            OverflowPolicy::Reject,
+            CancelToken::new(),
+        );
         let mut reg = self.registry.lock();
         if reg.accept_queues.contains_key(&local) {
             return Err(NetError::AlreadyBound(local));
         }
-        reg.accept_queues.insert(local, tx);
-        Ok(Box::new(ChannelListener { inbox: rx }))
+        reg.accept_queues.insert(local, inbox.clone());
+        Ok(Box::new(ChannelListener { inbox }))
     }
 
     fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError> {
@@ -65,58 +84,85 @@ impl Transport for ChannelTransport {
                 .cloned()
                 .ok_or(NetError::NotFound(peer))?
         };
-        let (tx_a, rx_a) = bounded::<Bytes>(CHANNEL_DEPTH); // local -> peer
-        let (tx_b, rx_b) = bounded::<Bytes>(CHANNEL_DEPTH); // peer -> local
+        let a2b = Mailbox::new(
+            format!("chan.data.{local}-{peer}"),
+            CHANNEL_DEPTH,
+            OverflowPolicy::Block,
+            CancelToken::new(),
+        );
+        let b2a = Mailbox::new(
+            format!("chan.data.{peer}-{local}"),
+            CHANNEL_DEPTH,
+            OverflowPolicy::Block,
+            CancelToken::new(),
+        );
         let pending = Pending {
             peer: local,
-            tx: tx_b,
-            rx: rx_a,
+            tx: b2a.clone(),
+            rx: a2b.clone(),
         };
-        match accept.try_send(pending) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                return Err(NetError::NotFound(peer))
-            }
+        // A closed inbox (dropped listener) or a flooded one both mean the
+        // peer is effectively unreachable.
+        if accept.send(pending).is_err() {
+            return Err(NetError::NotFound(peer));
         }
         Ok(Box::new(ChannelConnection {
             peer,
-            tx: tx_a,
-            rx: rx_b,
+            tx: a2b,
+            rx: b2a,
         }))
     }
 }
 
 struct ChannelListener {
-    inbox: Receiver<Pending>,
+    inbox: Mailbox<Pending>,
+}
+
+fn conn_from(p: Pending) -> Box<dyn Connection> {
+    Box::new(ChannelConnection {
+        peer: p.peer,
+        tx: p.tx,
+        rx: p.rx,
+    })
 }
 
 impl Listener for ChannelListener {
     fn accept(&mut self) -> Result<Box<dyn Connection>, NetError> {
-        let p = self.inbox.recv().map_err(|_| NetError::Closed)?;
-        Ok(Box::new(ChannelConnection {
-            peer: p.peer,
-            tx: p.tx,
-            rx: p.rx,
-        }))
+        self.inbox.recv().map(conn_from).map_err(|_| NetError::Closed)
     }
 
     fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(p) => Ok(Box::new(ChannelConnection {
-                peer: p.peer,
-                tx: p.tx,
-                rx: p.rx,
-            })),
-            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+            Ok(p) => Ok(conn_from(p)),
+            Err(MailboxRecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(_) => Err(NetError::Closed),
         }
+    }
+
+    fn accept_cancellable(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Box<dyn Connection>, NetError> {
+        match self.inbox.recv_cancellable(cancel) {
+            Ok(p) => Ok(conn_from(p)),
+            Err(MailboxRecvError::Closed) => Err(NetError::Closed),
+            Err(MailboxRecvError::Cancelled) => Err(NetError::Cancelled),
+        }
+    }
+}
+
+impl Drop for ChannelListener {
+    fn drop(&mut self) {
+        // A dropped listener refuses future connects immediately (senders
+        // observe Closed), matching TCP listener-socket semantics.
+        self.inbox.close();
     }
 }
 
 struct ChannelConnection {
     peer: NodeId,
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    tx: Mailbox<Bytes>,
+    rx: Mailbox<Bytes>,
 }
 
 impl Connection for ChannelConnection {
@@ -131,8 +177,17 @@ impl Connection for ChannelConnection {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
         match self.rx.recv_timeout(timeout) {
             Ok(b) => Ok(b),
-            Err(RecvTimeoutError::Timeout) => Err(NetError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+            Err(MailboxRecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(_) => Err(NetError::Closed),
+        }
+    }
+
+    fn recv_cancellable(&mut self, cancel: &CancelToken) -> Result<Bytes, NetError> {
+        // True wakeup: cancellation notifies the mailbox condvar directly.
+        match self.rx.recv_cancellable(cancel) {
+            Ok(b) => Ok(b),
+            Err(MailboxRecvError::Closed) => Err(NetError::Closed),
+            Err(MailboxRecvError::Cancelled) => Err(NetError::Cancelled),
         }
     }
 
@@ -141,9 +196,21 @@ impl Connection for ChannelConnection {
     }
 }
 
+impl Drop for ChannelConnection {
+    fn drop(&mut self) {
+        // Dropping either endpoint closes both directions: the peer's recv
+        // drains what was already queued and then reports Closed, and a
+        // peer blocked in send wakes with Closed (mpsc endpoint-drop
+        // semantics, which the old crossbeam implementation provided).
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lifecycle::MailboxTryRecvError;
     use std::thread;
 
     #[test]
@@ -209,6 +276,14 @@ mod tests {
     }
 
     #[test]
+    fn dropped_listener_refuses_connects() {
+        let t = ChannelTransport::new();
+        let l = t.bind(1).unwrap();
+        drop(l);
+        assert!(matches!(t.connect(2, 1), Err(NetError::NotFound(1))));
+    }
+
+    #[test]
     fn bounded_channel_applies_backpressure() {
         let t = ChannelTransport::new();
         let mut l = t.bind(1).unwrap();
@@ -229,5 +304,62 @@ mod tests {
         let mut server = _server;
         server.recv().unwrap();
         blocked.join().unwrap();
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_recv_and_accept() {
+        let t = ChannelTransport::new();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let mut server = l.accept().unwrap();
+        let cancel = CancelToken::new();
+        let c2 = cancel.clone();
+        let recv_thread = thread::spawn(move || {
+            let r = c.recv_cancellable(&c2);
+            (r, std::time::Instant::now(), c)
+        });
+        let c3 = cancel.clone();
+        let accept_thread = thread::spawn(move || l.accept_cancellable(&c3));
+        thread::sleep(Duration::from_millis(40));
+        let t0 = std::time::Instant::now();
+        cancel.cancel();
+        let (r, done_at, _c) = recv_thread.join().unwrap();
+        assert_eq!(r, Err(NetError::Cancelled));
+        assert!(
+            done_at.duration_since(t0) < Duration::from_millis(80),
+            "cancel must wake a blocked recv immediately"
+        );
+        assert!(matches!(accept_thread.join().unwrap(), Err(NetError::Cancelled)));
+        // The connection itself is still usable after a cancelled recv.
+        server.send(Bytes::from_static(b"still-here")).unwrap();
+        drop(server);
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_peer_drops() {
+        let t = ChannelTransport::new();
+        let mut l = t.bind(1).unwrap();
+        let mut c = t.connect(2, 1).unwrap();
+        let server = l.accept().unwrap();
+        for _ in 0..CHANNEL_DEPTH {
+            c.send(Bytes::from_static(b"x")).unwrap();
+        }
+        let blocked = thread::spawn(move || {
+            let mut c = c;
+            c.send(Bytes::from_static(b"y"))
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(server);
+        assert_eq!(blocked.join().unwrap(), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn try_recv_error_covers_empty_and_closed() {
+        // Exercise the MailboxTryRecvError mapping used by downstream
+        // consumers of the raw mailboxes.
+        let mb: Mailbox<u8> = Mailbox::new("t", 1, OverflowPolicy::Block, CancelToken::new());
+        assert_eq!(mb.try_recv(), Err(MailboxTryRecvError::Empty));
+        mb.close();
+        assert_eq!(mb.try_recv(), Err(MailboxTryRecvError::Closed));
     }
 }

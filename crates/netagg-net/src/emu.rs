@@ -7,6 +7,7 @@
 //! quickly on CI hardware.
 
 use crate::channel::ChannelTransport;
+use crate::lifecycle::CancelToken;
 use crate::ratelimit::TokenBucket;
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -203,6 +204,14 @@ impl Listener for EmuListener {
         let c = self.inner.accept_timeout(timeout)?;
         self.wrap(c)
     }
+
+    fn accept_cancellable(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept_cancellable(cancel)?;
+        self.wrap(c)
+    }
 }
 
 struct EmuConnection {
@@ -254,6 +263,11 @@ impl Connection for EmuConnection {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
         let b = self.inner.recv_timeout(timeout)?;
+        Ok(self.unwrap_latency(b))
+    }
+
+    fn recv_cancellable(&mut self, cancel: &CancelToken) -> Result<Bytes, NetError> {
+        let b = self.inner.recv_cancellable(cancel)?;
         Ok(self.unwrap_latency(b))
     }
 

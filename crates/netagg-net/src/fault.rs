@@ -9,6 +9,7 @@
 //! recovery tests can reproduce precise kill timings from a seed instead
 //! of relying on sleeps.
 
+use crate::lifecycle::CancelToken;
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -196,6 +197,14 @@ impl Listener for FaultListener {
         let c = self.inner.accept_timeout(timeout)?;
         self.wrap(c)
     }
+
+    fn accept_cancellable(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Box<dyn Connection>, NetError> {
+        let c = self.inner.accept_cancellable(cancel)?;
+        self.wrap(c)
+    }
 }
 
 struct FaultConnection {
@@ -217,8 +226,16 @@ impl FaultConnection {
 impl Connection for FaultConnection {
     fn send(&mut self, payload: Bytes) -> Result<(), NetError> {
         self.check()?;
-        if let Some(d) = self.ctl.delay_of(self.local) {
-            std::thread::sleep(d);
+        // Sleep out the configured delay in slices, re-reading it each
+        // slice so `clear_delay` releases an in-flight delayed send
+        // promptly (a 30 s straggler delay must not pin a shutdown).
+        let t0 = std::time::Instant::now();
+        while let Some(d) = self.ctl.delay_of(self.local) {
+            let elapsed = t0.elapsed();
+            if elapsed >= d {
+                break;
+            }
+            std::thread::sleep((d - elapsed).min(Duration::from_millis(20)));
         }
         self.inner.send(payload)?;
         self.ctl.note_delivery(self.inner.peer());
@@ -241,6 +258,22 @@ impl Connection for FaultConnection {
         let r = self.inner.recv_timeout(timeout);
         self.check()?;
         r
+    }
+
+    fn recv_cancellable(&mut self, cancel: &CancelToken) -> Result<Bytes, NetError> {
+        // Poll so both cancellation and a node killed mid-recv unblock
+        // promptly (a kill is not a cancel, so the inner transport's
+        // wakeup alone does not cover it).
+        loop {
+            self.check()?;
+            if cancel.is_cancelled() {
+                return Err(NetError::Cancelled);
+            }
+            match self.inner.recv_timeout(Duration::from_millis(20)) {
+                Err(NetError::Timeout) => continue,
+                other => return other,
+            }
+        }
     }
 
     fn peer(&self) -> NodeId {

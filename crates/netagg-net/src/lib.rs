@@ -18,6 +18,9 @@
 //!   ingress/egress link capacities.
 //! * [`fault`] — fault injection (killing endpoints, delaying messages) for
 //!   failure-recovery and straggler experiments.
+//! * [`lifecycle`] — the unified lifecycle & backpressure runtime:
+//!   [`CancelToken`], bounded [`Mailbox`]es with overflow policies, and
+//!   deadline-joining [`JoinScope`]s (DESIGN.md §9).
 //! * [`metered`] — [`metered::MeteredTransport`]: a decorator that counts
 //!   frames and bytes per link into a metrics registry.
 //! * [`wire`] — small binary (de)serialisation helpers over [`bytes`].
@@ -28,6 +31,7 @@ pub mod channel;
 pub mod emu;
 pub mod fault;
 pub mod framing;
+pub mod lifecycle;
 pub mod metered;
 pub mod ratelimit;
 pub mod tcp;
@@ -38,6 +42,7 @@ pub use channel::ChannelTransport;
 pub use emu::{EmuNet, EmuNetBuilder};
 pub use fault::{DetRng, FaultController, FaultStep, FaultTransport};
 pub use framing::{encode_frame, FrameDecoder, MAX_FRAME};
+pub use lifecycle::{CancelToken, JoinScope, Mailbox, OverflowPolicy};
 pub use metered::MeteredTransport;
 pub use ratelimit::TokenBucket;
 pub use tcp::TcpTransport;

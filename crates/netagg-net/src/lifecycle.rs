@@ -1,0 +1,1047 @@
+//! Unified lifecycle and backpressure runtime.
+//!
+//! Every threaded layer of the stack (scheduler pools, agg-box pumps, shim
+//! listeners, the failure detector) used to hand-roll the same three
+//! fragments: an `AtomicBool` shutdown flag, a 100 ms `recv_timeout` poll
+//! loop that noticed the flag eventually, and an unbounded or ad-hoc
+//! channel in between. This module replaces all three with one set of
+//! primitives (see DESIGN.md §9 for the system-wide inventory):
+//!
+//! * [`CancelToken`] — a cloneable cancellation flag whose [`cancel`]
+//!   *wakes* blocked waiters immediately (condition-variable notify plus
+//!   registered wakers) instead of being observed by polling.
+//! * [`Mailbox`] — a bounded MPMC queue with an explicit
+//!   [`OverflowPolicy`] (`Block`, `DropOldest`, `Reject`) and
+//!   shutdown-aware send/recv: a cancelled token or a closed queue turns
+//!   every blocked operation into a prompt, typed error.
+//! * [`JoinScope`] — an owner for named threads
+//!   (`std::thread::Builder`) that joins with a deadline and propagates
+//!   worker panics, so a hung thread becomes a loud error instead of a
+//!   silent futex park.
+//!
+//! [`cancel`]: CancelToken::cancel
+//!
+//! # Lock ordering
+//!
+//! `CancelToken::cancel` runs registered wakers while holding the token's
+//! waker-table lock; a waker may take its own queue lock and notify
+//! condvars, but must never call [`CancelToken::register_waker`] or
+//! [`CancelToken::cancel`] itself. All wakers installed by this module
+//! obey that rule.
+
+use netagg_obs::{Counter, Gauge, MetricsRegistry};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default deadline a [`JoinScope`] grants its threads to exit after
+/// cancellation before declaring them hung.
+pub const DEFAULT_JOIN_DEADLINE: Duration = Duration::from_secs(5);
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+type Waker = Box<dyn Fn() + Send + Sync>;
+
+#[derive(Default)]
+struct WakerTable {
+    next_id: u64,
+    wakers: Vec<(u64, Waker)>,
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    table: Mutex<WakerTable>,
+    cv: Condvar,
+    // Dedicated mutex for `wait_timeout` (parking_lot condvars pair with a
+    // specific mutex; the waker table lock must not double as the wait
+    // lock, or a slow waker would stall waiters).
+    wait_lock: Mutex<()>,
+}
+
+/// A cloneable cancellation token: one `cancel()` call wakes every blocked
+/// receiver, sleeper and waiter attached to any clone, immediately.
+///
+/// Cancellation is one-way and permanent. Cheap to clone (an `Arc`).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                table: Mutex::new(WakerTable::default()),
+                cv: Condvar::new(),
+                wait_lock: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Cancel: set the flag, then wake every waiter. Safe to call from any
+    /// thread, any number of times.
+    pub fn cancel(&self) {
+        if self.inner.cancelled.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Take and release the wait lock so a waiter that checked the flag
+        // but has not yet parked cannot miss the notify.
+        drop(self.inner.wait_lock.lock());
+        self.inner.cv.notify_all();
+        let table = self.inner.table.lock();
+        for (_, w) in table.wakers.iter() {
+            w();
+        }
+    }
+
+    /// Sleep for up to `d`, waking early on cancellation. Returns `true`
+    /// when the token is cancelled (the interruptible-sleep idiom:
+    /// `if cancel.wait_timeout(tick) { return; }`).
+    pub fn wait_timeout(&self, d: Duration) -> bool {
+        let deadline = Instant::now() + d;
+        let mut g = self.inner.wait_lock.lock();
+        loop {
+            if self.is_cancelled() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.cv.wait_for(&mut g, deadline - now);
+        }
+    }
+
+    /// Register a waker closure to run (once) on cancellation; dropping
+    /// the returned guard unregisters it. If the token is already
+    /// cancelled the waker runs immediately.
+    ///
+    /// The waker must not call back into this token (see module docs).
+    pub fn register_waker(&self, waker: impl Fn() + Send + Sync + 'static) -> WakerGuard {
+        let id = {
+            let mut table = self.inner.table.lock();
+            let id = table.next_id;
+            table.next_id += 1;
+            table.wakers.push((id, Box::new(waker)));
+            id
+        };
+        let guard = WakerGuard {
+            token: self.clone(),
+            id,
+        };
+        if self.is_cancelled() {
+            // Cancellation may have raced ahead of registration; run the
+            // waker now so the caller cannot block forever.
+            let table = self.inner.table.lock();
+            if let Some((_, w)) = table.wakers.iter().find(|(i, _)| *i == id) {
+                w();
+            }
+        }
+        guard
+    }
+
+    /// Whether two handles refer to the same underlying token.
+    pub fn same(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// RAII registration handle from [`CancelToken::register_waker`];
+/// dropping it removes the waker.
+pub struct WakerGuard {
+    token: CancelToken,
+    id: u64,
+}
+
+impl Drop for WakerGuard {
+    fn drop(&mut self) {
+        let mut table = self.token.inner.table.lock();
+        table.wakers.retain(|(i, _)| *i != self.id);
+    }
+}
+
+impl fmt::Debug for WakerGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WakerGuard").field("id", &self.id).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------------
+
+/// What a bounded [`Mailbox`] does when a send finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the sender until space frees up (backpressure).
+    Block,
+    /// Evict the oldest queued item, count it dropped, enqueue the new one.
+    DropOldest,
+    /// Refuse the new item ([`MailboxSendError::Full`]), counting it dropped.
+    Reject,
+}
+
+impl OverflowPolicy {
+    /// Stable lowercase label used in metric names (`mailbox.dropped.*`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverflowPolicy::Block => "block",
+            OverflowPolicy::DropOldest => "drop_oldest",
+            OverflowPolicy::Reject => "reject",
+        }
+    }
+}
+
+/// Send failed; the rejected value is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MailboxSendError<T> {
+    /// The mailbox is full and its policy is [`OverflowPolicy::Reject`].
+    Full(T),
+    /// The mailbox was closed.
+    Closed(T),
+    /// The mailbox's cancel token fired.
+    Cancelled(T),
+}
+
+/// Blocking receive failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxRecvError {
+    /// The mailbox was closed and drained.
+    Closed,
+    /// A cancel token fired.
+    Cancelled,
+}
+
+/// Receive with a timeout failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxRecvTimeoutError {
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// The mailbox was closed and drained.
+    Closed,
+    /// A cancel token fired.
+    Cancelled,
+}
+
+/// Non-blocking receive failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MailboxTryRecvError {
+    /// The mailbox is currently empty.
+    Empty,
+    /// The mailbox was closed and drained.
+    Closed,
+    /// A cancel token fired.
+    Cancelled,
+}
+
+impl<T> fmt::Display for MailboxSendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MailboxSendError::Full(_) => write!(f, "mailbox full"),
+            MailboxSendError::Closed(_) => write!(f, "mailbox closed"),
+            MailboxSendError::Cancelled(_) => write!(f, "mailbox cancelled"),
+        }
+    }
+}
+
+struct MailboxState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    dropped: u64,
+}
+
+/// Condvar pair + state, split into its own `Arc` so the cancel waker can
+/// capture it without keeping the whole mailbox (and through it the waker
+/// guard, and through that the token) alive in a cycle.
+struct MailboxShared<T> {
+    state: Mutex<MailboxState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct MailboxObs {
+    depth: Arc<Gauge>,
+    dropped: Arc<Counter>,
+    dropped_policy: Arc<Counter>,
+}
+
+struct MailboxInner<T> {
+    name: String,
+    capacity: usize,
+    policy: OverflowPolicy,
+    cancel: CancelToken,
+    shared: Arc<MailboxShared<T>>,
+    obs: Option<MailboxObs>,
+    // Keeps the bound token's waker registered for the mailbox's lifetime;
+    // dropping the last mailbox handle unregisters it.
+    _waker: WakerGuard,
+}
+
+/// A bounded multi-producer multi-consumer queue with an explicit
+/// [`OverflowPolicy`] and shutdown-aware blocking operations.
+///
+/// Every mailbox is bound to a [`CancelToken`] at construction: once that
+/// token cancels, blocked senders and receivers wake immediately and all
+/// subsequent operations fail with a `Cancelled` error. Cancellation wins
+/// over queued data — a receiver observing a cancelled token returns
+/// promptly even when items remain, because shutdown must not depend on
+/// draining.
+///
+/// Cloning shares the queue (an `Arc`).
+pub struct Mailbox<T> {
+    inner: Arc<MailboxInner<T>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("name", &self.inner.name)
+            .field("capacity", &self.inner.capacity)
+            .field("policy", &self.inner.policy)
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> Mailbox<T> {
+    /// A bounded mailbox named `name` (metric key suffix), holding at most
+    /// `capacity` items, overflowing per `policy`, bound to `cancel`.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: usize,
+        policy: OverflowPolicy,
+        cancel: CancelToken,
+    ) -> Self {
+        Self::build(name.into(), capacity, policy, cancel, None)
+    }
+
+    /// Like [`Mailbox::new`], additionally publishing `mailbox.depth.<name>`,
+    /// `mailbox.dropped.<name>` and `mailbox.dropped.<policy>` into `obs`
+    /// (the DESIGN.md §7 contract).
+    pub fn with_obs(
+        name: impl Into<String>,
+        capacity: usize,
+        policy: OverflowPolicy,
+        cancel: CancelToken,
+        obs: &MetricsRegistry,
+    ) -> Self {
+        let name = name.into();
+        let mobs = MailboxObs {
+            depth: obs.gauge(&format!("mailbox.depth.{name}")),
+            dropped: obs.counter(&format!("mailbox.dropped.{name}")),
+            dropped_policy: obs.counter(&format!("mailbox.dropped.{}", policy.label())),
+        };
+        Self::build(name, capacity, policy, cancel, Some(mobs))
+    }
+
+    fn build(
+        name: String,
+        capacity: usize,
+        policy: OverflowPolicy,
+        cancel: CancelToken,
+        obs: Option<MailboxObs>,
+    ) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        let shared = Arc::new(MailboxShared {
+            state: Mutex::new(MailboxState {
+                queue: VecDeque::new(),
+                closed: false,
+                dropped: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let wake = shared.clone();
+        let waker = cancel.register_waker(move || {
+            // Take the state lock so a blocked thread between its cancel
+            // check and its park cannot miss the notify.
+            drop(wake.state.lock());
+            wake.not_empty.notify_all();
+            wake.not_full.notify_all();
+        });
+        Self {
+            inner: Arc::new(MailboxInner {
+                name,
+                capacity,
+                policy,
+                cancel,
+                shared,
+                obs,
+                _waker: waker,
+            }),
+        }
+    }
+
+    /// Like [`Mailbox::recv`], additionally waking on `extra` (a caller's
+    /// own token, e.g. a per-connection cancel distinct from the queue's).
+    ///
+    /// Registers a waker on `extra` for the duration of the call.
+    pub fn recv_cancellable(&self, extra: &CancelToken) -> Result<T, MailboxRecvError> {
+        // Fast path: same token as the one bound at construction — its
+        // waker is already registered.
+        let _guard = if extra.same(&self.inner.cancel) {
+            None
+        } else {
+            let wake = self.inner.shared.clone();
+            Some(extra.register_waker(move || {
+                drop(wake.state.lock());
+                wake.not_empty.notify_all();
+                wake.not_full.notify_all();
+            }))
+        };
+        match self.recv_inner(None, Some(extra)) {
+            Ok(v) => Ok(v),
+            Err(MailboxRecvTimeoutError::Closed) => Err(MailboxRecvError::Closed),
+            Err(_) => Err(MailboxRecvError::Cancelled),
+        }
+    }
+}
+
+impl<T> Mailbox<T> {
+    fn note_depth(&self, depth: usize) {
+        if let Some(o) = &self.inner.obs {
+            o.depth.set(depth as f64);
+        }
+    }
+
+    fn note_drop(&self) {
+        if let Some(o) = &self.inner.obs {
+            o.dropped.inc();
+            o.dropped_policy.inc();
+        }
+    }
+
+    /// Enqueue `v`, applying the overflow policy when full. `Block`
+    /// senders wake on space, close or cancellation.
+    pub fn send(&self, v: T) -> Result<(), MailboxSendError<T>> {
+        let sh = &self.inner.shared;
+        let mut s = sh.state.lock();
+        loop {
+            if self.inner.cancel.is_cancelled() {
+                return Err(MailboxSendError::Cancelled(v));
+            }
+            if s.closed {
+                return Err(MailboxSendError::Closed(v));
+            }
+            if s.queue.len() < self.inner.capacity {
+                s.queue.push_back(v);
+                self.note_depth(s.queue.len());
+                sh.not_empty.notify_one();
+                return Ok(());
+            }
+            match self.inner.policy {
+                OverflowPolicy::Block => sh.not_full.wait(&mut s),
+                OverflowPolicy::DropOldest => {
+                    s.queue.pop_front();
+                    s.dropped += 1;
+                    self.note_drop();
+                    s.queue.push_back(v);
+                    self.note_depth(s.queue.len());
+                    sh.not_empty.notify_one();
+                    return Ok(());
+                }
+                OverflowPolicy::Reject => {
+                    s.dropped += 1;
+                    self.note_drop();
+                    return Err(MailboxSendError::Full(v));
+                }
+            }
+        }
+    }
+
+    fn recv_inner(
+        &self,
+        deadline: Option<Instant>,
+        extra: Option<&CancelToken>,
+    ) -> Result<T, MailboxRecvTimeoutError> {
+        let sh = &self.inner.shared;
+        let mut s = sh.state.lock();
+        loop {
+            if self.inner.cancel.is_cancelled()
+                || extra.is_some_and(|c| c.is_cancelled())
+            {
+                return Err(MailboxRecvTimeoutError::Cancelled);
+            }
+            if let Some(v) = s.queue.pop_front() {
+                self.note_depth(s.queue.len());
+                sh.not_full.notify_one();
+                return Ok(v);
+            }
+            if s.closed {
+                return Err(MailboxRecvTimeoutError::Closed);
+            }
+            match deadline {
+                None => sh.not_empty.wait(&mut s),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(MailboxRecvTimeoutError::Timeout);
+                    }
+                    sh.not_empty.wait_for(&mut s, d - now);
+                }
+            }
+        }
+    }
+
+    /// Block until an item arrives, the mailbox closes, or the bound
+    /// token cancels.
+    pub fn recv(&self) -> Result<T, MailboxRecvError> {
+        match self.recv_inner(None, None) {
+            Ok(v) => Ok(v),
+            Err(MailboxRecvTimeoutError::Closed) => Err(MailboxRecvError::Closed),
+            Err(_) => Err(MailboxRecvError::Cancelled),
+        }
+    }
+
+    /// Like [`Mailbox::recv`] with a timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<T, MailboxRecvTimeoutError> {
+        self.recv_inner(Some(Instant::now() + d), None)
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, MailboxTryRecvError> {
+        let sh = &self.inner.shared;
+        let mut s = sh.state.lock();
+        if self.inner.cancel.is_cancelled() {
+            return Err(MailboxTryRecvError::Cancelled);
+        }
+        if let Some(v) = s.queue.pop_front() {
+            self.note_depth(s.queue.len());
+            sh.not_full.notify_one();
+            return Ok(v);
+        }
+        if s.closed {
+            Err(MailboxTryRecvError::Closed)
+        } else {
+            Err(MailboxTryRecvError::Empty)
+        }
+    }
+
+    /// Close the mailbox: senders fail immediately; receivers drain the
+    /// remaining items, then observe `Closed` (mpsc disconnect semantics).
+    pub fn close(&self) {
+        let sh = &self.inner.shared;
+        {
+            let mut s = sh.state.lock();
+            s.closed = true;
+        }
+        sh.not_empty.notify_all();
+        sh.not_full.notify_all();
+    }
+
+    /// Whether [`Mailbox::close`] has been called on any handle.
+    pub fn is_closed(&self) -> bool {
+        self.inner.shared.state.lock().closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.shared.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.inner.policy
+    }
+
+    /// Items discarded so far by `DropOldest` eviction or `Reject` refusal.
+    pub fn dropped(&self) -> u64 {
+        self.inner.shared.state.lock().dropped
+    }
+
+    /// The mailbox's metric-key name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The cancel token the mailbox was bound to at construction.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.inner.cancel
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JoinScope
+// ---------------------------------------------------------------------------
+
+struct DoneFlag {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DoneFlag {
+    fn set(&self) {
+        let mut g = self.done.lock();
+        *g = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until set or `deadline`; `true` when set.
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut g = self.done.lock();
+        loop {
+            if *g {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut g, deadline - now);
+        }
+    }
+}
+
+struct ThreadSlot {
+    name: String,
+    done: Arc<DoneFlag>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// What went wrong while joining a scope: threads that outlived the
+/// deadline, and panics harvested from threads that did exit.
+#[derive(Debug)]
+pub struct ScopeError {
+    /// The scope's name.
+    pub scope: String,
+    /// Names of threads still running when the join deadline expired.
+    pub hung: Vec<String>,
+    /// `(thread name, panic message)` for every propagated panic.
+    pub panics: Vec<(String, String)>,
+}
+
+impl fmt::Display for ScopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "join scope '{}' failed:", self.scope)?;
+        if !self.hung.is_empty() {
+            write!(f, " hung threads past deadline: {:?};", self.hung)?;
+        }
+        for (name, msg) in &self.panics {
+            write!(f, " thread '{name}' panicked: {msg};")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ScopeError {}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct ScopeObs {
+    threads_active: Arc<Gauge>,
+}
+
+/// Owns a set of named threads tied to one [`CancelToken`].
+///
+/// [`JoinScope::join_all`] cancels the token, grants every thread a shared
+/// deadline to exit, joins the finished ones (harvesting panics), and
+/// reports the rest as hung — so a stuck thread is a loud [`ScopeError`],
+/// never a silent futex park. Dropping the scope joins too, panicking on
+/// error unless already unwinding.
+pub struct JoinScope {
+    name: String,
+    cancel: CancelToken,
+    deadline: Duration,
+    slots: Mutex<Vec<ThreadSlot>>,
+    obs: Option<ScopeObs>,
+}
+
+impl fmt::Debug for JoinScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinScope")
+            .field("name", &self.name)
+            .field("threads", &self.slots.lock().len())
+            .finish()
+    }
+}
+
+impl JoinScope {
+    /// A scope named `name` (error messages only), cancelling via `cancel`,
+    /// granting `deadline` for threads to exit at join time.
+    pub fn new(name: impl Into<String>, cancel: CancelToken, deadline: Duration) -> Self {
+        Self {
+            name: name.into(),
+            cancel,
+            deadline,
+            slots: Mutex::new(Vec::new()),
+            obs: None,
+        }
+    }
+
+    /// Like [`JoinScope::new`], additionally maintaining the
+    /// `runtime.threads_active` gauge in `obs` (DESIGN.md §7). Pass the
+    /// deployment registry so every scope shares one gauge.
+    pub fn with_obs(
+        name: impl Into<String>,
+        cancel: CancelToken,
+        deadline: Duration,
+        obs: Option<&MetricsRegistry>,
+    ) -> Self {
+        let mut s = Self::new(name, cancel, deadline);
+        s.obs = obs.map(|o| ScopeObs {
+            threads_active: o.gauge("runtime.threads_active"),
+        });
+        s
+    }
+
+    /// The scope's cancel token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Threads currently owned (spawned and not yet joined).
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the scope currently owns no threads.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// Spawn a named thread into the scope. Returns an error only if the
+    /// OS refuses to spawn. Spawning after cancellation is a no-op (the
+    /// closure is dropped): the scope is already shutting down.
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> std::io::Result<()> {
+        let name = name.into();
+        if self.cancel.is_cancelled() {
+            return Ok(());
+        }
+        let done = Arc::new(DoneFlag {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let gauge = self.obs.as_ref().map(|o| o.threads_active.clone());
+        if let Some(g) = &gauge {
+            g.add(1.0);
+        }
+        let done2 = done.clone();
+        let handle = std::thread::Builder::new().name(name.clone()).spawn(move || {
+            // Runs even when `f` panics: keep the gauge honest and set the
+            // done flag last, so a joiner observing it sees final state.
+            struct Exit {
+                done: Arc<DoneFlag>,
+                gauge: Option<Arc<Gauge>>,
+            }
+            impl Drop for Exit {
+                fn drop(&mut self) {
+                    if let Some(g) = &self.gauge {
+                        g.add(-1.0);
+                    }
+                    self.done.set();
+                }
+            }
+            let _exit = Exit { done: done2, gauge };
+            f();
+        })?;
+        self.slots.lock().push(ThreadSlot { name, done, handle });
+        Ok(())
+    }
+
+    /// Cancel the token and join every owned thread: wait out the shared
+    /// deadline, join finished threads (collecting panic payloads), and
+    /// report the rest as hung. Idempotent; a join requested from inside
+    /// one of the scope's own threads skips (detaches) the calling thread.
+    pub fn join_all(&self) -> Result<(), ScopeError> {
+        self.cancel.cancel();
+        let slots: Vec<ThreadSlot> = std::mem::take(&mut *self.slots.lock());
+        if slots.is_empty() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.deadline;
+        let current = std::thread::current().id();
+        let mut hung = Vec::new();
+        let mut panics = Vec::new();
+        for slot in slots {
+            if slot.handle.thread().id() == current {
+                // Shutdown invoked from one of our own threads (e.g. the
+                // last task on a pool): it cannot join itself; detach.
+                continue;
+            }
+            if slot.done.wait_until(deadline) {
+                if let Err(p) = slot.handle.join() {
+                    panics.push((slot.name, panic_message(p.as_ref())));
+                }
+            } else {
+                hung.push(slot.name);
+            }
+        }
+        if hung.is_empty() && panics.is_empty() {
+            Ok(())
+        } else {
+            Err(ScopeError {
+                scope: self.name.clone(),
+                hung,
+                panics,
+            })
+        }
+    }
+
+    /// [`JoinScope::join_all`], escalating any [`ScopeError`] into a panic
+    /// — unless the thread is already unwinding, in which case the error
+    /// is printed to stderr (a double panic would abort).
+    pub fn finish(&self) {
+        if let Err(e) = self.join_all() {
+            if std::thread::panicking() {
+                eprintln!("lifecycle: {e}");
+            } else {
+                panic!("{e}");
+            }
+        }
+    }
+}
+
+impl Drop for JoinScope {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn cancel_wakes_blocked_recv_immediately() {
+        let cancel = CancelToken::new();
+        let mb: Mailbox<u32> = Mailbox::new("t", 4, OverflowPolicy::Block, cancel.clone());
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let r = mb2.recv();
+            (r, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        cancel.cancel();
+        let (r, _) = h.join().unwrap();
+        assert_eq!(r, Err(MailboxRecvError::Cancelled));
+        assert!(
+            t0.elapsed() < Duration::from_millis(80),
+            "cancel must wake the receiver, not wait for a poll tick"
+        );
+    }
+
+    #[test]
+    fn cancel_wins_over_queued_data() {
+        let cancel = CancelToken::new();
+        let mb: Mailbox<u32> = Mailbox::new("t", 4, OverflowPolicy::Block, cancel.clone());
+        mb.send(1).unwrap();
+        cancel.cancel();
+        assert_eq!(mb.recv(), Err(MailboxRecvError::Cancelled));
+    }
+
+    #[test]
+    fn drop_oldest_keeps_exactly_the_last_capacity_items() {
+        let mb: Mailbox<u32> =
+            Mailbox::new("t", 8, OverflowPolicy::DropOldest, CancelToken::new());
+        for i in 0..20 {
+            mb.send(i).unwrap();
+        }
+        assert_eq!(mb.dropped(), 12);
+        let got: Vec<u32> = std::iter::from_fn(|| mb.try_recv().ok()).collect();
+        assert_eq!(got, (12..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reject_refuses_and_counts() {
+        let mb: Mailbox<u32> = Mailbox::new("t", 2, OverflowPolicy::Reject, CancelToken::new());
+        mb.send(1).unwrap();
+        mb.send(2).unwrap();
+        assert_eq!(mb.send(3), Err(MailboxSendError::Full(3)));
+        assert_eq!(mb.dropped(), 1);
+        assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn block_sender_unblocks_on_recv_and_fails_on_close() {
+        let mb: Mailbox<u32> = Mailbox::new("t", 1, OverflowPolicy::Block, CancelToken::new());
+        mb.send(1).unwrap();
+        let mb2 = mb.clone();
+        let h = std::thread::spawn(move || mb2.send(2));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(mb.recv(), Ok(1));
+        assert_eq!(h.join().unwrap(), Ok(()));
+        // A sender blocked on a full mailbox observes close promptly.
+        let mb3 = mb.clone();
+        let h = std::thread::spawn(move || mb3.send(3));
+        std::thread::sleep(Duration::from_millis(30));
+        mb.close();
+        assert!(matches!(h.join().unwrap(), Err(MailboxSendError::Closed(3))));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let mb: Mailbox<u32> = Mailbox::new("t", 4, OverflowPolicy::Block, CancelToken::new());
+        mb.send(7).unwrap();
+        mb.close();
+        assert_eq!(mb.recv(), Ok(7));
+        assert_eq!(mb.recv(), Err(MailboxRecvError::Closed));
+    }
+
+    #[test]
+    fn recv_cancellable_wakes_on_foreign_token() {
+        let mb: Mailbox<u32> = Mailbox::new("t", 4, OverflowPolicy::Block, CancelToken::new());
+        let conn_cancel = CancelToken::new();
+        let mb2 = mb.clone();
+        let c2 = conn_cancel.clone();
+        let h = std::thread::spawn(move || mb2.recv_cancellable(&c2));
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        conn_cancel.cancel();
+        assert_eq!(h.join().unwrap(), Err(MailboxRecvError::Cancelled));
+        assert!(t0.elapsed() < Duration::from_millis(80));
+    }
+
+    #[test]
+    fn wait_timeout_wakes_early_on_cancel() {
+        let cancel = CancelToken::new();
+        let c2 = cancel.clone();
+        let h = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let cancelled = c2.wait_timeout(Duration::from_secs(10));
+            (cancelled, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        cancel.cancel();
+        let (cancelled, waited) = h.join().unwrap();
+        assert!(cancelled);
+        assert!(waited < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn join_scope_joins_and_propagates_panics() {
+        let scope = JoinScope::new("test", CancelToken::new(), Duration::from_secs(2));
+        let n = Arc::new(AtomicUsize::new(0));
+        for i in 0..3 {
+            let n2 = n.clone();
+            scope
+                .spawn(format!("worker-{i}"), move || {
+                    n2.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        scope
+            .spawn("boom", || panic!("deliberate test panic"))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let err = scope.join_all().expect_err("panic must propagate");
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+        assert!(err.hung.is_empty());
+        assert_eq!(err.panics.len(), 1);
+        assert_eq!(err.panics[0].0, "boom");
+        assert!(err.panics[0].1.contains("deliberate test panic"));
+        // Idempotent: slots were drained, second join is clean.
+        assert!(scope.join_all().is_ok());
+    }
+
+    #[test]
+    fn join_scope_flags_hung_threads_at_deadline() {
+        let scope = JoinScope::new("test", CancelToken::new(), Duration::from_millis(100));
+        scope
+            .spawn("sleeper", || std::thread::sleep(Duration::from_millis(600)))
+            .unwrap();
+        let t0 = Instant::now();
+        let err = scope.join_all().expect_err("sleeper outlives deadline");
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert_eq!(err.hung, vec!["sleeper".to_string()]);
+        // Let the detached sleeper finish before the test process exits.
+        std::thread::sleep(Duration::from_millis(600));
+    }
+
+    #[test]
+    fn join_scope_cancel_token_stops_workers() {
+        let cancel = CancelToken::new();
+        let scope = JoinScope::new("test", cancel.clone(), Duration::from_secs(2));
+        let mb: Mailbox<u32> = Mailbox::new("t", 4, OverflowPolicy::Block, cancel.clone());
+        let mb2 = mb.clone();
+        scope
+            .spawn("pump", move || while mb2.recv().is_ok() {})
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        scope.join_all().unwrap();
+    }
+
+    #[test]
+    fn spawn_after_cancel_is_a_noop() {
+        let cancel = CancelToken::new();
+        let scope = JoinScope::new("test", cancel.clone(), Duration::from_secs(1));
+        cancel.cancel();
+        scope.spawn("late", || {}).unwrap();
+        assert!(scope.is_empty());
+    }
+
+    #[test]
+    fn mailbox_obs_publishes_depth_and_drops() {
+        let obs = MetricsRegistry::new();
+        let cancel = CancelToken::new();
+        let mb: Mailbox<u32> =
+            Mailbox::with_obs("egress", 2, OverflowPolicy::DropOldest, cancel, &obs);
+        mb.send(1).unwrap();
+        mb.send(2).unwrap();
+        mb.send(3).unwrap();
+        assert_eq!(obs.gauge("mailbox.depth.egress").get(), 2.0);
+        assert_eq!(obs.counter("mailbox.dropped.egress").get(), 1);
+        assert_eq!(obs.counter("mailbox.dropped.drop_oldest").get(), 1);
+    }
+}

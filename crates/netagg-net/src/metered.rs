@@ -14,6 +14,7 @@
 //! compose), so agg boxes, shims and detectors are metered without any
 //! change to their code.
 
+use crate::lifecycle::CancelToken;
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::Bytes;
 use netagg_obs::{Counter, MetricsRegistry};
@@ -97,6 +98,14 @@ impl Listener for MeteredListener {
         let conn = self.inner.accept_timeout(timeout)?;
         Ok(self.wrap(conn))
     }
+
+    fn accept_cancellable(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Box<dyn Connection>, NetError> {
+        let conn = self.inner.accept_cancellable(cancel)?;
+        Ok(self.wrap(conn))
+    }
 }
 
 struct MeteredConnection {
@@ -147,6 +156,12 @@ impl Connection for MeteredConnection {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError> {
         let frame = self.inner.recv_timeout(timeout)?;
+        self.count_recv(&frame);
+        Ok(frame)
+    }
+
+    fn recv_cancellable(&mut self, cancel: &CancelToken) -> Result<Bytes, NetError> {
+        let frame = self.inner.recv_cancellable(cancel)?;
         self.count_recv(&frame);
         Ok(frame)
     }

@@ -6,9 +6,15 @@
 //! in-process channel transport, the rate-limited emulated network, or real
 //! TCP loopback sockets.
 
+use crate::lifecycle::CancelToken;
 use bytes::Bytes;
 use std::fmt;
 use std::time::Duration;
+
+/// Poll granularity of the default `*_cancellable` implementations, for
+/// transports without a wakeable queue (e.g. TCP sockets). In-process
+/// transports override with a true condvar wakeup.
+pub const CANCEL_POLL: Duration = Duration::from_millis(20);
 
 /// Logical address of a node (server, agg box, client).
 pub type NodeId = u32;
@@ -32,6 +38,8 @@ pub enum NetError {
     Corrupt(String),
     /// A fault injector rejected the operation.
     Injected(&'static str),
+    /// A [`CancelToken`] fired while the operation was blocked (shutdown).
+    Cancelled,
 }
 
 impl fmt::Display for NetError {
@@ -45,6 +53,7 @@ impl fmt::Display for NetError {
             NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             NetError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
             NetError::Injected(what) => write!(f, "injected fault: {what}"),
+            NetError::Cancelled => write!(f, "operation cancelled by shutdown"),
         }
     }
 }
@@ -73,6 +82,20 @@ pub trait Connection: Send {
     fn recv(&mut self) -> Result<Bytes, NetError>;
     /// Receive with a deadline; [`NetError::Timeout`] when it elapses.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, NetError>;
+    /// Receive, returning [`NetError::Cancelled`] promptly once `cancel`
+    /// fires. The default implementation polls at [`CANCEL_POLL`];
+    /// transports with wakeable queues override it with a true wakeup.
+    fn recv_cancellable(&mut self, cancel: &CancelToken) -> Result<Bytes, NetError> {
+        loop {
+            if cancel.is_cancelled() {
+                return Err(NetError::Cancelled);
+            }
+            match self.recv_timeout(CANCEL_POLL) {
+                Err(NetError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
     /// Address of the remote end.
     fn peer(&self) -> NodeId;
 }
@@ -83,6 +106,22 @@ pub trait Listener: Send {
     fn accept(&mut self) -> Result<Box<dyn Connection>, NetError>;
     /// Accept with a deadline; [`NetError::Timeout`] when it elapses.
     fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError>;
+    /// Accept, returning [`NetError::Cancelled`] promptly once `cancel`
+    /// fires. Default implementation polls at [`CANCEL_POLL`].
+    fn accept_cancellable(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Box<dyn Connection>, NetError> {
+        loop {
+            if cancel.is_cancelled() {
+                return Err(NetError::Cancelled);
+            }
+            match self.accept_timeout(CANCEL_POLL) {
+                Err(NetError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
 }
 
 /// A factory for listeners and outbound connections.
