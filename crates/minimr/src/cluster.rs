@@ -95,8 +95,7 @@ impl MRCluster {
         selection: TreeSelection,
         share: f64,
     ) -> Self {
-        let agg: Arc<dyn DynAggregator> =
-            Arc::new(AggWrapper::new(CombinerAgg::new(job.clone())));
+        let agg: Arc<dyn DynAggregator> = Arc::new(AggWrapper::new(CombinerAgg::new(job.clone())));
         let app = deployment.register_app(job.name(), agg, share);
         let master = deployment.master_shim(app);
         let workers: Vec<u32> = deployment
@@ -135,11 +134,7 @@ impl MRCluster {
     /// Run one job over per-mapper input records. `inputs.len()` must equal
     /// [`Self::num_mappers`] (idle mappers still close their streams).
     pub fn run(&self, inputs: Vec<Vec<Bytes>>, cfg: &JobConfig) -> Result<JobResult, AggError> {
-        assert_eq!(
-            inputs.len(),
-            self.shims.len(),
-            "one input split per mapper"
-        );
+        assert_eq!(inputs.len(), self.shims.len(), "one input split per mapper");
         let request = cfg.request_id;
 
         // ------- Map phase (excluded from the paper's measurements).

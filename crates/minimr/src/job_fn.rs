@@ -133,8 +133,7 @@ mod tests {
     #[test]
     fn fn_job_runs_on_the_platform() {
         let transport = Arc::new(ChannelTransport::new());
-        let mut dep =
-            NetAggDeployment::launch(transport, &ClusterSpec::single_rack(3, 1)).unwrap();
+        let mut dep = NetAggDeployment::launch(transport, &ClusterSpec::single_rack(3, 1)).unwrap();
         let cluster = MRCluster::launch(
             &mut dep,
             Arc::new(char_count()),
@@ -155,7 +154,11 @@ mod tests {
     #[test]
     fn defaults_are_identity() {
         let j = FnJob::new("noop").with_map(|r, emit| emit(Pair::new(r.to_vec(), "v")));
-        let combined = Job::combine(&j, b"k", vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        let combined = Job::combine(
+            &j,
+            b"k",
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")],
+        );
         assert_eq!(combined.len(), 2);
         let reduced = Job::reduce(&j, b"k", combined);
         assert_eq!(reduced.len(), 2);

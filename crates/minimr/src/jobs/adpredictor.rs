@@ -92,7 +92,10 @@ impl Job for AdPredictor {
             mean += var * grad;
             var = (var * (1.0 - var * phi * phi / (1.0 + var))).max(1e-6);
         }
-        vec![Pair::new(key.to_vec(), stats_value(imps, clicks, mean, var))]
+        vec![Pair::new(
+            key.to_vec(),
+            stats_value(imps, clicks, mean, var),
+        )]
     }
 }
 
@@ -102,8 +105,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn reduce_is_identity_per_key() {
         let j = TeraSort;
-        let out = j.reduce(b"key", vec![Bytes::from_static(b"v1"), Bytes::from_static(b"v2")]);
+        let out = j.reduce(
+            b"key",
+            vec![Bytes::from_static(b"v1"), Bytes::from_static(b"v2")],
+        );
         assert_eq!(out.len(), 2);
     }
 

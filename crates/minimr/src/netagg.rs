@@ -84,7 +84,9 @@ mod tests {
     fn serialization_roundtrips_through_dyn_interface() {
         let agg = netagg_core::AggWrapper::new(CombinerAgg::new(Arc::new(Count)));
         let batch = seqfile::encode(&[Pair::new("k", u64_value(1)), Pair::new("k", u64_value(4))]);
-        let out = agg.aggregate_serialized(vec![batch.clone(), batch]).unwrap();
+        let out = agg
+            .aggregate_serialized(vec![batch.clone(), batch])
+            .unwrap();
         let pairs = seqfile::decode(&out).unwrap();
         assert_eq!(pairs.len(), 1);
         assert_eq!(parse_u64(&pairs[0].value).unwrap(), 10);

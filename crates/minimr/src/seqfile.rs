@@ -194,7 +194,9 @@ mod tests {
 
     #[test]
     fn chunking_respects_target_and_boundaries() {
-        let pairs: Vec<Pair> = (0..100).map(|i| pair(&format!("k{i}"), "0123456789")).collect();
+        let pairs: Vec<Pair> = (0..100)
+            .map(|i| pair(&format!("k{i}"), "0123456789"))
+            .collect();
         let chunks = chunk_pairs(&pairs, 64);
         assert!(chunks.len() > 1);
         let mut all = Vec::new();

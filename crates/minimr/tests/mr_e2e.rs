@@ -55,7 +55,12 @@ fn wordcount_plain_and_netagg_agree() {
 fn wordcount_counts_are_exact() {
     // Hand-built input with known counts, no generator involved.
     let mut dep = deployment(4, 1);
-    let cluster = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let cluster = MRCluster::launch(
+        &mut dep,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let inputs = vec![
         vec![Bytes::from_static(b"a b a")],
         vec![Bytes::from_static(b"b c")],
@@ -86,7 +91,11 @@ fn all_benchmarks_run_both_modes() {
             "{} outputs differ between plain and netagg",
             bench.label()
         );
-        assert!(!plain.output.is_empty(), "{} produced no output", bench.label());
+        assert!(
+            !plain.output.is_empty(),
+            "{} produced no output",
+            bench.label()
+        );
     }
 }
 
@@ -136,7 +145,12 @@ fn keyed_trees_partition_the_shuffle() {
     // Different seeds would differ; use same seed/input shape.
     let single_inputs = Benchmark::WC.input(4, 100_000, 7);
     let mut dep2 = deployment(4, 1);
-    let cluster2 = MRCluster::launch(&mut dep2, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let cluster2 = MRCluster::launch(
+        &mut dep2,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let single = {
         let _ = single;
         cluster2.run(single_inputs, &JobConfig::default()).unwrap()
@@ -158,7 +172,12 @@ fn keyed_trees_partition_the_shuffle() {
 #[test]
 fn repeated_jobs_reuse_the_cluster() {
     let mut dep = deployment(4, 1);
-    let cluster = MRCluster::launch(&mut dep, Benchmark::UV.job(), TreeSelection::PerRequest, 1.0);
+    let cluster = MRCluster::launch(
+        &mut dep,
+        Benchmark::UV.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let mut last: Option<Vec<minimr::Pair>> = None;
     for req in 1..=3u64 {
         let inputs = Benchmark::UV.input(4, 50_000, 11);
@@ -187,7 +206,12 @@ fn repeated_jobs_reuse_the_cluster() {
 #[test]
 fn speculative_duplicates_are_suppressed() {
     let mut dep = deployment(4, 1);
-    let cluster = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let cluster = MRCluster::launch(
+        &mut dep,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let inputs = Benchmark::WC.input(4, 80_000, 13);
 
     let baseline = cluster.run(inputs.clone(), &JobConfig::default()).unwrap();
@@ -216,7 +240,12 @@ fn speculative_duplicates_are_suppressed() {
 #[test]
 fn multi_reducer_matches_single_reducer() {
     let mut dep = deployment(4, 2);
-    let cluster = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let cluster = MRCluster::launch(
+        &mut dep,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let inputs = Benchmark::WC.input(4, 120_000, 17);
     let single = cluster.run(inputs.clone(), &JobConfig::default()).unwrap();
     let multi = cluster
@@ -233,7 +262,12 @@ fn multi_reducer_matches_single_reducer() {
     // Partitions must not overlap: total pair count is conserved.
     assert_eq!(
         single.output.len(),
-        multi.output.iter().map(|p| &p.key).collect::<std::collections::HashSet<_>>().len()
+        multi
+            .output
+            .iter()
+            .map(|p| &p.key)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     );
     dep.shutdown();
 }

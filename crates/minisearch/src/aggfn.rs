@@ -125,9 +125,7 @@ impl Categorise {
             };
             for (i, cat) in BASE_CATEGORIES.iter().enumerate() {
                 // Character-wise comparison (string parsing cost).
-                if name.len() == cat.len()
-                    && name.chars().zip(cat.chars()).all(|(a, b)| a == b)
-                {
+                if name.len() == cat.len() && name.chars().zip(cat.chars()).all(|(a, b)| a == b) {
                     counts[i] += 1;
                 }
             }
@@ -218,7 +216,10 @@ mod tests {
         let snippet = "category:science category:science category:arts words";
         assert_eq!(
             Categorise::classify(snippet),
-            BASE_CATEGORIES.iter().position(|c| *c == "science").unwrap()
+            BASE_CATEGORIES
+                .iter()
+                .position(|c| *c == "science")
+                .unwrap()
         );
     }
 
@@ -243,7 +244,10 @@ mod tests {
         let a = part(vec![doc(1, 5.0, ""), doc(2, 1.0, "")]);
         let b = part(vec![doc(3, 3.0, "")]);
         let out = f.aggregate(vec![a, b]);
-        assert_eq!(out.docs.iter().map(|d| d.doc).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            out.docs.iter().map(|d| d.doc).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         let ser = f.serialize(&out);
         assert_eq!(f.deserialize(&ser).unwrap(), out);
         assert!(f.empty().docs.is_empty());

@@ -7,9 +7,9 @@ use crate::index::{GlobalStats, InvertedIndex};
 use crate::score::{self, QueryMode};
 use bytes::{BufMut, Bytes, BytesMut};
 use netagg_core::lifecycle::{CancelToken, JoinScope, DEFAULT_JOIN_DEADLINE};
+use netagg_core::protocol::AppId;
 use netagg_core::shim::WorkerShim;
 use netagg_core::tree::service_addr;
-use netagg_core::protocol::AppId;
 use netagg_net::{wire, Connection, NetError, NodeId, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -80,7 +80,9 @@ impl Corpus {
         let zipf = ZipfSampler::new(cfg.vocabulary, 1.07);
         let mut docs = Vec::with_capacity(cfg.num_docs);
         for id in 0..cfg.num_docs {
-            let len = rng.random_range(cfg.mean_words / 2..=cfg.mean_words * 3 / 2).max(5);
+            let len = rng
+                .random_range(cfg.mean_words / 2..=cfg.mean_words * 3 / 2)
+                .max(5);
             let mut body = String::with_capacity(len * 8);
             for _ in 0..len {
                 let term = zipf.sample(&mut rng);

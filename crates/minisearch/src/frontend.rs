@@ -172,7 +172,11 @@ pub struct QueryOutcome {
     pub result_bytes: usize,
 }
 
-fn execute(inner: &Arc<Inner>, terms: &[String], mode: QueryMode) -> Result<QueryOutcome, AggError> {
+fn execute(
+    inner: &Arc<Inner>,
+    terms: &[String],
+    mode: QueryMode,
+) -> Result<QueryOutcome, AggError> {
     let request = inner.next_request.fetch_add(1, Ordering::Relaxed);
     let t0 = Instant::now();
     let pending = inner
@@ -209,7 +213,10 @@ fn execute(inner: &Arc<Inner>, terms: &[String], mode: QueryMode) -> Result<Quer
     let result = pending.wait(inner.cfg.timeout);
     match result {
         Ok(agg) => {
-            inner.stats.queries_completed.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .queries_completed
+                .fetch_add(1, Ordering::Relaxed);
             inner
                 .stats
                 .result_bytes

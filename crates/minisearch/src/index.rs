@@ -158,10 +158,7 @@ mod tests {
 
     #[test]
     fn builds_postings_with_frequencies() {
-        let idx = InvertedIndex::build(&[
-            doc(0, "apple banana apple"),
-            doc(1, "banana cherry"),
-        ]);
+        let idx = InvertedIndex::build(&[doc(0, "apple banana apple"), doc(1, "banana cherry")]);
         assert_eq!(idx.num_docs(), 2);
         let apple = idx.postings("apple").unwrap();
         assert_eq!(apple, &[Posting { doc: 0, tf: 2 }]);
@@ -180,10 +177,7 @@ mod tests {
 
     #[test]
     fn snippet_preserves_category_markers() {
-        let idx = InvertedIndex::build(&[doc(
-            0,
-            "lots of words here category:science more words",
-        )]);
+        let idx = InvertedIndex::build(&[doc(0, "lots of words here category:science more words")]);
         assert!(idx.snippet(0).contains("category:science"));
     }
 

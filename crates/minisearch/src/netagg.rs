@@ -110,14 +110,8 @@ impl SearchCluster {
                 .map_err(AggError::from)?,
             );
         }
-        let frontend = Frontend::start(
-            transport,
-            app,
-            master,
-            workers,
-            frontend_cfg,
-        )
-        .map_err(AggError::from)?;
+        let frontend = Frontend::start(transport, app, master, workers, frontend_cfg)
+            .map_err(AggError::from)?;
         Ok(Self {
             app,
             frontend,

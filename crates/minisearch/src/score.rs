@@ -307,19 +307,33 @@ mod tests {
         assert_eq!(d.docs.len(), 3);
         // A term missing everywhere empties the conjunction.
         let none = vec!["alpha".to_string(), "zzz".to_string()];
-        assert!(search_mode(&idx, None, &none, 10, QueryMode::All).docs.is_empty());
+        assert!(search_mode(&idx, None, &none, 10, QueryMode::All)
+            .docs
+            .is_empty());
     }
 
     #[test]
     fn merge_topk_is_global() {
         let a = SearchResults {
             docs: vec![
-                ScoredDoc { doc: 1, score: 3.0, snippet: String::new() },
-                ScoredDoc { doc: 2, score: 1.0, snippet: String::new() },
+                ScoredDoc {
+                    doc: 1,
+                    score: 3.0,
+                    snippet: String::new(),
+                },
+                ScoredDoc {
+                    doc: 2,
+                    score: 1.0,
+                    snippet: String::new(),
+                },
             ],
         };
         let b = SearchResults {
-            docs: vec![ScoredDoc { doc: 3, score: 2.0, snippet: String::new() }],
+            docs: vec![ScoredDoc {
+                doc: 3,
+                score: 2.0,
+                snippet: String::new(),
+            }],
         };
         let m = SearchResults::merge_topk(vec![a, b], 2);
         assert_eq!(m.docs.iter().map(|d| d.doc).collect::<Vec<_>>(), vec![1, 3]);
@@ -336,11 +350,17 @@ mod tests {
         };
         let (a, b, c) = (part(1, 3.0), part(2, 2.0), part(3, 1.0));
         let left = SearchResults::merge_topk(
-            vec![SearchResults::merge_topk(vec![a.clone(), b.clone()], 10), c.clone()],
+            vec![
+                SearchResults::merge_topk(vec![a.clone(), b.clone()], 10),
+                c.clone(),
+            ],
             2,
         );
         let right = SearchResults::merge_topk(
-            vec![a.clone(), SearchResults::merge_topk(vec![c.clone(), b.clone()], 10)],
+            vec![
+                a.clone(),
+                SearchResults::merge_topk(vec![c.clone(), b.clone()], 10),
+            ],
             2,
         );
         let swapped = SearchResults::merge_topk(vec![c, b, a], 2);

@@ -1,0 +1,152 @@
+//! Property-based checks running the platform's aggregation-law checkers
+//! (`netagg_core::laws`) against the search engine's aggregation
+//! functions, over *serialised* payloads — exactly the path an agg box
+//! executes.
+//!
+//! [`TopK`] and [`Categorise`] satisfy every law (merge consistency at
+//! every split, order insensitivity, identity, serialisation stability).
+//! [`Sample`] is the documented exception: `ceil(alpha * n)` applied per
+//! tier keeps a different count than one flat application, so it is *not*
+//! merge-consistent against a flat reference — the platform still uses it
+//! (any tree shape yields a valid sample) but only the order and identity
+//! laws are asserted, and the merge-consistency gap is pinned by a test.
+
+use bytes::Bytes;
+use minisearch::aggfn::{Categorise, Sample, TopK};
+use minisearch::corpus::BASE_CATEGORIES;
+use minisearch::score::{ScoredDoc, SearchResults};
+use netagg_core::laws;
+use proptest::prelude::*;
+
+/// Documents derived entirely from the id: duplicates of the same id are
+/// byte-identical, so sorting ties cannot produce two "correct" encodings
+/// and every law can compare serialised bytes exactly.
+fn doc(id: u32) -> ScoredDoc {
+    ScoredDoc {
+        doc: id,
+        score: ((id as u64 * 37) % 1000) as f64 / 10.0,
+        snippet: format!(
+            "category:{} body of document {id}",
+            BASE_CATEGORIES[id as usize % BASE_CATEGORIES.len()]
+        ),
+    }
+}
+
+fn encode(ids: &[u32]) -> Bytes {
+    SearchResults {
+        docs: ids.iter().map(|&i| doc(i)).collect(),
+    }
+    .encode()
+}
+
+/// Serialised partial results as workers would produce them: 1–6 payloads
+/// of 0–12 documents each, ids overlapping freely across payloads.
+fn payloads_strategy() -> impl Strategy<Value = Vec<Bytes>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..500, 0..12).prop_map(|ids| encode(&ids)),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Top-k keeps laws at every split point, payload order and identity
+    /// padding — byte-exact on the wire format.
+    #[test]
+    fn topk_satisfies_every_law(
+        payloads in payloads_strategy(),
+        k in 1usize..20,
+    ) {
+        laws::assert_laws(&TopK::new(k), &payloads);
+    }
+
+    /// Per-category top-k re-classifies intermediate aggregates at every
+    /// tier, so it must survive arbitrary regrouping too.
+    #[test]
+    fn categorise_satisfies_every_law(
+        payloads in payloads_strategy(),
+        k in 1usize..8,
+    ) {
+        laws::assert_laws(&Categorise::new(k), &payloads);
+    }
+
+    /// Sampling is order-insensitive (hash-priority selection), respects
+    /// the identity element and has a stable serialisation; merge
+    /// consistency is deliberately NOT asserted (see module docs).
+    #[test]
+    fn sample_satisfies_order_identity_and_roundtrip(
+        payloads in payloads_strategy(),
+        alpha in proptest::sample::select(vec![0.25f64, 0.5, 0.75, 1.0]),
+    ) {
+        let f = Sample::new(alpha);
+        let c = laws::check_commutative(&f, &payloads).unwrap();
+        prop_assert!(c.holds(), "{}: {:?} != {:?}", c.law, c.expected, c.actual);
+        let c = laws::check_identity(&f, &payloads).unwrap();
+        prop_assert!(c.holds(), "{}: {:?} != {:?}", c.law, c.expected, c.actual);
+        for p in &payloads {
+            let c = laws::check_roundtrip(&f, p).unwrap();
+            prop_assert!(c.holds(), "{}: {:?} != {:?}", c.law, c.expected, c.actual);
+        }
+    }
+
+    /// With alpha = 1 sampling degenerates to concatenation and becomes
+    /// fully merge-consistent (sorted by hash priority, nothing dropped).
+    #[test]
+    fn sample_with_alpha_one_is_merge_consistent(
+        payloads in payloads_strategy(),
+        split in any::<usize>(),
+    ) {
+        let c = laws::check_merge(&Sample::new(1.0), &payloads, split % 8).unwrap();
+        prop_assert!(c.holds(), "{}: {:?} != {:?}", c.law, c.expected, c.actual);
+    }
+}
+
+/// Pin the reason Sample is excluded from the merge-consistency law: four
+/// one-document payloads at alpha = 0.5 keep 2 documents when aggregated
+/// flat (`ceil(0.5 * 4)`), but staged halves keep `ceil(0.5 * 2) = 1`
+/// each and the final tier keeps `ceil(0.5 * 2) = 1`.
+#[test]
+fn sample_merge_inconsistency_is_real_and_detected() {
+    let payloads: Vec<Bytes> = (0..4).map(|i| encode(&[i])).collect();
+    let c = laws::check_merge(&Sample::new(0.5), &payloads, 2).unwrap();
+    assert!(!c.holds(), "expected the documented ceil() gap to show");
+    let flat = SearchResults::decode(&c.expected).unwrap();
+    let staged = SearchResults::decode(&c.actual).unwrap();
+    assert_eq!(flat.docs.len(), 2);
+    assert_eq!(staged.docs.len(), 1);
+}
+
+/// The checker itself must flag a genuinely broken function when driven
+/// through the search codec (guards against the laws harness silently
+/// passing everything).
+#[test]
+fn laws_checker_catches_an_order_sensitive_merge() {
+    struct KeepFirstPart;
+    impl minisearch::aggfn::SearchAgg for KeepFirstPart {
+        fn merge(&self, parts: Vec<SearchResults>) -> SearchResults {
+            parts.into_iter().next().unwrap_or_default()
+        }
+    }
+    impl netagg_core::AggregationFunction for KeepFirstPart {
+        type Item = SearchResults;
+        fn deserialize(&self, b: &Bytes) -> Result<SearchResults, netagg_core::AggError> {
+            SearchResults::decode(b)
+        }
+        fn serialize(&self, v: &SearchResults) -> Bytes {
+            v.encode()
+        }
+        fn aggregate(&self, items: Vec<SearchResults>) -> SearchResults {
+            use minisearch::aggfn::SearchAgg;
+            self.merge(items)
+        }
+        fn empty(&self) -> SearchResults {
+            SearchResults::default()
+        }
+    }
+    let payloads = vec![encode(&[1, 2]), encode(&[3])];
+    let v = laws::check_laws(&KeepFirstPart, &payloads)
+        .unwrap()
+        .expect("keep-first must violate a law");
+    assert!(!v.holds());
+}

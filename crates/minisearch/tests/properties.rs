@@ -25,8 +25,7 @@ fn doc_strategy() -> impl Strategy<Value = ScoredDoc> {
 
 fn parts_strategy() -> impl Strategy<Value = Vec<SearchResults>> {
     proptest::collection::vec(
-        proptest::collection::vec(doc_strategy(), 0..12)
-            .prop_map(|docs| SearchResults { docs }),
+        proptest::collection::vec(doc_strategy(), 0..12).prop_map(|docs| SearchResults { docs }),
         1..6,
     )
 }

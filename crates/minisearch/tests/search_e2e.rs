@@ -51,9 +51,8 @@ fn plain_and_netagg_topk_agree() {
         let terms = vec![minisearch::corpus::word(q), minisearch::corpus::word(q + 1)];
         let a = plain.frontend.query(&terms).unwrap();
         let b = net.frontend.query(&terms).unwrap();
-        let ids = |r: &minisearch::QueryOutcome| {
-            r.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>()
-        };
+        let ids =
+            |r: &minisearch::QueryOutcome| r.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
         assert_eq!(ids(&a), ids(&b), "query {terms:?} differs");
         assert!(a.results.docs.len() <= 10);
     }
@@ -119,6 +118,7 @@ fn concurrent_clients_are_served() {
     let handles: Vec<_> = (0..8)
         .map(|c| {
             let transport = transport.clone();
+            // netagg-lint: allow(no-raw-spawn) e2e client threads live outside any runtime JoinScope
             std::thread::spawn(move || {
                 let mut client = Client::connect(&transport, app, c, 2_000).unwrap();
                 for _ in 0..5 {
@@ -152,8 +152,7 @@ fn conjunctive_queries_work_end_to_end() {
     let any = cluster.frontend.query_mode(&terms, QueryMode::Any).unwrap();
     let all = cluster.frontend.query_mode(&terms, QueryMode::All).unwrap();
     assert!(!any.results.docs.is_empty());
-    let any_ids: std::collections::HashSet<u32> =
-        any.results.docs.iter().map(|d| d.doc).collect();
+    let any_ids: std::collections::HashSet<u32> = any.results.docs.iter().map(|d| d.doc).collect();
     for d in &all.results.docs {
         assert!(
             any_ids.contains(&d.doc) || all.results.docs.len() <= 20,
@@ -169,7 +168,10 @@ fn conjunctive_queries_work_end_to_end() {
 fn unknown_terms_return_empty_results() {
     let (mut dep, mut cluster, _t) = launch(1, SearchFunction::TopK { k: 10 });
     // Vocabulary is x0..x1999; this term exists nowhere.
-    let out = cluster.frontend.query(&["zzz-not-a-word".to_string()]).unwrap();
+    let out = cluster
+        .frontend
+        .query(&["zzz-not-a-word".to_string()])
+        .unwrap();
     assert!(out.results.docs.is_empty());
     // The machinery still ran end-to-end (a real, empty aggregate).
     assert!(out.latency < Duration::from_secs(10));
@@ -223,7 +225,10 @@ fn scale_out_boxes_serve_search_traffic() {
     let c0 = dep.boxes()[0].stats().requests_completed.load(Relaxed);
     let c1 = dep.boxes()[1].stats().requests_completed.load(Relaxed);
     assert_eq!(c0 + c1, 20);
-    assert!(c0 > 0 && c1 > 0, "both boxes should serve queries: {c0}/{c1}");
+    assert!(
+        c0 > 0 && c1 > 0,
+        "both boxes should serve queries: {c0}/{c1}"
+    );
     cluster.shutdown();
     dep.shutdown();
 }

@@ -27,24 +27,28 @@ fn bench_tree(c: &mut Criterion) {
     let batches = 32usize;
     g.throughput(Throughput::Bytes((b.len() * batches) as u64));
     for threads in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bench, &threads| {
-            bench.iter(|| {
-                let sched = Arc::new(TaskScheduler::new(SchedulerConfig {
-                    threads,
-                    ..SchedulerConfig::default()
-                }));
-                sched.register_app(AppId(1), 1.0);
-                let tree = LocalAggTree::new(
-                    Arc::new(AggWrapper::new(CombinerAgg::new(Arc::new(WordCount)))),
-                    8,
-                );
-                for _ in 0..batches {
-                    tree.push(&sched, AppId(1), b.clone());
-                }
-                tree.end_input(&sched, AppId(1));
-                tree.wait_complete(Duration::from_secs(60)).unwrap()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    let sched = Arc::new(TaskScheduler::new(SchedulerConfig {
+                        threads,
+                        ..SchedulerConfig::default()
+                    }));
+                    sched.register_app(AppId(1), 1.0);
+                    let tree = LocalAggTree::new(
+                        Arc::new(AggWrapper::new(CombinerAgg::new(Arc::new(WordCount)))),
+                        8,
+                    );
+                    for _ in 0..batches {
+                        tree.push(&sched, AppId(1), b.clone());
+                    }
+                    tree.end_input(&sched, AppId(1));
+                    tree.wait_complete(Duration::from_secs(60)).unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }

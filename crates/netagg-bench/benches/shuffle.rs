@@ -14,7 +14,9 @@ fn bench_shuffle(c: &mut Criterion) {
     let mut g = c.benchmark_group("shuffle");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("seqfile_encode", |b| b.iter(|| seqfile::encode(&pairs)));
-    g.bench_function("seqfile_decode", |b| b.iter(|| seqfile::decode(&encoded).unwrap()));
+    g.bench_function("seqfile_decode", |b| {
+        b.iter(|| seqfile::decode(&encoded).unwrap())
+    });
     g.bench_function("combine_wordcount", |b| {
         b.iter(|| combine_pairs(&WordCount, pairs.clone()));
     });

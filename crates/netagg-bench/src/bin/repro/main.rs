@@ -74,12 +74,38 @@ fn main() {
     };
 
     let sim_targets: &[&str] = &[
-        "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "ablate-trees", "ablate-placement", "ablate-arrivals",
+        "fig2",
+        "fig3",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablate-trees",
+        "ablate-placement",
+        "ablate-arrivals",
     ];
     let testbed_targets: &[&str] = &[
-        "tab1", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-        "fig24", "fig25", "fig26", "ablate-backpressure", "ablate-fanin", "ext-broadcast",
+        "tab1",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "fig23",
+        "fig24",
+        "fig25",
+        "fig26",
+        "ablate-backpressure",
+        "ablate-fanin",
+        "ext-broadcast",
     ];
 
     let run_one = |t: &str| match t {

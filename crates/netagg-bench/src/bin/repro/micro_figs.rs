@@ -36,7 +36,12 @@ fn wc_agg() -> Arc<dyn DynAggregator> {
 /// Measure the in-memory local-tree aggregation rate: `leaves` feeder
 /// threads push batches into a binary tree executed by `threads` scheduler
 /// threads.
-fn tree_rate(leaves: usize, threads: usize, batches_per_leaf: usize, batch_bytes_hint: usize) -> f64 {
+fn tree_rate(
+    leaves: usize,
+    threads: usize,
+    batches_per_leaf: usize,
+    batch_bytes_hint: usize,
+) -> f64 {
     tree_rate_fanin(leaves, threads, batches_per_leaf, batch_bytes_hint, 2).0
 }
 
@@ -75,7 +80,8 @@ fn tree_rate_fanin(
         }
     });
     tree.end_input(&sched, AppId(1));
-    tree.wait_complete(Duration::from_secs(120)).expect("tree completes");
+    tree.wait_complete(Duration::from_secs(120))
+        .expect("tree completes");
     let tasks = sched
         .cpu_times()
         .iter()
@@ -109,7 +115,11 @@ pub fn ablate_fanin(opts: &Options) {
 pub fn fig15(opts: &Options) {
     print_core_note();
     let quick = matches!(opts.scale, netagg_bench::sim::SimScale::Quick);
-    let threads_sweep: Vec<usize> = if quick { vec![2, 8] } else { vec![1, 2, 4, 8, 16] };
+    let threads_sweep: Vec<usize> = if quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let leaves_sweep: Vec<usize> = if quick {
         vec![4, 16, 64]
     } else {
@@ -166,8 +176,14 @@ fn fairness(adaptive: bool, opts: &Options) {
     sched.register_app(hadoop, 1.0);
     let n = (window * 3000.0) as usize;
     for _ in 0..n {
-        sched.submit(solr, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
-        sched.submit(hadoop, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+        sched.submit(
+            solr,
+            Box::new(|| std::thread::sleep(Duration::from_millis(3))),
+        );
+        sched.submit(
+            hadoop,
+            Box::new(|| std::thread::sleep(Duration::from_millis(1))),
+        );
     }
     let mut t = Table::new(
         &format!(
@@ -211,10 +227,14 @@ pub fn fig26(opts: &Options) {
 /// Table 1: lines of application-specific NetAgg code, counted from the
 /// actual adapter sources (serialiser, aggregation wrapper, shim glue).
 pub fn tab1() {
-    let count = |src: &str| src.lines().filter(|l| {
-        let t = l.trim();
-        !t.is_empty() && !t.starts_with("//")
-    }).count();
+    let count = |src: &str| {
+        src.lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .count()
+    };
     let search_serde = count(include_str!(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../minisearch/src/score.rs"
@@ -311,8 +331,7 @@ pub fn ext_broadcast(opts: &Options) {
         };
         let emu = build_emu(&cfg, &[AppId(0)]);
         let transport: std::sync::Arc<dyn Transport> = std::sync::Arc::new(emu);
-        let mut dep =
-            NetAggDeployment::launch(transport, &cfg.cluster_spec()).expect("launch");
+        let mut dep = NetAggDeployment::launch(transport, &cfg.cluster_spec()).expect("launch");
         let app = dep.register_app(
             "bcast",
             std::sync::Arc::new(netagg_core::AggWrapper::new(Opaque)),
@@ -356,10 +375,7 @@ pub fn ablate_backpressure(opts: &Options) {
     // Slow aggregator: each combine burns CPU.
     struct SlowAgg(Arc<dyn DynAggregator>);
     impl DynAggregator for SlowAgg {
-        fn aggregate_serialized(
-            &self,
-            inputs: Vec<Bytes>,
-        ) -> Result<Bytes, netagg_core::AggError> {
+        fn aggregate_serialized(&self, inputs: Vec<Bytes>) -> Result<Bytes, netagg_core::AggError> {
             std::thread::sleep(Duration::from_micros(500));
             self.0.aggregate_serialized(inputs)
         }

@@ -58,9 +58,8 @@ fn run_job_on(
         .iter()
         .map(|b| b.stats().bytes_in.load(Ordering::Relaxed))
         .sum();
-    let box_rate = (after - before) as f64
-        / result.shuffle_reduce_time.as_secs_f64().max(1e-9)
-        / cfg.bw_scale;
+    let box_rate =
+        (after - before) as f64 / result.shuffle_reduce_time.as_secs_f64().max(1e-9) / cfg.bw_scale;
     let out = MrRun {
         shuffle_reduce: result.shuffle_reduce_time,
         box_rate,
@@ -86,7 +85,13 @@ fn mappers(opts: &Options) -> usize {
 pub fn fig22(opts: &Options) {
     let mut t = Table::new(
         "Fig 22: Hadoop benchmarks, shuffle+reduce time and box rate",
-        &["job", "plain SRT (s)", "netagg SRT (s)", "netagg/plain", "box rate"],
+        &[
+            "job",
+            "plain SRT (s)",
+            "netagg SRT (s)",
+            "netagg/plain",
+            "box rate",
+        ],
     );
     for bench in Benchmark::ALL {
         let inputs = bench.input(mappers(opts), total_bytes(opts), 42);
@@ -113,7 +118,13 @@ pub fn fig22(opts: &Options) {
 pub fn fig23(opts: &Options) {
     let mut t = Table::new(
         "Fig 23: WordCount SRT vs output ratio (word repetition)",
-        &["distinct words", "achieved alpha", "plain SRT (s)", "netagg SRT (s)", "netagg/plain"],
+        &[
+            "distinct words",
+            "achieved alpha",
+            "plain SRT (s)",
+            "netagg SRT (s)",
+            "netagg/plain",
+        ],
     );
     let m = mappers(opts);
     let bytes = total_bytes(opts);

@@ -25,7 +25,11 @@ fn drive(tb: &SearchTestbed, clients: u32, opts: &Options) -> netagg_bench::emu:
     drive_search(tb, clients, Duration::from_secs_f64(opts.drive_secs))
 }
 
-fn with_testbed<T>(cfg: TestbedConfig, function: SearchFunction, run: impl FnOnce(&SearchTestbed) -> T) -> T {
+fn with_testbed<T>(
+    cfg: TestbedConfig,
+    function: SearchFunction,
+    run: impl FnOnce(&SearchTestbed) -> T,
+) -> T {
     let mut tb = search_testbed(cfg, &corpus(), function, BACKEND_K);
     let out = run(&tb);
     tb.cluster.shutdown();
@@ -50,7 +54,10 @@ pub fn fig16(opts: &Options) {
     let function = SearchFunction::Sample { alpha: 0.05 };
     for clients in client_sweep(opts) {
         let plain = with_testbed(
-            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            TestbedConfig {
+                boxes_per_rack: 0,
+                ..TestbedConfig::default()
+            },
             function,
             |tb| drive(tb, clients, opts),
         );
@@ -76,7 +83,10 @@ pub fn fig17(opts: &Options) {
     let function = SearchFunction::Sample { alpha: 0.05 };
     for clients in client_sweep(opts) {
         let plain = with_testbed(
-            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            TestbedConfig {
+                boxes_per_rack: 0,
+                ..TestbedConfig::default()
+            },
             function,
             |tb| drive(tb, clients, opts),
         );
@@ -102,7 +112,10 @@ pub fn fig18(opts: &Options) {
     for alpha in [0.05, 0.10, 0.25, 0.50, 1.00] {
         let function = SearchFunction::Sample { alpha };
         let plain = with_testbed(
-            TestbedConfig { boxes_per_rack: 0, ..TestbedConfig::default() },
+            TestbedConfig {
+                boxes_per_rack: 0,
+                ..TestbedConfig::default()
+            },
             function,
             |tb| drive(tb, clients, opts),
         );

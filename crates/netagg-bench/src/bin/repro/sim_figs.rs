@@ -9,9 +9,7 @@ use netagg_sim::deployment::BudgetSpread;
 use netagg_sim::metrics::{self, FlowClass};
 use netagg_sim::topology::Tier;
 use netagg_sim::workload::ArrivalProcess;
-use netagg_sim::{
-    CostModel, Deployment, ExperimentConfig, Strategy, UpgradeOption, GBPS,
-};
+use netagg_sim::{CostModel, Deployment, ExperimentConfig, Strategy, UpgradeOption, GBPS};
 
 fn base(opts: &Options) -> ExperimentConfig {
     opts.scale.base_config()
@@ -80,11 +78,7 @@ pub fn fig3(opts: &Options) {
         let cfg = opt.experiment(&base_cfg);
         let p99 = mean_p99(&cfg, FlowClass::All, opts.seeds());
         let cost = opt.upgrade_cost(&base_cfg.topology, &prices) / 1e6;
-        t.row(vec![
-            opt.label().to_string(),
-            f(p99 / rack_p99),
-            f(cost),
-        ]);
+        t.row(vec![opt.label().to_string(), f(p99 / rack_p99), f(cost)]);
     }
     t.print();
 }
@@ -92,7 +86,13 @@ pub fn fig3(opts: &Options) {
 fn cdf_table(title: &str, class: FlowClass, opts: &Options) {
     let mut t = Table::new(
         title,
-        &["percentile", "rack (ms)", "binary (ms)", "chain (ms)", "netagg (ms)"],
+        &[
+            "percentile",
+            "rack (ms)",
+            "binary (ms)",
+            "chain (ms)",
+            "netagg (ms)",
+        ],
     );
     let mut series: Vec<Vec<f64>> = Vec::new();
     for s in STRATEGIES {
@@ -215,23 +215,50 @@ pub fn fig12(opts: &Options) {
         "Fig 12: partial deployments, 99th FCT relative to rack",
         &["deployment", "rel 99th FCT"],
     );
-    t.row(vec!["ToR tier only".into(), f(rel(Deployment::Tiers { tiers: vec![Tier::Tor], per_switch: 1 }))]);
-    t.row(vec!["Aggr tier only".into(), f(rel(Deployment::Tiers { tiers: vec![Tier::Aggregation], per_switch: 1 }))]);
-    t.row(vec!["Core tier only".into(), f(rel(Deployment::Tiers { tiers: vec![Tier::Core], per_switch: 1 }))]);
+    t.row(vec![
+        "ToR tier only".into(),
+        f(rel(Deployment::Tiers {
+            tiers: vec![Tier::Tor],
+            per_switch: 1,
+        })),
+    ]);
+    t.row(vec![
+        "Aggr tier only".into(),
+        f(rel(Deployment::Tiers {
+            tiers: vec![Tier::Aggregation],
+            per_switch: 1,
+        })),
+    ]);
+    t.row(vec![
+        "Core tier only".into(),
+        f(rel(Deployment::Tiers {
+            tiers: vec![Tier::Core],
+            per_switch: 1,
+        })),
+    ]);
     t.row(vec!["Full".into(), f(rel(Deployment::all()))]);
     // Fixed budget: one box per core switch.
     let budget = cfg0.topology.cores;
     t.row(vec![
         format!("budget {budget} @ core"),
-        f(rel(Deployment::Budget { count: budget, spread: BudgetSpread::CoreOnly })),
+        f(rel(Deployment::Budget {
+            count: budget,
+            spread: BudgetSpread::CoreOnly,
+        })),
     ]);
     t.row(vec![
         format!("budget {budget} @ aggr"),
-        f(rel(Deployment::Budget { count: budget, spread: BudgetSpread::AggrUniform })),
+        f(rel(Deployment::Budget {
+            count: budget,
+            spread: BudgetSpread::AggrUniform,
+        })),
     ]);
     t.row(vec![
         format!("budget {budget} @ aggr+core"),
-        f(rel(Deployment::Budget { count: budget, spread: BudgetSpread::CoreAndAggr })),
+        f(rel(Deployment::Budget {
+            count: budget,
+            spread: BudgetSpread::CoreAndAggr,
+        })),
     ]);
     t.print();
 }
@@ -287,7 +314,10 @@ pub fn ablate_trees(opts: &Options) {
         &["policy", "rel 99th FCT"],
     );
     for (label, strategy) in [
-        ("per-request trees", Strategy::NetAggWith(TreePolicy::PerRequest)),
+        (
+            "per-request trees",
+            Strategy::NetAggWith(TreePolicy::PerRequest),
+        ),
         ("single tree", Strategy::NetAggWith(TreePolicy::Single)),
     ] {
         let mut cfg = base(opts);
@@ -338,8 +368,14 @@ pub fn ablate_arrivals(opts: &Options) {
     let arrivals = [
         ("all at once (paper default)", ArrivalProcess::AllAtOnce),
         ("poisson 50k/s", ArrivalProcess::Poisson { rate: 50_000.0 }),
-        ("poisson 200k/s", ArrivalProcess::Poisson { rate: 200_000.0 }),
-        ("uniform over 20 ms", ArrivalProcess::Uniform { window: 0.02 }),
+        (
+            "poisson 200k/s",
+            ArrivalProcess::Poisson { rate: 200_000.0 },
+        ),
+        (
+            "uniform over 20 ms",
+            ArrivalProcess::Uniform { window: 0.02 },
+        ),
     ];
     for (label, a) in arrivals {
         let mut cfg = base(opts);

@@ -16,7 +16,7 @@ use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::DynAggregator;
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
-use netagg_obs::{Counter, Histogram, MetricsRegistry};
+use netagg_obs::{names, Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -202,15 +202,15 @@ struct BoxObs {
 impl BoxObs {
     fn new(registry: MetricsRegistry) -> Self {
         Self {
-            messages_in: registry.counter("aggbox.messages_in"),
-            bytes_in: registry.counter("aggbox.bytes_in"),
-            requests_completed: registry.counter("aggbox.requests_completed"),
-            duplicates_dropped: registry.counter("aggbox.duplicates_dropped"),
-            send_errors: registry.counter("aggbox.send_errors"),
-            request_agg_us: registry.histogram("aggbox.request_agg_us"),
-            straggler_redirects: registry.counter("straggler.redirects"),
-            straggler_escalations: registry.counter("straggler.escalations"),
-            repoints: registry.counter("aggbox.repoints"),
+            messages_in: registry.counter(names::AGGBOX_MESSAGES_IN),
+            bytes_in: registry.counter(names::AGGBOX_BYTES_IN),
+            requests_completed: registry.counter(names::AGGBOX_REQUESTS_COMPLETED),
+            duplicates_dropped: registry.counter(names::AGGBOX_DUPLICATES_DROPPED),
+            send_errors: registry.counter(names::AGGBOX_SEND_ERRORS),
+            request_agg_us: registry.histogram(names::AGGBOX_REQUEST_AGG_US),
+            straggler_redirects: registry.counter(names::STRAGGLER_REDIRECTS),
+            straggler_escalations: registry.counter(names::STRAGGLER_ESCALATIONS),
+            repoints: registry.counter(names::AGGBOX_REPOINTS),
             registry,
         }
     }
@@ -636,7 +636,10 @@ fn handle_data(
         // replayed sequence numbers are both dropped here.
         match st.ledger.accept_chunk(source, seq) {
             ChunkDisposition::Ignored | ChunkDisposition::Duplicate => {
-                inner.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .duplicates_dropped
+                    .fetch_add(1, Ordering::Relaxed);
                 if let Some(o) = &inner.obs {
                     o.duplicates_dropped.inc();
                 }
@@ -740,7 +743,7 @@ fn child_box_failed(inner: &Arc<Inner>, app: AppId, tree: TreeId, failed_box: u3
     if let Some(o) = &inner.obs {
         o.repoints.add(repointed.max(1));
         o.registry.emit(
-            "repoint",
+            names::EVENT_REPOINT,
             format!(
                 "box {} re-pointed failed child box {failed_box} for app {} tree {} \
                  ({repointed} in-flight requests moved)",
@@ -782,13 +785,7 @@ fn get_or_create<'a>(
                     let redirects = inner.out_redirects.lock();
                     redirects.get(&(app, request, tree)).copied()
                 }
-                .or_else(|| {
-                    inner
-                        .routes
-                        .read()
-                        .get(&(app, tree))
-                        .map(|r| r.parent)
-                });
+                .or_else(|| inner.routes.read().get(&(app, tree)).map(|r| r.parent));
                 let Some(dest) = dest else { return };
                 let (seq, first_data) = inner
                     .states
@@ -1006,14 +1003,18 @@ fn straggler_loop(inner: &Arc<Inner>) {
             if let Some(o) = &inner.obs {
                 o.straggler_redirects.inc();
                 o.registry.emit(
-                    "straggler",
+                    names::EVENT_STRAGGLER,
                     format!(
                         "box {} bypassed child box {box_id} for app {} request {} tree {}{}",
                         inner.cfg.box_id,
                         app.0,
                         request.0,
                         tree.0,
-                        if escalate { " (escalated to permanent)" } else { "" },
+                        if escalate {
+                            " (escalated to permanent)"
+                        } else {
+                            ""
+                        },
                     ),
                 );
                 if escalate {

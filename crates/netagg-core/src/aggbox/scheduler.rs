@@ -16,7 +16,7 @@
 
 use crate::lifecycle::{CancelToken, JoinScope, WakerGuard, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::AppId;
-use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -82,11 +82,11 @@ struct SchedObs {
 impl SchedObs {
     fn new(registry: MetricsRegistry) -> Self {
         Self {
-            tasks_executed: registry.counter("aggbox.tasks_executed"),
-            tasks_panicked: registry.counter("aggbox.tasks_panicked"),
-            tasks_dropped: registry.counter("aggbox.tasks_dropped"),
-            task_exec_us: registry.histogram("aggbox.task_exec_us"),
-            queue_depth: registry.gauge("aggbox.queue_depth"),
+            tasks_executed: registry.counter(names::AGGBOX_TASKS_EXECUTED),
+            tasks_panicked: registry.counter(names::AGGBOX_TASKS_PANICKED),
+            tasks_dropped: registry.counter(names::AGGBOX_TASKS_DROPPED),
+            task_exec_us: registry.histogram(names::AGGBOX_TASK_EXEC_US),
+            queue_depth: registry.gauge(names::AGGBOX_QUEUE_DEPTH),
             registry,
         }
     }
@@ -192,7 +192,7 @@ impl TaskScheduler {
     pub fn register_app(&self, app: AppId, share: f64) {
         assert!(share > 0.0);
         let wfq_weight = self.inner.obs.as_ref().map(|o| {
-            let g = o.registry.gauge(&format!("aggbox.wfq_weight.app{}", app.0));
+            let g = o.registry.gauge(&names::wfq_weight(app.0));
             // Before the first measurement the effective weight equals the
             // configured share (see `weight`'s unmeasured-app handling).
             g.set(share);
@@ -417,9 +417,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let c = counter.clone();
-            s.submit(AppId(1), Box::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }));
+            s.submit(
+                AppId(1),
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
         }
         assert!(s.wait_idle(Duration::from_secs(5)));
         assert_eq!(counter.load(Ordering::SeqCst), 50);
@@ -445,8 +448,14 @@ mod tests {
         s.register_app(short, 1.0);
         // Long tasks: 3 ms; short tasks: 1 ms (the paper's Solr vs Hadoop).
         for _ in 0..150 {
-            s.submit(long, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
-            s.submit(short, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+            s.submit(
+                long,
+                Box::new(|| std::thread::sleep(Duration::from_millis(3))),
+            );
+            s.submit(
+                short,
+                Box::new(|| std::thread::sleep(Duration::from_millis(1))),
+            );
         }
         assert!(s.wait_idle(Duration::from_secs(30)));
         let cpu = s.cpu_times();
@@ -468,10 +477,16 @@ mod tests {
         s.register_app(long, 1.0);
         s.register_app(short, 1.0);
         for _ in 0..300 {
-            s.submit(long, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
+            s.submit(
+                long,
+                Box::new(|| std::thread::sleep(Duration::from_millis(3))),
+            );
         }
         for _ in 0..900 {
-            s.submit(short, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+            s.submit(
+                short,
+                Box::new(|| std::thread::sleep(Duration::from_millis(1))),
+            );
         }
         assert!(s.wait_idle(Duration::from_secs(60)));
         let cpu = s.cpu_times();
@@ -515,7 +530,10 @@ mod tests {
     fn shutdown_drops_queue_and_joins() {
         let mut s = TaskScheduler::new(cfg(1, true));
         s.register_app(AppId(1), 1.0);
-        s.submit(AppId(1), Box::new(|| std::thread::sleep(Duration::from_millis(5))));
+        s.submit(
+            AppId(1),
+            Box::new(|| std::thread::sleep(Duration::from_millis(5))),
+        );
         s.shutdown();
         s.shutdown(); // idempotent
     }
@@ -533,9 +551,12 @@ mod tests {
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..20 {
             let d = done.clone();
-            s.submit(AppId(2), Box::new(move || {
-                d.fetch_add(1, Ordering::SeqCst);
-            }));
+            s.submit(
+                AppId(2),
+                Box::new(move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
         }
         assert!(s.wait_idle(Duration::from_secs(10)));
         std::panic::set_hook(prev_hook);
@@ -553,7 +574,10 @@ mod tests {
         let mut s = TaskScheduler::new_with_obs(cfg(2, true), Some(obs.clone()));
         s.register_app(AppId(3), 2.0);
         for _ in 0..10 {
-            s.submit(AppId(3), Box::new(|| std::thread::sleep(Duration::from_micros(200))));
+            s.submit(
+                AppId(3),
+                Box::new(|| std::thread::sleep(Duration::from_micros(200))),
+            );
         }
         assert!(s.wait_idle(Duration::from_secs(5)));
         // Queue a task that can never run, then shut down: it must be
@@ -577,7 +601,10 @@ mod tests {
     fn wait_idle_times_out_when_busy() {
         let s = TaskScheduler::new(cfg(1, true));
         s.register_app(AppId(1), 1.0);
-        s.submit(AppId(1), Box::new(|| std::thread::sleep(Duration::from_millis(300))));
+        s.submit(
+            AppId(1),
+            Box::new(|| std::thread::sleep(Duration::from_millis(300))),
+        );
         assert!(!s.wait_idle(Duration::from_millis(30)));
         assert!(s.wait_idle(Duration::from_secs(5)));
     }

@@ -147,12 +147,13 @@ impl LocalAggTree {
                     sched.submit(
                         app,
                         Box::new(move || {
-                            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                                || agg.aggregate_serialized(batch),
-                            ))
-                            .unwrap_or_else(|_| {
-                                Err(AggError::Corrupt("aggregation function panicked".into()))
-                            });
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    agg.aggregate_serialized(batch)
+                                }))
+                                .unwrap_or_else(|_| {
+                                    Err(AggError::Corrupt("aggregation function panicked".into()))
+                                });
                             if let Some(sched) = sched_weak.upgrade() {
                                 tree.task_done(&sched, app, out);
                             }
@@ -204,7 +205,12 @@ impl LocalAggTree {
         }
     }
 
-    fn task_done(self: &Arc<Self>, sched: &Arc<TaskScheduler>, app: AppId, out: Result<Bytes, AggError>) {
+    fn task_done(
+        self: &Arc<Self>,
+        sched: &Arc<TaskScheduler>,
+        app: AppId,
+        out: Result<Bytes, AggError>,
+    ) {
         let cb = {
             let mut s = self.state.lock();
             s.outstanding -= 1;
@@ -322,7 +328,10 @@ mod tests {
         let tree = LocalAggTree::new(Arc::new(AggWrapper::new(Sum)), 2);
         tree.push(&sched, AppId(1), enc(42));
         tree.end_input(&sched, AppId(1));
-        assert_eq!(dec(&tree.wait_complete(Duration::from_secs(5)).unwrap()), 42);
+        assert_eq!(
+            dec(&tree.wait_complete(Duration::from_secs(5)).unwrap()),
+            42
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::lifecycle::{CancelToken, JoinScope, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, TreeId};
 use netagg_net::{NetError, NodeId, Transport};
-use netagg_obs::MetricsRegistry;
+use netagg_obs::{names, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -124,7 +124,15 @@ impl FailureDetector {
         cfg: DetectorConfig,
         on_failed: Box<dyn Fn(u32) + Send>,
     ) -> Self {
-        Self::start_with_obs(transport, self_addr, redirect_to, children, cfg, on_failed, None)
+        Self::start_with_obs(
+            transport,
+            self_addr,
+            redirect_to,
+            children,
+            cfg,
+            on_failed,
+            None,
+        )
     }
 
     /// Like [`FailureDetector::start`], but additionally publishing
@@ -175,7 +183,14 @@ impl FailureDetector {
         scope
             .spawn(format!("failure-detector-{self_addr}"), move || {
                 detector_loop(
-                    &transport, self_addr, redirect_to, children, &cfg, on_failed, &cancel, &obs,
+                    &transport,
+                    self_addr,
+                    redirect_to,
+                    children,
+                    &cfg,
+                    on_failed,
+                    &cancel,
+                    &obs,
                 )
             })
             .expect("spawn failure detector");
@@ -222,7 +237,15 @@ fn detector_loop(
                 continue;
             }
             nonce += 1;
-            let ok = probe(transport, self_addr, child.addr, nonce, cfg, &mut conns, child.box_id);
+            let ok = probe(
+                transport,
+                self_addr,
+                child.addr,
+                nonce,
+                cfg,
+                &mut conns,
+                child.box_id,
+            );
             if ok {
                 miss_count.insert(child.box_id, 0);
                 continue;
@@ -238,9 +261,9 @@ fn detector_loop(
             // can never race the expected-source update (the seed bug).
             failed.insert(child.box_id, true);
             if let Some(o) = obs {
-                o.counter("failure.detections").inc();
+                o.counter(names::FAILURE_DETECTIONS).inc();
                 o.emit(
-                    "failure",
+                    names::EVENT_FAILURE,
                     format!(
                         "detector at {self_addr} declared box {} (addr {}) failed after {} missed probes",
                         child.box_id, child.addr, cfg.misses
@@ -260,7 +283,7 @@ fn detector_loop(
                     if let Ok(mut c) = transport.connect(self_addr, grandchild) {
                         let _ = c.send(msg.encode());
                         if let Some(o) = obs {
-                            o.counter("failure.repoints").inc();
+                            o.counter(names::FAILURE_REPOINTS).inc();
                         }
                     }
                 }
@@ -280,10 +303,12 @@ fn probe(
 ) -> bool {
     let conn = match conns.entry(box_id) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(v) => match transport.connect(self_addr, child_addr) {
-            Ok(c) => v.insert(c),
-            Err(_) => return false,
-        },
+        std::collections::hash_map::Entry::Vacant(v) => {
+            match transport.connect(self_addr, child_addr) {
+                Ok(c) => v.insert(c),
+                Err(_) => return false,
+            }
+        }
     };
     let hb = Message::Heartbeat {
         from: self_addr,
@@ -331,8 +356,11 @@ mod tests {
     #[test]
     fn healthy_child_is_not_declared_failed() {
         let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
-        let b = AggBox::start(transport.clone(), AggBoxConfig::new(0, crate::tree::box_addr(0)))
-            .unwrap();
+        let b = AggBox::start(
+            transport.clone(),
+            AggBoxConfig::new(0, crate::tree::box_addr(0)),
+        )
+        .unwrap();
         let failed = Arc::new(AtomicU32::new(0));
         let f2 = failed.clone();
         let mut det = FailureDetector::start(
@@ -365,8 +393,11 @@ mod tests {
         let ctl = FaultController::new();
         let transport: Arc<dyn Transport> =
             Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
-        let b = AggBox::start(transport.clone(), AggBoxConfig::new(0, crate::tree::box_addr(0)))
-            .unwrap();
+        let b = AggBox::start(
+            transport.clone(),
+            AggBoxConfig::new(0, crate::tree::box_addr(0)),
+        )
+        .unwrap();
         let failed = Arc::new(AtomicU32::new(0));
         let f2 = failed.clone();
         let mut det = FailureDetector::start(
@@ -393,7 +424,11 @@ mod tests {
         ctl.kill(b.addr());
         std::thread::sleep(Duration::from_millis(500));
         det.stop();
-        assert_eq!(failed.load(Ordering::SeqCst), 1, "exactly one failure event");
+        assert_eq!(
+            failed.load(Ordering::SeqCst),
+            1,
+            "exactly one failure event"
+        );
         ctl.revive(b.addr());
         b.shutdown();
     }

@@ -163,7 +163,10 @@ pub fn check_laws<F: AggregationFunction>(
             return Ok(Some(c));
         }
     }
-    for c in [check_commutative(f, payloads)?, check_identity(f, payloads)?] {
+    for c in [
+        check_commutative(f, payloads)?,
+        check_identity(f, payloads)?,
+    ] {
         if !c.holds() {
             return Ok(Some(c));
         }

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn healthy_single_box_completes() {
         let mut l = FanInLedger::new([1u32]);
-        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        assert_eq!(
+            l.accept_chunk(1, 1),
+            ChunkDisposition::Fresh { first: true }
+        );
         assert!(!l.is_complete());
         assert!(l.note_end(1));
         assert!(l.is_complete());
@@ -228,12 +231,18 @@ mod tests {
         // Master owes one box; a worker replay lands first. The old
         // counter would have completed here; the ledger must not.
         let mut l = FanInLedger::new([100u32]);
-        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        assert_eq!(
+            l.accept_chunk(1, 1),
+            ChunkDisposition::Fresh { first: true }
+        );
         l.note_end(1);
         assert!(!l.is_complete(), "worker end must not satisfy a box entry");
         // All three behind-sources become owed; worker 1 already ended,
         // so its new entry is satisfied immediately.
-        assert_eq!(l.repoint(100, &[1, 2, 3]), RepointOutcome::Moved { added: 3 });
+        assert_eq!(
+            l.repoint(100, &[1, 2, 3]),
+            RepointOutcome::Moved { added: 3 }
+        );
         assert!(!l.is_complete());
         l.note_end(2);
         l.note_end(3);
@@ -266,9 +275,15 @@ mod tests {
     #[test]
     fn seq_duplicates_are_dropped() {
         let mut l = FanInLedger::new([1u32]);
-        assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Fresh { first: true });
+        assert_eq!(
+            l.accept_chunk(1, 1),
+            ChunkDisposition::Fresh { first: true }
+        );
         assert_eq!(l.accept_chunk(1, 1), ChunkDisposition::Duplicate);
-        assert_eq!(l.accept_chunk(1, 2), ChunkDisposition::Fresh { first: false });
+        assert_eq!(
+            l.accept_chunk(1, 2),
+            ChunkDisposition::Fresh { first: false }
+        );
     }
 
     #[test]
@@ -276,7 +291,10 @@ mod tests {
         // Root box 100 fails -> owes leaf box 200 + worker 1; then
         // leaf box 200 fails -> owes workers 2, 3.
         let mut l = FanInLedger::new([100u32]);
-        assert_eq!(l.repoint(100, &[200, 1]), RepointOutcome::Moved { added: 2 });
+        assert_eq!(
+            l.repoint(100, &[200, 1]),
+            RepointOutcome::Moved { added: 2 }
+        );
         assert_eq!(l.repoint(200, &[2, 3]), RepointOutcome::Moved { added: 2 });
         l.note_end(1);
         l.note_end(2);

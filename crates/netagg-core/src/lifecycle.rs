@@ -10,7 +10,6 @@
 //! cancellation invariants.
 
 pub use netagg_net::lifecycle::{
-    CancelToken, JoinScope, Mailbox, MailboxRecvError, MailboxRecvTimeoutError,
-    MailboxSendError, MailboxTryRecvError, OverflowPolicy, ScopeError, WakerGuard,
-    DEFAULT_JOIN_DEADLINE,
+    CancelToken, JoinScope, Mailbox, MailboxRecvError, MailboxRecvTimeoutError, MailboxSendError,
+    MailboxTryRecvError, OverflowPolicy, ScopeError, WakerGuard, DEFAULT_JOIN_DEADLINE,
 };

@@ -65,10 +65,7 @@ pub struct NetAggDeployment {
 
 impl NetAggDeployment {
     /// Launch the agg boxes of a cluster with default options.
-    pub fn launch(
-        transport: Arc<dyn Transport>,
-        cluster: &ClusterSpec,
-    ) -> Result<Self, AggError> {
+    pub fn launch(transport: Arc<dyn Transport>, cluster: &ClusterSpec) -> Result<Self, AggError> {
         Self::launch_with(transport, cluster, DeploymentConfig::default())
     }
 
@@ -94,8 +91,7 @@ impl NetAggDeployment {
         let specs = build_tree_specs(cluster);
         // Everything the deployment starts talks through a metered
         // transport, so `net.*` traffic counters come for free.
-        let transport: Arc<dyn Transport> =
-            Arc::new(MeteredTransport::new(transport, obs.clone()));
+        let transport: Arc<dyn Transport> = Arc::new(MeteredTransport::new(transport, obs.clone()));
         let mut boxes = Vec::new();
         for b in 0..cluster.total_boxes() {
             let mut bc = AggBoxConfig::new(b, crate::tree::box_addr(b));
@@ -124,12 +120,7 @@ impl NetAggDeployment {
 
     /// Register an application: installs its aggregation function and the
     /// per-tree routes on every box. Returns the application id.
-    pub fn register_app(
-        &mut self,
-        name: &str,
-        agg: Arc<dyn DynAggregator>,
-        share: f64,
-    ) -> AppId {
+    pub fn register_app(&mut self, name: &str, agg: Arc<dyn DynAggregator>, share: f64) -> AppId {
         let app = AppId(self.next_app);
         self.next_app += 1;
         for b in &self.boxes {

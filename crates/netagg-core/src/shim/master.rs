@@ -16,7 +16,7 @@ use crate::tree::{master_addr, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
-use netagg_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -97,17 +97,17 @@ struct MasterObs {
 impl MasterObs {
     fn new(registry: MetricsRegistry) -> Self {
         Self {
-            requests_registered: registry.counter("shim.master.requests_registered"),
-            requests_completed: registry.counter("shim.master.requests_completed"),
-            messages_in: registry.counter("shim.master.messages_in"),
-            bytes_in: registry.counter("shim.master.bytes_in"),
-            emulated_empties: registry.counter("shim.master.emulated_empties"),
-            duplicates_dropped: registry.counter("shim.master.duplicates_dropped"),
-            repoints: registry.counter("shim.master.repoints"),
-            requests_inflight: registry.gauge("shim.master.requests_inflight"),
-            sources_outstanding: registry.gauge("shim.master.sources_outstanding"),
-            request_wait_us: registry.histogram("shim.master.request_wait_us"),
-            master_bypasses: registry.counter("straggler.master_bypasses"),
+            requests_registered: registry.counter(names::SHIM_MASTER_REQUESTS_REGISTERED),
+            requests_completed: registry.counter(names::SHIM_MASTER_REQUESTS_COMPLETED),
+            messages_in: registry.counter(names::SHIM_MASTER_MESSAGES_IN),
+            bytes_in: registry.counter(names::SHIM_MASTER_BYTES_IN),
+            emulated_empties: registry.counter(names::SHIM_MASTER_EMULATED_EMPTIES),
+            duplicates_dropped: registry.counter(names::SHIM_MASTER_DUPLICATES_DROPPED),
+            repoints: registry.counter(names::SHIM_MASTER_REPOINTS),
+            requests_inflight: registry.gauge(names::SHIM_MASTER_REQUESTS_INFLIGHT),
+            sources_outstanding: registry.gauge(names::SHIM_MASTER_SOURCES_OUTSTANDING),
+            request_wait_us: registry.histogram(names::SHIM_MASTER_REQUEST_WAIT_US),
+            master_bypasses: registry.counter(names::STRAGGLER_MASTER_BYPASSES),
             registry,
         }
     }
@@ -506,7 +506,7 @@ impl MasterShim {
             o.repoints.add(repointed.max(1));
             o.requests_completed.add(completed);
             o.registry.emit(
-                "repoint",
+                names::EVENT_REPOINT,
                 format!(
                     "master shim (app {}) re-pointed failed box {} on tree {} \
                      across {} in-flight requests",
@@ -781,7 +781,7 @@ fn straggler_loop(inner: &Arc<Inner>) {
             if let Some(o) = &inner.obs {
                 o.master_bypasses.inc();
                 o.registry.emit(
-                    "straggler",
+                    names::EVENT_STRAGGLER,
                     format!(
                         "master shim (app {}) bypassed a root box for request {} tree {}",
                         inner.app.0, request.0, tree.0

@@ -1,15 +1,14 @@
 //! Worker-side shim layer.
 
 use crate::lifecycle::{
-    CancelToken, JoinScope, Mailbox, MailboxRecvTimeoutError, OverflowPolicy,
-    DEFAULT_JOIN_DEADLINE,
+    CancelToken, JoinScope, Mailbox, MailboxRecvTimeoutError, OverflowPolicy, DEFAULT_JOIN_DEADLINE,
 };
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
 use crate::AggError;
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
-use netagg_obs::{Counter, MetricsRegistry};
+use netagg_obs::{names, Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,10 +60,10 @@ struct WorkerObs {
 impl WorkerObs {
     fn new(registry: &MetricsRegistry) -> Self {
         Self {
-            chunks_sent: registry.counter("shim.worker.chunks_sent"),
-            bytes_sent: registry.counter("shim.worker.bytes_sent"),
-            chunks_resent: registry.counter("shim.worker.chunks_resent"),
-            redirects_applied: registry.counter("shim.worker.redirects_applied"),
+            chunks_sent: registry.counter(names::SHIM_WORKER_CHUNKS_SENT),
+            bytes_sent: registry.counter(names::SHIM_WORKER_BYTES_SENT),
+            chunks_resent: registry.counter(names::SHIM_WORKER_CHUNKS_RESENT),
+            redirects_applied: registry.counter(names::SHIM_WORKER_REDIRECTS_APPLIED),
         }
     }
 }

@@ -88,7 +88,8 @@ fn plain_mode_without_boxes_still_completes() {
     let workers: Vec<_> = (0..6).map(|w| dep.worker_shim(app, w)).collect();
     let pending = master.register_request(1, 6);
     for (i, w) in workers.iter().enumerate() {
-        w.send_partial(1, Bytes::from((i as i64).to_string())).unwrap();
+        w.send_partial(1, Bytes::from((i as i64).to_string()))
+            .unwrap();
     }
     let result = pending.wait(Duration::from_secs(5)).unwrap();
     assert_eq!(parse(&result.combined), (0..6).sum::<i64>());
@@ -123,7 +124,10 @@ fn multiple_trees_spread_requests_over_scale_out_boxes() {
         .requests_completed
         .load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(c0 + c1, 20);
-    assert!(c0 > 0 && c1 > 0, "both boxes should serve requests: {c0}/{c1}");
+    assert!(
+        c0 > 0 && c1 > 0,
+        "both boxes should serve requests: {c0}/{c1}"
+    );
     dep.shutdown();
 }
 
@@ -266,7 +270,10 @@ fn straggling_box_is_bypassed_per_request() {
         .stats()
         .straggler_redirects
         .load(std::sync::atomic::Ordering::Relaxed);
-    assert!(redirects >= 1, "root box should have bypassed the straggler");
+    assert!(
+        redirects >= 1,
+        "root box should have bypassed the straggler"
+    );
     ctl.clear_delay(dep.boxes()[1].addr());
     dep.shutdown();
 }
@@ -305,13 +312,21 @@ fn multiple_apps_share_one_deployment() {
     let ps = sum_master.register_request(1, 2);
     let pm = max_master.register_request(1, 2);
     for (i, w) in sum_workers.iter().enumerate() {
-        w.send_partial(1, Bytes::from((10 * (i + 1)).to_string())).unwrap();
+        w.send_partial(1, Bytes::from((10 * (i + 1)).to_string()))
+            .unwrap();
     }
     for (i, w) in max_workers.iter().enumerate() {
-        w.send_partial(1, Bytes::from((10 * (i + 1)).to_string())).unwrap();
+        w.send_partial(1, Bytes::from((10 * (i + 1)).to_string()))
+            .unwrap();
     }
-    assert_eq!(parse(&ps.wait(Duration::from_secs(5)).unwrap().combined), 30);
-    assert_eq!(parse(&pm.wait(Duration::from_secs(5)).unwrap().combined), 20);
+    assert_eq!(
+        parse(&ps.wait(Duration::from_secs(5)).unwrap().combined),
+        30
+    );
+    assert_eq!(
+        parse(&pm.wait(Duration::from_secs(5)).unwrap().combined),
+        20
+    );
     dep.shutdown();
 }
 
@@ -392,7 +407,10 @@ fn subset_requests_complete_with_request_meta() {
     for w in &workers {
         w.send_partial(13, Bytes::from("1")).unwrap();
     }
-    assert_eq!(parse(&pending.wait(Duration::from_secs(5)).unwrap().combined), 4);
+    assert_eq!(
+        parse(&pending.wait(Duration::from_secs(5)).unwrap().combined),
+        4
+    );
     dep.shutdown();
 }
 
@@ -612,7 +630,10 @@ fn box_snapshot_reflects_activity() {
     };
     assert_eq!(after.box_id, 0);
     assert_eq!(after.requests_completed, 1);
-    assert_eq!(after.active_requests, 0, "state cleaned up after completion");
+    assert_eq!(
+        after.active_requests, 0,
+        "state cleaned up after completion"
+    );
     assert!(after.bytes_in >= 3);
     assert!(after.messages_in >= 3);
     assert_eq!(after.apps.len(), 1);
@@ -648,12 +669,11 @@ fn error_paths_are_reported() {
         last: true,
         payload: Bytes::from_static(b"5"),
     };
-    let mut conn = transport
-        .connect(9_999, dep.boxes()[0].addr())
-        .unwrap();
+    let mut conn = transport.connect(9_999, dep.boxes()[0].addr()).unwrap();
     conn.send(msg.encode()).unwrap();
     // And garbage frames are ignored.
-    conn.send(Bytes::from_static(b"\xff\xff\xff garbage")).unwrap();
+    conn.send(Bytes::from_static(b"\xff\xff\xff garbage"))
+        .unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
     // The box is still healthy: a real request completes.

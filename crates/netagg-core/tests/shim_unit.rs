@@ -95,7 +95,11 @@ fn duplicate_resends_are_suppressed_at_the_box() {
     w0.send_chunk(1, Bytes::from_static(b"0"), true).unwrap();
     w1.send_partial(1, Bytes::from_static(b"3")).unwrap();
     let result = pending.wait(Duration::from_secs(5)).unwrap();
-    assert_eq!(parse(&result.combined), 10, "duplicate 7 must not be re-added");
+    assert_eq!(
+        parse(&result.combined),
+        10,
+        "duplicate 7 must not be re-added"
+    );
     assert!(w0.stats().chunks_resent.load(Relaxed) >= 1);
     assert!(
         dep.boxes()[0].stats().duplicates_dropped.load(Relaxed) >= 1,

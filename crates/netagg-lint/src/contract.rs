@@ -1,0 +1,221 @@
+//! Parsers for the two halves of the observability contract:
+//!
+//! * DESIGN.md — §7 metric table + structured-event kinds, and the §9
+//!   thread inventory,
+//! * `netagg-obs/src/names.rs` — the constants runtime code compiles
+//!   against.
+//!
+//! Both sides keep source line numbers so contract-drift diagnostics point
+//! at the exact row or constant to edit.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One named entry of a contract table, with the line it was declared on.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The (possibly templated) name, e.g. `mailbox.depth.<name>`.
+    pub name: String,
+    /// 1-based line in the source document.
+    pub line: u32,
+}
+
+/// One `pub const NAME: &str = "value";` from `names.rs`.
+#[derive(Debug, Clone)]
+pub struct ConstEntry {
+    /// The Rust constant identifier, e.g. `MAILBOX_DEPTH`.
+    pub ident: String,
+    /// The string value, e.g. `mailbox.depth.<name>`.
+    pub value: String,
+    /// 1-based line in `names.rs`.
+    pub line: u32,
+}
+
+/// The full parsed contract.
+#[derive(Debug, Default)]
+pub struct Contract {
+    /// §7 metric names (templates kept verbatim).
+    pub metrics: Vec<Entry>,
+    /// §7 structured-event kinds.
+    pub events: Vec<Entry>,
+    /// §9 thread names (templates kept verbatim).
+    pub threads: Vec<Entry>,
+    /// Constants declared in `netagg_obs::names`.
+    pub consts: Vec<ConstEntry>,
+}
+
+impl Contract {
+    /// Load the contract from a workspace root (expects `DESIGN.md` and
+    /// `crates/netagg-obs/src/names.rs` under `root`).
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let design = fs::read_to_string(root.join("DESIGN.md"))?;
+        let names = fs::read_to_string(root.join("crates/netagg-obs/src/names.rs"))?;
+        Ok(Self::from_sources(&design, &names))
+    }
+
+    /// Parse a contract out of in-memory documents (used by fixtures).
+    pub fn from_sources(design: &str, names: &str) -> Self {
+        let mut c = Self {
+            metrics: table_names(design, "### Metrics contract"),
+            events: table_names(design, "### Structured events"),
+            threads: table_names(design, "### Thread inventory"),
+            consts: parse_consts(names),
+        };
+        // Event kinds double as `emit()` call-site names; keep them out of
+        // the metric set (no overlap today, but be explicit).
+        c.metrics.retain(|m| !m.name.is_empty());
+        c
+    }
+
+    /// Every name the contract allows at a metric call site: §7 metric
+    /// rows plus event kinds (for `emit`).
+    pub fn metric_names(&self) -> impl Iterator<Item = &Entry> {
+        self.metrics.iter()
+    }
+
+    /// Find the constant in `names.rs` whose value is exactly `value`.
+    pub fn const_for(&self, value: &str) -> Option<&ConstEntry> {
+        self.consts.iter().find(|c| c.value == value)
+    }
+}
+
+/// Extract the backticked first-column names of the markdown table that
+/// follows `heading`, stopping at the next section heading.
+fn table_names(doc: &str, heading: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (i, line) in doc.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let trimmed = line.trim();
+        if trimmed.starts_with("### ") || trimmed.starts_with("## ") {
+            in_section = trimmed == heading;
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        // First cell, backticked: `| `name` (annotation) | ... |`
+        let cell = trimmed.trim_start_matches('|');
+        let Some(open) = cell.find('`') else { continue };
+        let Some(close_rel) = cell[open + 1..].find('`') else {
+            continue;
+        };
+        // The backtick must open the cell (header/separator rows have none;
+        // prose cells never start with one).
+        if !cell[..open].trim().is_empty() {
+            continue;
+        }
+        let name = &cell[open + 1..open + 1 + close_rel];
+        if !name.is_empty() {
+            out.push(Entry {
+                name: name.to_string(),
+                line: lineno,
+            });
+        }
+    }
+    out
+}
+
+/// Extract every `pub const IDENT: &str = "value";` declaration.
+fn parse_consts(src: &str) -> Vec<ConstEntry> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some(colon) = rest.find(':') else {
+            continue;
+        };
+        let ident = rest[..colon].trim().to_string();
+        if !rest[colon..].contains("&str") {
+            continue;
+        }
+        let Some(eq) = rest.find('=') else { continue };
+        let after = &rest[eq + 1..];
+        let Some(q1) = after.find('"') else { continue };
+        let Some(q2_rel) = after[q1 + 1..].find('"') else {
+            continue;
+        };
+        out.push(ConstEntry {
+            ident,
+            value: after[q1 + 1..q1 + 1 + q2_rel].to_string(),
+            line: (i + 1) as u32,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "\
+## 7. Observability
+
+### Metrics contract
+
+| Name | Type |
+|---|---|
+| `aggbox.tasks_executed` | counter |
+| `mailbox.depth.<name>` | gauge |
+
+### Structured events
+
+| Kind | Emitted when |
+|---|---|
+| `failure` | a detector declares a box failed |
+
+## 9. Lifecycle
+
+### Thread inventory
+
+| Thread name | Owner |
+|---|---|
+| `aggbox-<b>-listen` | `AggBox` |
+| `aggbox-<b>-reader` (per conn) | `AggBox` |
+";
+
+    const NAMES: &str = "\
+/// Docs.
+pub const AGGBOX_TASKS_EXECUTED: &str = \"aggbox.tasks_executed\";
+pub const MAILBOX_DEPTH: &str = \"mailbox.depth.<name>\";
+pub const EVENT_FAILURE: &str = \"failure\";
+pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
+";
+
+    #[test]
+    fn parses_all_three_tables() {
+        let c = Contract::from_sources(DESIGN, NAMES);
+        let metrics: Vec<&str> = c.metrics.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            metrics,
+            vec!["aggbox.tasks_executed", "mailbox.depth.<name>"]
+        );
+        let events: Vec<&str> = c.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(events, vec!["failure"]);
+        let threads: Vec<&str> = c.threads.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(threads, vec!["aggbox-<b>-listen", "aggbox-<b>-reader"]);
+    }
+
+    #[test]
+    fn parses_consts_with_lines() {
+        let c = Contract::from_sources(DESIGN, NAMES);
+        assert_eq!(c.consts.len(), 3);
+        assert_eq!(c.consts[0].ident, "AGGBOX_TASKS_EXECUTED");
+        assert_eq!(c.consts[0].value, "aggbox.tasks_executed");
+        assert_eq!(c.consts[0].line, 2);
+        assert_eq!(c.const_for("failure").unwrap().ident, "EVENT_FAILURE");
+    }
+
+    #[test]
+    fn real_workspace_contract_is_nontrivial() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let c = Contract::load(&root).unwrap();
+        assert!(c.metrics.len() >= 40, "metrics: {}", c.metrics.len());
+        assert_eq!(c.events.len(), 3);
+        assert!(c.threads.len() >= 15, "threads: {}", c.threads.len());
+        assert!(c.consts.len() >= c.metrics.len() + c.events.len());
+    }
+}

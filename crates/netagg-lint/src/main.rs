@@ -1,0 +1,97 @@
+//! CLI entry point: `cargo run -p netagg-lint -- --workspace [--json]`.
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` violations found, `2`
+//! usage or I/O error.
+
+use netagg_lint::{has_errors, lint_workspace, Level};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+netagg-lint: workspace invariant checker (DESIGN.md §7–§10)
+
+USAGE:
+    netagg-lint [--workspace] [--json] [--root <dir>]
+
+OPTIONS:
+    --workspace    Lint the whole workspace (default; kept explicit for CI)
+    --json         Emit diagnostics as a JSON array instead of text
+    --root <dir>   Workspace root (default: ascend from cwd to DESIGN.md)
+    -h, --help     Show this help
+";
+
+fn find_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return root.join("DESIGN.md").exists().then_some(root);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("DESIGN.md").exists() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = find_root(root) else {
+        eprintln!("error: cannot locate the workspace root (no DESIGN.md found)");
+        return ExitCode::from(2);
+    };
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let items: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        let errors = diags.iter().filter(|d| d.level == Level::Error).count();
+        let warnings = diags.len() - errors;
+        println!(
+            "netagg-lint: {errors} error(s), {warnings} warning(s) in {}",
+            root.display()
+        );
+    }
+
+    if has_errors(&diags) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: idiomatic runtime code. The lint must report NOTHING here —
+// every construct below is the blessed spelling of something a rule
+// polices, or a near-miss a naive matcher would false-positive on.
+
+fn lifecycle(scope: &JoinScope, cancel: &CancelToken, obs: &MetricsRegistry) {
+    // JoinScope spawns with inventory names.
+    scope
+        .spawn(format!("master-shim-{}", app), move || run(cancel))
+        .unwrap();
+
+    // Bounded mailboxes with explicit policies.
+    let mb = Mailbox::with_obs("aggbox3.egress", 4096, OverflowPolicy::DropOldest, cancel, obs);
+
+    // Contract constants and helpers, never literals.
+    obs.counter(names::AGGBOX_MESSAGES_IN).inc();
+    obs.gauge(&names::mailbox_depth("aggbox3.egress")).set(0);
+    obs.emit(names::EVENT_REPOINT, "box 3 -> box 1");
+
+    // Wakeup-driven shutdown: no timed poll anywhere near the flag.
+    while !cancel.is_cancelled() {
+        match mb.recv() {
+            Ok(item) => handle(item),
+            Err(_) => return,
+        }
+    }
+
+    // Near-misses that must stay silent:
+    // - `spawn` on something that is not a thread API,
+    fish.spawn(eggs);
+    // - a timed recv in a drain loop with no shutdown flag,
+    while rx.recv_timeout(Duration::from_millis(1)).is_ok() {}
+    // - `thread::spawn` in a string or comment,
+    let doc = "call thread::spawn here";
+    // - a bounded sync_channel.
+    let (tx, rx) = std::sync::mpsc::sync_channel(8);
+}

@@ -1,0 +1,16 @@
+// Fixture for metrics-contract call-site checks. NOT compiled — lexed
+// directly by the lint engine against the mini contract in lint_rules.rs.
+
+fn violations(obs: &MetricsRegistry) {
+    obs.counter("aggbox.tasks_executed").inc(); // line 5: in contract, but hardcoded
+    obs.gauge(&format!("mailbox.depth.{}", name)).set(3); // line 6: templated, hardcoded
+    obs.counter("totally.unknown.metric").inc(); // line 7: not in the contract
+    obs.emit("meteor-strike", "detail"); // line 8: unknown event kind
+}
+
+fn fine(obs: &MetricsRegistry) {
+    obs.counter(names::AGGBOX_TASKS_EXECUTED).inc(); // constant: the blessed spelling
+    obs.gauge(&names::mailbox_depth("egress")).set(3); // helper: not a literal
+    obs.emit(names::EVENT_FAILURE, "detail"); // constant event kind
+    let snapshot_key = "aggbox.tasks_executed"; // bare string, not a call site
+}

@@ -1,0 +1,36 @@
+// Fixture for no-poll-shutdown: loops that discover shutdown at a timed
+// poll tick. NOT compiled — lexed directly by the lint engine.
+
+fn violation_recv_timeout(rx: Receiver, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            // line 9: the poll tick
+            Ok(_) => {}
+            Err(_) => continue,
+        }
+    }
+}
+
+fn violation_sleep_while(cancel: &CancelToken) {
+    while !cancel.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(50)); // line 19: the poll tick
+        do_work();
+    }
+}
+
+fn fine_wakeup(mb: &Mailbox, cancel: &CancelToken) {
+    // Wakeup-driven: recv returns Cancelled the moment the token fires.
+    while let Ok(item) = mb.recv() {
+        handle(item);
+    }
+    // A timed recv WITHOUT a shutdown flag in the loop is pacing, not
+    // shutdown polling:
+    loop {
+        if rx.recv_timeout(Duration::from_millis(5)).is_err() {
+            break;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: every raw thread construction form the no-raw-spawn rule must
+// catch. This file is NOT compiled — the lint engine lexes it directly.
+
+fn violations() {
+    let a = std::thread::spawn(|| {}); // line 5: full path
+    let b = thread::spawn(|| {}); // line 6: imported module
+    let c = thread::Builder::new().name("x".into()).spawn(|| {}); // line 7: builder
+}
+
+fn fine() {
+    scope.spawn("aggbox-1-listen", || {}); // JoinScope idiom: no finding
+    std::thread::sleep(core::time::Duration::from_millis(1)); // sleep alone is fine
+    // Occurrences inside comments or strings must not fire:
+    // std::thread::spawn(|| {});
+    let s = "thread::spawn";
+}

@@ -1,0 +1,12 @@
+// Fixture for suppression handling. NOT compiled — lexed directly.
+
+fn suppressed() {
+    // netagg-lint: allow(no-raw-spawn) fixture exercises the raw API
+    let a = std::thread::spawn(|| {}); // covered by the comment above
+    let b = std::thread::spawn(|| {}); // netagg-lint: allow(no-raw-spawn) trailing form
+}
+
+fn stale() {
+    // netagg-lint: allow(no-unbounded-channel) nothing to suppress here
+    let x = 1;
+}

@@ -1,0 +1,13 @@
+// Fixture for thread-inventory. NOT compiled — lexed directly by the lint
+// engine against the mini contract in lint_rules.rs.
+
+fn violations(scope: &JoinScope) {
+    scope.spawn("rogue-thread", || {}); // line 5: not in the §9 table
+    scope.spawn(format!("aggbox-{b}-ingest"), || {}); // line 6: unknown suffix
+}
+
+fn fine(scope: &JoinScope) {
+    scope.spawn(format!("aggbox-{}-listen", b), || {}); // matches `aggbox-<b>-listen`
+    scope.spawn("aggbox-7-listen", || {}); // concrete instance of the template
+    scope.spawn(thread_name, || {}); // computed names are out of scope
+}

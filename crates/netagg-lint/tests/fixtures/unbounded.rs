@@ -1,0 +1,14 @@
+// Fixture for no-unbounded-channel: unbounded queues in both std and
+// crossbeam spelling. NOT compiled — lexed directly by the lint engine.
+
+fn violations() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>(); // line 5: turbofish form
+    let (tx2, rx2) = mpsc::channel(); // line 6: imported module
+    let (tx3, rx3) = crossbeam::channel::unbounded(); // line 7: crossbeam
+}
+
+fn fine() {
+    let (tx, rx) = std::sync::mpsc::sync_channel(64); // bounded: allowed
+    let mb = Mailbox::new("egress", 4096, OverflowPolicy::DropOldest); // the blessed queue
+    let s = "mpsc::channel()"; // strings never fire
+}

@@ -1,0 +1,235 @@
+//! Fixture tests: every rule is proven to fire (with the exact span), the
+//! clean fixture is proven silent, suppressions work, and the §7 ⇄
+//! `names.rs` sync check fails on either direction of drift.
+
+use netagg_lint::contract::Contract;
+use netagg_lint::{lint_source, lint_workspace, Diagnostic, Level};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+}
+
+/// A small but representative contract: one plain metric, three templated
+/// ones, the event kinds, and two thread rows.
+fn mini_contract() -> Contract {
+    Contract::from_sources(
+        "### Metrics contract\n\
+         | Name | Type |\n|---|---|\n\
+         | `aggbox.tasks_executed` | counter |\n\
+         | `aggbox.messages_in` | counter |\n\
+         | `mailbox.depth.<name>` | gauge |\n\
+         | `net.link.<from>-><to>.frames` | counter |\n\
+         ### Structured events\n\
+         | Kind | When |\n|---|---|\n\
+         | `failure` | declared |\n\
+         | `repoint` | re-pointed |\n\
+         ### Thread inventory\n\
+         | Thread name | Owner |\n|---|---|\n\
+         | `aggbox-<b>-listen` | `AggBox` |\n\
+         | `master-shim-<a>` | `MasterShim` |\n",
+        "pub const AGGBOX_TASKS_EXECUTED: &str = \"aggbox.tasks_executed\";\n\
+         pub const AGGBOX_MESSAGES_IN: &str = \"aggbox.messages_in\";\n\
+         pub const MAILBOX_DEPTH: &str = \"mailbox.depth.<name>\";\n\
+         pub const NET_LINK_FRAMES: &str = \"net.link.<from>-><to>.frames\";\n\
+         pub const EVENT_FAILURE: &str = \"failure\";\n\
+         pub const EVENT_REPOINT: &str = \"repoint\";\n",
+    )
+}
+
+fn run(name: &str) -> Vec<Diagnostic> {
+    // A production-looking path, so every rule applies.
+    lint_source(
+        &format!("crates/x/src/{name}"),
+        &fixture(name),
+        &mini_contract(),
+    )
+}
+
+fn spans(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn no_raw_spawn_fires_on_each_form_with_spans() {
+    let diags = run("raw_spawn.rs");
+    assert_eq!(spans(&diags, "no-raw-spawn"), vec![5, 6, 7], "{diags:?}");
+    assert!(
+        diags.iter().all(|d| d.rule == "no-raw-spawn"),
+        "no other rule may fire on this fixture: {diags:?}"
+    );
+    // Spans carry a real column, not a placeholder.
+    assert!(diags.iter().all(|d| d.col > 1));
+}
+
+#[test]
+fn no_unbounded_channel_fires_on_std_and_crossbeam() {
+    let diags = run("unbounded.rs");
+    assert_eq!(
+        spans(&diags, "no-unbounded-channel"),
+        vec![5, 6, 7],
+        "{diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.rule == "no-unbounded-channel"));
+}
+
+#[test]
+fn no_poll_shutdown_anchors_at_the_poll_call() {
+    let diags = run("poll_shutdown.rs");
+    assert_eq!(spans(&diags, "no-poll-shutdown"), vec![9, 19], "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "no-poll-shutdown"));
+}
+
+#[test]
+fn metrics_contract_flags_hardcoded_unknown_and_event_names() {
+    let diags = run("metric_names.rs");
+    assert_eq!(
+        spans(&diags, "metrics-contract"),
+        vec![5, 6, 7, 8],
+        "{diags:?}"
+    );
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs[0].contains("AGGBOX_TASKS_EXECUTED"), "{:?}", msgs[0]);
+    assert!(msgs[1].contains("MAILBOX_DEPTH"), "{:?}", msgs[1]);
+    assert!(msgs[2].contains("not in the DESIGN.md §7 contract"));
+    assert!(msgs[3].contains("event"), "{:?}", msgs[3]);
+}
+
+#[test]
+fn thread_inventory_flags_names_outside_the_table() {
+    let diags = run("thread_names.rs");
+    assert_eq!(spans(&diags, "thread-inventory"), vec![5, 6], "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "thread-inventory"));
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings() {
+    let diags = run("clean.rs");
+    assert!(diags.is_empty(), "false positives: {diags:?}");
+}
+
+#[test]
+fn suppressions_cover_standalone_and_trailing_and_warn_when_stale() {
+    let diags = run("suppressed.rs");
+    assert!(
+        !diags.iter().any(|d| d.rule == "no-raw-spawn"),
+        "both spawns are suppressed: {diags:?}"
+    );
+    let stale: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "unused-suppression")
+        .collect();
+    assert_eq!(stale.len(), 1, "{diags:?}");
+    assert_eq!(stale[0].line, 10);
+    assert_eq!(stale[0].level, Level::Warning);
+}
+
+#[test]
+fn naming_rules_relax_in_test_paths_but_spawn_rules_do_not() {
+    let c = mini_contract();
+    let src = fixture("thread_names.rs");
+    let diags = lint_source("crates/x/tests/thread_names.rs", &src, &c);
+    assert!(diags.is_empty(), "{diags:?}");
+    let spawn = fixture("raw_spawn.rs");
+    let diags = lint_source("crates/x/tests/raw_spawn.rs", &spawn, &c);
+    assert_eq!(spans(&diags, "no-raw-spawn"), vec![5, 6, 7]);
+}
+
+#[test]
+fn lifecycle_module_is_exempt_from_raw_spawn_only() {
+    let c = mini_contract();
+    let src = fixture("raw_spawn.rs");
+    let diags = lint_source("crates/netagg-net/src/lifecycle.rs", &src, &c);
+    assert!(!diags.iter().any(|d| d.rule == "no-raw-spawn"), "{diags:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Contract-sync drift
+// ---------------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn real_sources() -> (String, String) {
+    let root = workspace_root();
+    (
+        fs::read_to_string(root.join("DESIGN.md")).unwrap(),
+        fs::read_to_string(root.join("crates/netagg-obs/src/names.rs")).unwrap(),
+    )
+}
+
+fn sync_errors(design: &str, names: &str) -> Vec<Diagnostic> {
+    let c = Contract::from_sources(design, names);
+    let mut out = Vec::new();
+    netagg_lint::rules::metrics_contract_sync(&c, &mut out);
+    out
+}
+
+#[test]
+fn real_contract_is_in_sync() {
+    let (design, names) = real_sources();
+    let errs = sync_errors(&design, &names);
+    assert!(errs.is_empty(), "drift: {errs:?}");
+}
+
+#[test]
+fn deleting_any_metric_row_fails_the_gate() {
+    let (design, names) = real_sources();
+    let c = Contract::from_sources(&design, &names);
+    for entry in c.metrics.iter().chain(c.events.iter()) {
+        let row_marker = format!("`{}`", entry.name);
+        let pruned: String = design
+            .lines()
+            .filter(|l| !(l.trim_start().starts_with('|') && l.contains(&row_marker)))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let errs = sync_errors(&pruned, &names);
+        assert!(
+            errs.iter()
+                .any(|e| e.file.ends_with("names.rs") && e.message.contains(&entry.name)),
+            "deleting the `{}` row went unnoticed",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn renaming_any_constant_fails_the_gate() {
+    let (design, names) = real_sources();
+    let c = Contract::from_sources(&design, &names);
+    for konst in &c.consts {
+        // Target the declaration, not the doc comments that quote the value.
+        let mangled = names.replacen(
+            &format!(": &str = \"{}\"", konst.value),
+            &format!(": &str = \"{}.renamed\"", konst.value),
+            1,
+        );
+        assert_ne!(mangled, names, "rename of `{}` did not apply", konst.ident);
+        let errs = sync_errors(&design, &mangled);
+        assert!(
+            !errs.is_empty(),
+            "renaming `{}` went unnoticed",
+            konst.ident
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let diags = lint_workspace(&workspace_root()).unwrap();
+    let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.level == Level::Error).collect();
+    assert!(errors.is_empty(), "workspace violations: {errors:?}");
+    assert!(
+        diags.is_empty(),
+        "stale suppressions or warnings: {diags:?}"
+    );
+}

@@ -128,7 +128,10 @@ fn conn_from(p: Pending) -> Box<dyn Connection> {
 
 impl Listener for ChannelListener {
     fn accept(&mut self) -> Result<Box<dyn Connection>, NetError> {
-        self.inbox.recv().map(conn_from).map_err(|_| NetError::Closed)
+        self.inbox
+            .recv()
+            .map(conn_from)
+            .map_err(|_| NetError::Closed)
     }
 
     fn accept_timeout(&mut self, timeout: Duration) -> Result<Box<dyn Connection>, NetError> {
@@ -217,6 +220,7 @@ mod tests {
     fn connect_send_recv() {
         let t = ChannelTransport::new();
         let mut l = t.bind(1).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the transport under test is not a scope
         let handle = thread::spawn({
             let t = t.clone();
             move || {
@@ -294,6 +298,7 @@ mod tests {
         for _ in 0..CHANNEL_DEPTH {
             c.send(Bytes::from_static(b"x")).unwrap();
         }
+        // netagg-lint: allow(no-raw-spawn) test needs a deliberately blocked sender to observe backpressure
         let blocked = thread::spawn(move || {
             let mut c = c;
             c.send(Bytes::from_static(b"y")).unwrap();
@@ -314,11 +319,13 @@ mod tests {
         let mut server = l.accept().unwrap();
         let cancel = CancelToken::new();
         let c2 = cancel.clone();
+        // netagg-lint: allow(no-raw-spawn) test parks a receiver to time the cancel wakeup
         let recv_thread = thread::spawn(move || {
             let r = c.recv_cancellable(&c2);
             (r, std::time::Instant::now(), c)
         });
         let c3 = cancel.clone();
+        // netagg-lint: allow(no-raw-spawn) test parks an acceptor to time the cancel wakeup
         let accept_thread = thread::spawn(move || l.accept_cancellable(&c3));
         thread::sleep(Duration::from_millis(40));
         let t0 = std::time::Instant::now();
@@ -329,7 +336,10 @@ mod tests {
             done_at.duration_since(t0) < Duration::from_millis(80),
             "cancel must wake a blocked recv immediately"
         );
-        assert!(matches!(accept_thread.join().unwrap(), Err(NetError::Cancelled)));
+        assert!(matches!(
+            accept_thread.join().unwrap(),
+            Err(NetError::Cancelled)
+        ));
         // The connection itself is still usable after a cancelled recv.
         server.send(Bytes::from_static(b"still-here")).unwrap();
         drop(server);
@@ -344,6 +354,7 @@ mod tests {
         for _ in 0..CHANNEL_DEPTH {
             c.send(Bytes::from_static(b"x")).unwrap();
         }
+        // netagg-lint: allow(no-raw-spawn) test needs a deliberately blocked sender to observe cancel-beats-data
         let blocked = thread::spawn(move || {
             let mut c = c;
             c.send(Bytes::from_static(b"y"))

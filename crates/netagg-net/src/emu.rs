@@ -299,6 +299,7 @@ mod tests {
     fn transfer_takes_link_serialisation_time() {
         let net = two_node_net();
         let mut l = net.bind(1).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the emulated link is what is under test
         let h = thread::spawn({
             let net = net.clone();
             move || {
@@ -333,6 +334,7 @@ mod tests {
             .into_iter()
             .map(|id| {
                 let net = net.clone();
+                // netagg-lint: allow(no-raw-spawn) test fan-in senders; plain threads keep the timing honest
                 thread::spawn(move || {
                     let mut c = net.connect(id, 3).unwrap();
                     let chunk = Bytes::from(vec![0u8; 64 * 1024]);
@@ -350,6 +352,7 @@ mod tests {
         }
         let mut handles = Vec::new();
         for mut c in conns {
+            // netagg-lint: allow(no-raw-spawn) test fan-in receivers; plain threads keep the timing honest
             handles.push(thread::spawn(move || {
                 for _ in 0..8 {
                     c.recv().unwrap();
@@ -383,6 +386,7 @@ mod tests {
             .into_iter()
             .map(|id| {
                 let net = net.clone();
+                // netagg-lint: allow(no-raw-spawn) test fan-in senders; plain threads keep the timing honest
                 thread::spawn(move || {
                     let mut c = net.connect(id, 9).unwrap();
                     let chunk = Bytes::from(vec![0u8; 64 * 1024]);
@@ -398,6 +402,7 @@ mod tests {
         }
         let mut handles = Vec::new();
         for mut c in conns {
+            // netagg-lint: allow(no-raw-spawn) test fan-in receivers; plain threads keep the timing honest
             handles.push(thread::spawn(move || {
                 for _ in 0..8 {
                     c.recv().unwrap();
@@ -416,6 +421,7 @@ mod tests {
         let net = two_node_net();
         net.alias(100, 1).unwrap();
         let mut l = net.bind(100).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the alias routing is what is under test
         let h = thread::spawn({
             let net = net.clone();
             move || {
@@ -447,6 +453,7 @@ mod tests {
             .endpoint(2, EDGE)
             .build_over(tcp);
         let mut l = net.bind(1).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the TCP-backed emulation is under test
         let h = thread::spawn({
             let net = net.clone();
             move || {
@@ -476,6 +483,7 @@ mod tests {
             .endpoint(2, EDGE)
             .build();
         let mut l = net.bind(1).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the serialisation model is under test
         let h = thread::spawn({
             let net = net.clone();
             move || {
@@ -485,7 +493,10 @@ mod tests {
                 let t0 = Instant::now();
                 c.send(Bytes::from_static(b"a")).unwrap();
                 c.send(Bytes::from_static(b"b")).unwrap();
-                assert!(t0.elapsed() < Duration::from_millis(20), "send not throttled");
+                assert!(
+                    t0.elapsed() < Duration::from_millis(20),
+                    "send not throttled"
+                );
                 c.recv().unwrap();
             }
         });
@@ -493,12 +504,18 @@ mod tests {
         let t0 = Instant::now();
         server.recv().unwrap();
         let first = t0.elapsed();
-        assert!(first >= Duration::from_millis(20), "one-way delay applied: {first:?}");
+        assert!(
+            first >= Duration::from_millis(20),
+            "one-way delay applied: {first:?}"
+        );
         // The second message was in flight concurrently: it arrives
         // almost immediately after the first.
         let t1 = Instant::now();
         server.recv().unwrap();
-        assert!(t1.elapsed() < Duration::from_millis(20), "pipelined delivery");
+        assert!(
+            t1.elapsed() < Duration::from_millis(20),
+            "pipelined delivery"
+        );
         server.send(Bytes::from_static(b"ok")).unwrap();
         h.join().unwrap();
     }

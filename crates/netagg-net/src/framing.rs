@@ -129,9 +129,6 @@ mod tests {
     fn oversized_frame_is_rejected_on_decode() {
         let mut dec = FrameDecoder::new();
         dec.feed(&(MAX_FRAME as u32 + 1).to_be_bytes());
-        assert!(matches!(
-            dec.next_frame(),
-            Err(NetError::FrameTooLarge(_))
-        ));
+        assert!(matches!(dec.next_frame(), Err(NetError::FrameTooLarge(_))));
     }
 }

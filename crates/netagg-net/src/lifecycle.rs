@@ -29,7 +29,7 @@
 //! [`CancelToken::cancel`] itself. All wakers installed by this module
 //! obey that rule.
 
-use netagg_obs::{Counter, Gauge, MetricsRegistry};
+use netagg_obs::{names, Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
@@ -360,9 +360,9 @@ impl<T: Send + 'static> Mailbox<T> {
     ) -> Self {
         let name = name.into();
         let mobs = MailboxObs {
-            depth: obs.gauge(&format!("mailbox.depth.{name}")),
-            dropped: obs.counter(&format!("mailbox.dropped.{name}")),
-            dropped_policy: obs.counter(&format!("mailbox.dropped.{}", policy.label())),
+            depth: obs.gauge(&names::mailbox_depth(&name)),
+            dropped: obs.counter(&names::mailbox_dropped(&name)),
+            dropped_policy: obs.counter(&names::mailbox_dropped_policy(policy.label())),
         };
         Self::build(name, capacity, policy, cancel, Some(mobs))
     }
@@ -490,9 +490,7 @@ impl<T> Mailbox<T> {
         let sh = &self.inner.shared;
         let mut s = sh.state.lock();
         loop {
-            if self.inner.cancel.is_cancelled()
-                || extra.is_some_and(|c| c.is_cancelled())
-            {
+            if self.inner.cancel.is_cancelled() || extra.is_some_and(|c| c.is_cancelled()) {
                 return Err(MailboxRecvTimeoutError::Cancelled);
             }
             if let Some(v) = s.queue.pop_front() {
@@ -730,7 +728,7 @@ impl JoinScope {
     ) -> Self {
         let mut s = Self::new(name, cancel, deadline);
         s.obs = obs.map(|o| ScopeObs {
-            threads_active: o.gauge("runtime.threads_active"),
+            threads_active: o.gauge(names::RUNTIME_THREADS_ACTIVE),
         });
         s
     }
@@ -771,24 +769,26 @@ impl JoinScope {
             g.add(1.0);
         }
         let done2 = done.clone();
-        let handle = std::thread::Builder::new().name(name.clone()).spawn(move || {
-            // Runs even when `f` panics: keep the gauge honest and set the
-            // done flag last, so a joiner observing it sees final state.
-            struct Exit {
-                done: Arc<DoneFlag>,
-                gauge: Option<Arc<Gauge>>,
-            }
-            impl Drop for Exit {
-                fn drop(&mut self) {
-                    if let Some(g) = &self.gauge {
-                        g.add(-1.0);
-                    }
-                    self.done.set();
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                // Runs even when `f` panics: keep the gauge honest and set the
+                // done flag last, so a joiner observing it sees final state.
+                struct Exit {
+                    done: Arc<DoneFlag>,
+                    gauge: Option<Arc<Gauge>>,
                 }
-            }
-            let _exit = Exit { done: done2, gauge };
-            f();
-        })?;
+                impl Drop for Exit {
+                    fn drop(&mut self) {
+                        if let Some(g) = &self.gauge {
+                            g.add(-1.0);
+                        }
+                        self.done.set();
+                    }
+                }
+                let _exit = Exit { done: done2, gauge };
+                f();
+            })?;
         self.slots.lock().push(ThreadSlot { name, done, handle });
         Ok(())
     }
@@ -893,8 +893,7 @@ mod tests {
 
     #[test]
     fn drop_oldest_keeps_exactly_the_last_capacity_items() {
-        let mb: Mailbox<u32> =
-            Mailbox::new("t", 8, OverflowPolicy::DropOldest, CancelToken::new());
+        let mb: Mailbox<u32> = Mailbox::new("t", 8, OverflowPolicy::DropOldest, CancelToken::new());
         for i in 0..20 {
             mb.send(i).unwrap();
         }
@@ -927,7 +926,10 @@ mod tests {
         let h = std::thread::spawn(move || mb3.send(3));
         std::thread::sleep(Duration::from_millis(30));
         mb.close();
-        assert!(matches!(h.join().unwrap(), Err(MailboxSendError::Closed(3))));
+        assert!(matches!(
+            h.join().unwrap(),
+            Err(MailboxSendError::Closed(3))
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::lifecycle::CancelToken;
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use bytes::Bytes;
-use netagg_obs::{Counter, MetricsRegistry};
+use netagg_obs::{names, Counter, MetricsRegistry};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,10 +31,10 @@ struct GlobalCounters {
 impl GlobalCounters {
     fn new(obs: &MetricsRegistry) -> Self {
         Self {
-            frames_sent: obs.counter("net.frames_sent"),
-            bytes_sent: obs.counter("net.bytes_sent"),
-            frames_recv: obs.counter("net.frames_recv"),
-            bytes_recv: obs.counter("net.bytes_recv"),
+            frames_sent: obs.counter(names::NET_FRAMES_SENT),
+            bytes_sent: obs.counter(names::NET_BYTES_SENT),
+            frames_recv: obs.counter(names::NET_FRAMES_RECV),
+            bytes_recv: obs.counter(names::NET_BYTES_RECV),
         }
     }
 }
@@ -117,17 +117,12 @@ struct MeteredConnection {
 }
 
 impl MeteredConnection {
-    fn new(
-        inner: Box<dyn Connection>,
-        local: NodeId,
-        peer: NodeId,
-        obs: &MetricsRegistry,
-    ) -> Self {
+    fn new(inner: Box<dyn Connection>, local: NodeId, peer: NodeId, obs: &MetricsRegistry) -> Self {
         Self {
             inner,
             global: GlobalCounters::new(obs),
-            link_frames: obs.counter(&format!("net.link.{local}->{peer}.frames")),
-            link_bytes: obs.counter(&format!("net.link.{local}->{peer}.bytes")),
+            link_frames: obs.counter(&names::net_link_frames(local, peer)),
+            link_bytes: obs.counter(&names::net_link_bytes(local, peer)),
         }
     }
 

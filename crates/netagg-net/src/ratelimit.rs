@@ -155,6 +155,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let b = b.clone();
+                // netagg-lint: allow(no-raw-spawn) test contention threads; the bucket, not a scope, is under test
                 std::thread::spawn(move || {
                     let mut sent = 0.0;
                     while sent < 250e3 {

@@ -179,6 +179,7 @@ mod tests {
     fn tcp_roundtrip() {
         let t = TcpTransport::new();
         let mut l = t.bind(1).unwrap();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the TCP framing is what is under test
         let h = thread::spawn({
             let t = t.clone();
             move || {
@@ -200,6 +201,7 @@ mod tests {
         let mut l = t.bind(1).unwrap();
         let payload = Bytes::from((0..2_000_000u32).map(|i| i as u8).collect::<Vec<u8>>());
         let expect = payload.clone();
+        // netagg-lint: allow(no-raw-spawn) test harness thread; the TCP framing is what is under test
         let h = thread::spawn({
             let t = t.clone();
             move || {
@@ -225,7 +227,10 @@ mod tests {
         );
         drop(c.send(Bytes::from_static(b"late")));
         assert_eq!(
-            server.recv_timeout(Duration::from_millis(200)).unwrap().as_ref(),
+            server
+                .recv_timeout(Duration::from_millis(200))
+                .unwrap()
+                .as_ref(),
             b"late"
         );
     }

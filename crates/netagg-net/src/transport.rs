@@ -90,6 +90,7 @@ pub trait Connection: Send {
             if cancel.is_cancelled() {
                 return Err(NetError::Cancelled);
             }
+            // netagg-lint: allow(no-poll-shutdown) documented 20 ms fallback for transports without native wakeups (§9 invariant 1)
             match self.recv_timeout(CANCEL_POLL) {
                 Err(NetError::Timeout) => continue,
                 other => return other,
@@ -116,6 +117,7 @@ pub trait Listener: Send {
             if cancel.is_cancelled() {
                 return Err(NetError::Cancelled);
             }
+            // netagg-lint: allow(no-poll-shutdown) documented 20 ms fallback for transports without native wakeups (§9 invariant 1)
             match self.accept_timeout(CANCEL_POLL) {
                 Err(NetError::Timeout) => continue,
                 other => return other,

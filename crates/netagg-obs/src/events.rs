@@ -111,7 +111,10 @@ mod tests {
         let evs = ring.events();
         assert_eq!(evs.len(), 3);
         // Seq 8, 9, 10 survive; 1..=7 were evicted.
-        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert_eq!(
+            evs.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![8, 9, 10]
+        );
         assert_eq!(evs[0].detail, "event 7");
         assert_eq!(ring.total_recorded(), 10);
     }
@@ -132,6 +135,7 @@ mod tests {
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let ring = ring.clone();
+                // netagg-lint: allow(no-raw-spawn) concurrency smoke test hammers the ring from plain threads
                 std::thread::spawn(move || {
                     for i in 0..100 {
                         ring.emit("t", format!("{t}:{i}"));

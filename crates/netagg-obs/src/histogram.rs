@@ -198,7 +198,11 @@ mod tests {
         }
         for shift in 3..63u32 {
             let v = 1u64 << shift;
-            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "border at 2^{shift}");
+            assert_eq!(
+                bucket_index(v),
+                bucket_index(v - 1) + 1,
+                "border at 2^{shift}"
+            );
         }
         assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
     }
@@ -275,6 +279,7 @@ mod tests {
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let h = h.clone();
+                // netagg-lint: allow(no-raw-spawn) concurrency smoke test hammers the histogram from plain threads
                 std::thread::spawn(move || {
                     for i in 0..1_000u64 {
                         h.record(t * 1_000 + i);

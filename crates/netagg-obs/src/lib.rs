@@ -45,6 +45,7 @@
 
 mod events;
 mod histogram;
+pub mod names;
 mod registry;
 mod snapshot;
 

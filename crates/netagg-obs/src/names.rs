@@ -1,0 +1,243 @@
+//! The single source of truth for every metric and event name in the
+//! DESIGN.md §7 contract.
+//!
+//! Every runtime layer resolves its handles through these constants (or
+//! the template helpers below) instead of scattering string literals, so
+//! a rename is one edit here plus the matching row in DESIGN.md §7 —
+//! `netagg-lint`'s `metrics-contract` rule diffs the two bidirectionally
+//! and fails CI on any drift, including a deleted table row or a renamed
+//! constant.
+//!
+//! Templated names keep their `<placeholder>` segments verbatim in the
+//! constant (e.g. [`MAILBOX_DEPTH`] is `"mailbox.depth.<name>"`), exactly
+//! as the §7 table spells them; the helper functions substitute concrete
+//! values at runtime via [`expand`].
+
+use std::fmt::Display;
+
+// --- agg box: scheduler ----------------------------------------------------
+
+/// Tasks run to completion by the scheduler's worker pool.
+pub const AGGBOX_TASKS_EXECUTED: &str = "aggbox.tasks_executed";
+/// Tasks whose closure panicked (caught by the worker loop).
+pub const AGGBOX_TASKS_PANICKED: &str = "aggbox.tasks_panicked";
+/// Tasks drained unrun at scheduler shutdown.
+pub const AGGBOX_TASKS_DROPPED: &str = "aggbox.tasks_dropped";
+/// Per-task execution latency histogram (µs).
+pub const AGGBOX_TASK_EXEC_US: &str = "aggbox.task_exec_us";
+/// Queued tasks across all applications.
+pub const AGGBOX_QUEUE_DEPTH: &str = "aggbox.queue_depth";
+/// Effective WFQ weight per application (template: `<N>` = app id).
+pub const AGGBOX_WFQ_WEIGHT: &str = "aggbox.wfq_weight.app<N>";
+
+// --- agg box: data path ----------------------------------------------------
+
+/// Data messages into the agg-box runtime.
+pub const AGGBOX_MESSAGES_IN: &str = "aggbox.messages_in";
+/// Payload bytes into the agg-box runtime.
+pub const AGGBOX_BYTES_IN: &str = "aggbox.bytes_in";
+/// Requests whose final aggregate was emitted.
+pub const AGGBOX_REQUESTS_COMPLETED: &str = "aggbox.requests_completed";
+/// First data byte in → final aggregate out, per request (µs).
+pub const AGGBOX_REQUEST_AGG_US: &str = "aggbox.request_agg_us";
+/// Chunks suppressed by per-source sequence tracking.
+pub const AGGBOX_DUPLICATES_DROPPED: &str = "aggbox.duplicates_dropped";
+/// Failed upstream sends from the egress loop.
+pub const AGGBOX_SEND_ERRORS: &str = "aggbox.send_errors";
+/// A parent box adopting a failed child box's subtree.
+pub const AGGBOX_REPOINTS: &str = "aggbox.repoints";
+
+// --- straggler handling ----------------------------------------------------
+
+/// Child box bypassed by a box's straggler loop.
+pub const STRAGGLER_REDIRECTS: &str = "straggler.redirects";
+/// Repeat-limit escalations to permanent failure.
+pub const STRAGGLER_ESCALATIONS: &str = "straggler.escalations";
+/// Root box bypassed by the master shim's straggler loop.
+pub const STRAGGLER_MASTER_BYPASSES: &str = "straggler.master_bypasses";
+
+// --- master shim -----------------------------------------------------------
+
+/// Requests registered (`register_request[_subset]`).
+pub const SHIM_MASTER_REQUESTS_REGISTERED: &str = "shim.master.requests_registered";
+/// Results delivered to the application.
+pub const SHIM_MASTER_REQUESTS_COMPLETED: &str = "shim.master.requests_completed";
+/// Messages into the master shim reader loop.
+pub const SHIM_MASTER_MESSAGES_IN: &str = "shim.master.messages_in";
+/// Payload bytes into the master shim reader loop.
+pub const SHIM_MASTER_BYTES_IN: &str = "shim.master.bytes_in";
+/// Empty per-worker results synthesised per request.
+pub const SHIM_MASTER_EMULATED_EMPTIES: &str = "shim.master.emulated_empties";
+/// Register → result available, per request (µs).
+pub const SHIM_MASTER_REQUEST_WAIT_US: &str = "shim.master.request_wait_us";
+/// Chunks suppressed by the fan-in ledger (§8).
+pub const SHIM_MASTER_DUPLICATES_DROPPED: &str = "shim.master.duplicates_dropped";
+/// Failed-box re-points applied by the master shim.
+pub const SHIM_MASTER_REPOINTS: &str = "shim.master.repoints";
+/// Non-complete entries in the pending table.
+pub const SHIM_MASTER_REQUESTS_INFLIGHT: &str = "shim.master.requests_inflight";
+/// Sum of ledger entries still owed across in-flight requests (§8).
+pub const SHIM_MASTER_SOURCES_OUTSTANDING: &str = "shim.master.sources_outstanding";
+
+// --- worker shim -----------------------------------------------------------
+
+/// Data chunks sent via `send_partial`.
+pub const SHIM_WORKER_CHUNKS_SENT: &str = "shim.worker.chunks_sent";
+/// Payload bytes sent via `send_partial`.
+pub const SHIM_WORKER_BYTES_SENT: &str = "shim.worker.bytes_sent";
+/// Chunks replayed after a re-point.
+pub const SHIM_WORKER_CHUNKS_RESENT: &str = "shim.worker.chunks_resent";
+/// Redirect commands accepted by the control loop.
+pub const SHIM_WORKER_REDIRECTS_APPLIED: &str = "shim.worker.redirects_applied";
+
+// --- lifecycle (§9) --------------------------------------------------------
+
+/// Live threads across every `JoinScope` in a deployment; 0 after teardown.
+pub const RUNTIME_THREADS_ACTIVE: &str = "runtime.threads_active";
+/// Queued items per named mailbox (template: `<name>` = §9 mailbox name).
+pub const MAILBOX_DEPTH: &str = "mailbox.depth.<name>";
+/// Items evicted or refused per named mailbox (template).
+pub const MAILBOX_DROPPED: &str = "mailbox.dropped.<name>";
+/// The same drops aggregated by overflow-policy label (template:
+/// `<policy>` = `drop_oldest` | `reject`).
+pub const MAILBOX_DROPPED_POLICY: &str = "mailbox.dropped.<policy>";
+
+// --- failure detection -----------------------------------------------------
+
+/// Boxes declared failed by a detector.
+pub const FAILURE_DETECTIONS: &str = "failure.detections";
+/// Grandchildren re-pointed around a dead box.
+pub const FAILURE_REPOINTS: &str = "failure.repoints";
+
+// --- metered transport -----------------------------------------------------
+
+/// Frames through any metered send.
+pub const NET_FRAMES_SENT: &str = "net.frames_sent";
+/// Payload bytes through any metered send.
+pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+/// Frames through any metered receive.
+pub const NET_FRAMES_RECV: &str = "net.frames_recv";
+/// Payload bytes through any metered receive.
+pub const NET_BYTES_RECV: &str = "net.bytes_recv";
+/// Frames per directed link (template: `<from>`, `<to>` = node ids).
+pub const NET_LINK_FRAMES: &str = "net.link.<from>-><to>.frames";
+/// Payload bytes per directed link (template).
+pub const NET_LINK_BYTES: &str = "net.link.<from>-><to>.bytes";
+
+// --- simulator -------------------------------------------------------------
+
+/// Flows completed by a simulation run.
+pub const SIM_FLOWS_COMPLETED: &str = "sim.flows_completed";
+/// Requests completed by a simulation run.
+pub const SIM_REQUESTS_COMPLETED: &str = "sim.requests_completed";
+/// Bytes delivered by a simulation run.
+pub const SIM_BYTES_DELIVERED: &str = "sim.bytes_delivered";
+/// Per-flow completion time (µs).
+pub const SIM_FCT_US: &str = "sim.fct_us";
+/// Per-request span, first start → last finish (µs).
+pub const SIM_REQUEST_COMPLETION_US: &str = "sim.request_completion_us";
+
+// --- structured event kinds ------------------------------------------------
+
+/// A detector declared a box failed.
+pub const EVENT_FAILURE: &str = "failure";
+/// A box or master shim bypassed a straggling child box.
+pub const EVENT_STRAGGLER: &str = "straggler";
+/// Behind-sources of a failed box moved into direct fan-in entries (§8).
+pub const EVENT_REPOINT: &str = "repoint";
+
+/// Substitute the `<placeholder>` segments of a template name, in order,
+/// with `args` (which must match the placeholder count exactly).
+///
+/// ```
+/// use netagg_obs::names;
+/// assert_eq!(
+///     names::expand(names::MAILBOX_DEPTH, &["egress"]),
+///     "mailbox.depth.egress"
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics when `args` has fewer or more entries than the template has
+/// placeholders — a template misuse, not a runtime condition.
+pub fn expand(template: &str, args: &[&str]) -> String {
+    let mut out = String::with_capacity(template.len());
+    let mut rest = template;
+    let mut used = 0;
+    while let Some(open) = rest.find('<') {
+        let close = rest[open..]
+            .find('>')
+            .map(|i| open + i)
+            .expect("unterminated template placeholder");
+        out.push_str(&rest[..open]);
+        out.push_str(args.get(used).expect("too few template args"));
+        used += 1;
+        rest = &rest[close + 1..];
+    }
+    assert_eq!(used, args.len(), "too many template args");
+    out.push_str(rest);
+    out
+}
+
+/// Concrete `aggbox.wfq_weight.app<N>` name for one application.
+pub fn wfq_weight(app: impl Display) -> String {
+    expand(AGGBOX_WFQ_WEIGHT, &[&app.to_string()])
+}
+
+/// Concrete `mailbox.depth.<name>` name for one mailbox.
+pub fn mailbox_depth(name: &str) -> String {
+    expand(MAILBOX_DEPTH, &[name])
+}
+
+/// Concrete `mailbox.dropped.<name>` name for one mailbox.
+pub fn mailbox_dropped(name: &str) -> String {
+    expand(MAILBOX_DROPPED, &[name])
+}
+
+/// Concrete `mailbox.dropped.<policy>` name for one overflow-policy label.
+pub fn mailbox_dropped_policy(label: &str) -> String {
+    expand(MAILBOX_DROPPED_POLICY, &[label])
+}
+
+/// Concrete `net.link.<from>-><to>.frames` name for one directed link.
+pub fn net_link_frames(from: impl Display, to: impl Display) -> String {
+    expand(NET_LINK_FRAMES, &[&from.to_string(), &to.to_string()])
+}
+
+/// Concrete `net.link.<from>-><to>.bytes` name for one directed link.
+pub fn net_link_bytes(from: impl Display, to: impl Display) -> String {
+    expand(NET_LINK_BYTES, &[&from.to_string(), &to.to_string()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_substitutes_in_order() {
+        assert_eq!(net_link_frames(3, 9), "net.link.3->9.frames");
+        assert_eq!(net_link_bytes("a", "b"), "net.link.a->b.bytes");
+        assert_eq!(wfq_weight(4), "aggbox.wfq_weight.app4");
+        assert_eq!(mailbox_depth("egress"), "mailbox.depth.egress");
+        assert_eq!(mailbox_dropped("egress"), "mailbox.dropped.egress");
+        assert_eq!(mailbox_dropped_policy("reject"), "mailbox.dropped.reject");
+    }
+
+    #[test]
+    fn expand_passes_plain_names_through() {
+        assert_eq!(expand(AGGBOX_TASKS_EXECUTED, &[]), AGGBOX_TASKS_EXECUTED);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few template args")]
+    fn expand_rejects_missing_args() {
+        expand(MAILBOX_DEPTH, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many template args")]
+    fn expand_rejects_extra_args() {
+        expand(AGGBOX_TASKS_EXECUTED, &["spare"]);
+    }
+}

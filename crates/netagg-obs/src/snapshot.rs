@@ -48,10 +48,7 @@ impl MetricsSnapshot {
 
     /// Look up a gauge value by exact name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Look up a histogram summary by exact name.

@@ -170,8 +170,12 @@ impl Source {
     /// (`carried / raw input bytes`), a slightly conservative single-stage
     /// approximation of the exact multi-stage pipeline.
     fn ship(&self, out: &mut Vec<FlowSpec>, resources: Vec<Resource>, request: u32) -> u32 {
-        let raw_input: f64 =
-            self.local + self.inbound.iter().map(|&f| out[f as usize].size).sum::<f64>();
+        let raw_input: f64 = self.local
+            + self
+                .inbound
+                .iter()
+                .map(|&f| out[f as usize].size)
+                .sum::<f64>();
         let id = out.len() as u32;
         out.push(FlowSpec {
             size: self.carried,
@@ -443,7 +447,10 @@ fn expand_netagg(
             Some((_, r)) => r.clone(),
             None => bn.to_master.clone(),
         };
-        debug_assert!(!resources.is_empty(), "box without next hop or master route");
+        debug_assert!(
+            !resources.is_empty(),
+            "box without next hop or master route"
+        );
         let next_box = bn.next.as_ref().map(|(nb, _)| *nb);
         let total_in: f64 = bn
             .inbound
@@ -528,7 +535,9 @@ mod tests {
     #[test]
     fn direct_strategy_has_no_aggregated_outputs() {
         let flows = setup(Strategy::Direct);
-        assert!(flows.iter().all(|f| f.kind != SegmentKind::AggregatedOutput));
+        assert!(flows
+            .iter()
+            .all(|f| f.kind != SegmentKind::AggregatedOutput));
         check_tree_invariants(&flows);
     }
 
@@ -536,7 +545,9 @@ mod tests {
     fn rack_level_reduces_cross_rack_traffic() {
         let flows = setup(Strategy::RackLevel);
         check_tree_invariants(&flows);
-        assert!(flows.iter().any(|f| f.kind == SegmentKind::AggregatedOutput));
+        assert!(flows
+            .iter()
+            .any(|f| f.kind == SegmentKind::AggregatedOutput));
     }
 
     #[test]
@@ -556,16 +567,20 @@ mod tests {
     fn binary_tree_invariants() {
         let flows = setup(Strategy::DAry(2));
         check_tree_invariants(&flows);
-        assert!(flows.iter().any(|f| f.kind == SegmentKind::AggregatedOutput));
+        assert!(flows
+            .iter()
+            .any(|f| f.kind == SegmentKind::AggregatedOutput));
     }
 
     #[test]
     fn netagg_uses_boxes() {
         let flows = setup(Strategy::NetAgg);
         check_tree_invariants(&flows);
-        let uses_box = flows
-            .iter()
-            .any(|f| f.resources.iter().any(|r| matches!(r, Resource::BoxProc(_))));
+        let uses_box = flows.iter().any(|f| {
+            f.resources
+                .iter()
+                .any(|r| matches!(r, Resource::BoxProc(_)))
+        });
         assert!(uses_box, "netagg flows must traverse agg boxes");
         for f in &flows {
             if f.kind == SegmentKind::WorkerPartial && f.request.is_some() {
@@ -586,7 +601,9 @@ mod tests {
         let placement = BoxPlacement::new(&topo, &cfg.deployment);
         let workload = Workload::generate(&topo, &cfg.workload);
         let flows = expand(&topo, &placement, &workload, &cfg);
-        assert!(flows.iter().all(|f| f.kind != SegmentKind::AggregatedOutput));
+        assert!(flows
+            .iter()
+            .all(|f| f.kind != SegmentKind::AggregatedOutput));
     }
 
     #[test]

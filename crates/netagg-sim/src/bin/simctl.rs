@@ -58,8 +58,7 @@ fn main() {
             "--metrics" => metrics_json = true,
             "--paper" => cfg.topology = netagg_sim::TopologyConfig::paper(),
             "--quick" => cfg.topology = netagg_sim::TopologyConfig::quick(),
-            "--help" | "-h" => usage("")
-            ,
+            "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -98,14 +97,18 @@ fn main() {
         "servers {}  switches {}  boxes {}\n",
         cfg.topology.num_servers(),
         cfg.topology.num_switches(),
-        netagg_sim::BoxPlacement::new(
-            &netagg_sim::Topology::build(&cfg.topology),
-            &cfg.deployment
-        )
-        .num_boxes(),
+        netagg_sim::BoxPlacement::new(&netagg_sim::Topology::build(&cfg.topology), &cfg.deployment)
+            .num_boxes(),
     );
-    println!("{:>12} {:>10} {:>10} {:>10}", "percentile", "all", "agg", "bg");
-    let classes = [FlowClass::All, FlowClass::Aggregation, FlowClass::Background];
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "percentile", "all", "agg", "bg"
+    );
+    let classes = [
+        FlowClass::All,
+        FlowClass::Aggregation,
+        FlowClass::Background,
+    ];
     let series: Vec<Vec<f64>> = classes.iter().map(|c| result.fcts(*c)).collect();
     for p in [0.50, 0.90, 0.99, 1.0] {
         print!("{:>11}%", (p * 100.0) as u32);

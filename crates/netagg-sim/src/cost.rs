@@ -124,8 +124,7 @@ impl UpgradeOption {
         let servers = topo.num_servers() as f64;
         // A full-bisection fabric needs `oversub x` more uplink and core
         // capacity, i.e. proportionally more ports at those tiers.
-        let full_bisec_ports =
-            2.0 * (edge_links + topo.oversub * (uplink_links + core_links));
+        let full_bisec_ports = 2.0 * (edge_links + topo.oversub * (uplink_links + core_links));
         match self {
             UpgradeOption::Base => 0.0,
             UpgradeOption::FullBisec10G => {
@@ -173,7 +172,10 @@ mod tests {
         let netagg = UpgradeOption::NetAgg.upgrade_cost(&topo, &prices);
         let oversub = UpgradeOption::Oversub10G.upgrade_cost(&topo, &prices);
         let frac = netagg / oversub;
-        assert!(frac < 0.5, "NetAgg should cost well under half of Oversub-10G, got {frac}");
+        assert!(
+            frac < 0.5,
+            "NetAgg should cost well under half of Oversub-10G, got {frac}"
+        );
     }
 
     #[test]

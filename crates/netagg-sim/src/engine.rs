@@ -398,7 +398,13 @@ impl Allocator {
         (caps[r] - self.frozen_sum[r]).max(0.0) / self.live_count[r] as f64
     }
 
-    fn waterfill(&mut self, active: &[u32], res_lists: &[Vec<u32>], caps: &[f64], rates: &mut [f64]) {
+    fn waterfill(
+        &mut self,
+        active: &[u32],
+        res_lists: &[Vec<u32>],
+        caps: &[f64],
+        rates: &mut [f64],
+    ) {
         self.generation += 1;
         let generation = self.generation;
         self.touched.clear();
@@ -539,7 +545,11 @@ mod tests {
         // time.
         let expected = 2.0 * size / GBPS;
         for r in &res.records {
-            assert!((r.fct() - expected).abs() < 1e-6 * expected, "fct {}", r.fct());
+            assert!(
+                (r.fct() - expected).abs() < 1e-6 * expected,
+                "fct {}",
+                r.fct()
+            );
         }
     }
 
@@ -585,14 +595,21 @@ mod tests {
         let rout = crate::routing::server_route(&topo, topo.server(1), topo.server(2), 0);
         let child = FlowSpec::leaf(
             2e6,
-            rin.links.into_iter().map(crate::flow::Resource::Link).collect(),
+            rin.links
+                .into_iter()
+                .map(crate::flow::Resource::Link)
+                .collect(),
             0.0,
             SegmentKind::WorkerPartial,
             0,
         );
         let parent = FlowSpec {
             size: 1e6,
-            resources: rout.links.into_iter().map(crate::flow::Resource::Link).collect(),
+            resources: rout
+                .links
+                .into_iter()
+                .map(crate::flow::Resource::Link)
+                .collect(),
             children: vec![0],
             alpha: 0.5,
             local_input: 0.0,
@@ -620,13 +637,12 @@ mod tests {
         let mut flows = Vec::new();
         let mut prev: Option<u32> = None;
         for i in 0..3u32 {
-            let r = crate::routing::server_route(
-                &topo,
-                topo.server(i),
-                topo.server(i + 1),
-                0,
-            );
-            let resources = r.links.into_iter().map(crate::flow::Resource::Link).collect();
+            let r = crate::routing::server_route(&topo, topo.server(i), topo.server(i + 1), 0);
+            let resources = r
+                .links
+                .into_iter()
+                .map(crate::flow::Resource::Link)
+                .collect();
             let f = match prev {
                 None => FlowSpec::leaf(4e6, resources, 0.0, SegmentKind::WorkerPartial, 0),
                 Some(p) => FlowSpec {

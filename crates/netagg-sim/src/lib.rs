@@ -117,17 +117,16 @@ pub fn run_experiment_with_obs(
     obs: &netagg_obs::MetricsRegistry,
 ) -> SimResult {
     let result = run_experiment(cfg);
-    let flows_completed = obs.counter("sim.flows_completed");
-    let bytes_delivered = obs.counter("sim.bytes_delivered");
-    let fct_us = obs.histogram("sim.fct_us");
+    let flows_completed = obs.counter(netagg_obs::names::SIM_FLOWS_COMPLETED);
+    let bytes_delivered = obs.counter(netagg_obs::names::SIM_BYTES_DELIVERED);
+    let fct_us = obs.histogram(netagg_obs::names::SIM_FCT_US);
     for r in &result.records {
         flows_completed.inc();
         bytes_delivered.add(r.size as u64);
         fct_us.record((r.fct() * 1e6) as u64);
     }
     // Per-request span: first segment start to last segment finish.
-    let mut spans: std::collections::HashMap<u32, (f64, f64)> =
-        std::collections::HashMap::new();
+    let mut spans: std::collections::HashMap<u32, (f64, f64)> = std::collections::HashMap::new();
     for r in &result.records {
         if let Some(q) = r.request {
             let e = spans.entry(q).or_insert((f64::INFINITY, 0.0));
@@ -135,8 +134,8 @@ pub fn run_experiment_with_obs(
             e.1 = e.1.max(r.finish);
         }
     }
-    let requests_completed = obs.counter("sim.requests_completed");
-    let request_completion_us = obs.histogram("sim.request_completion_us");
+    let requests_completed = obs.counter(netagg_obs::names::SIM_REQUESTS_COMPLETED);
+    let request_completion_us = obs.histogram(netagg_obs::names::SIM_REQUEST_COMPLETION_US);
     for (_, (start, finish)) in spans {
         requests_completed.inc();
         request_completion_us.record(((finish - start) * 1e6) as u64);

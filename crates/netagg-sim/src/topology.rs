@@ -190,8 +190,7 @@ impl TopologyConfig {
     /// Capacity of one ToR-to-aggregation uplink, derived from the
     /// over-subscription ratio.
     pub fn uplink_capacity(&self) -> f64 {
-        self.servers_per_tor as f64 * self.edge_capacity
-            / (self.aggs_per_pod as f64 * self.oversub)
+        self.servers_per_tor as f64 * self.edge_capacity / (self.aggs_per_pod as f64 * self.oversub)
     }
 
     /// Capacity of one aggregation-to-core link: sized so that the tier above

@@ -104,7 +104,10 @@ fn benefit_grows_with_aggregatable_fraction() {
     let high = rel(1.0);
     assert!(mid < low, "{mid} !< {low}");
     assert!(high < mid * 1.1, "{high} !<~ {mid}");
-    assert!(high < 0.5, "fully aggregatable workload should at least halve p99");
+    assert!(
+        high < 0.5,
+        "fully aggregatable workload should at least halve p99"
+    );
 }
 
 /// Fig. 7's claim: NetAgg does not hurt (and slightly helps) background

@@ -20,7 +20,11 @@ fn runs_a_quick_experiment() {
         "--seed",
         "7",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("strategy netagg"));
     assert!(text.contains("percentile"));
@@ -32,7 +36,13 @@ fn every_strategy_and_deployment_parses() {
     for strategy in ["rack", "binary", "chain", "netagg", "direct"] {
         for deployment in ["all", "incremental", "core", "none"] {
             let out = simctl(&[
-                "--quick", "--flows", "120", "--strategy", strategy, "--deployment", deployment,
+                "--quick",
+                "--flows",
+                "120",
+                "--strategy",
+                strategy,
+                "--deployment",
+                deployment,
             ]);
             assert!(
                 out.status.success(),
@@ -66,7 +76,11 @@ fn csv_dump_writes_every_flow() {
         "--csv",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&path).unwrap();
     let mut lines = text.lines();
     assert_eq!(
@@ -84,7 +98,10 @@ fn csv_dump_writes_every_flow() {
         assert!(finish >= start);
         rows += 1;
     }
-    assert!(rows >= 150, "expected at least the workload flows, got {rows}");
+    assert!(
+        rows >= 150,
+        "expected at least the workload flows, got {rows}"
+    );
     // The stdout summary reports the same flow count that was dumped.
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(&format!("wrote {rows} flow records")));

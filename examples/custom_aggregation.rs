@@ -58,11 +58,7 @@ impl Sketch {
     /// Standard HyperLogLog estimator with the small-range correction.
     fn estimate(&self) -> f64 {
         let m = REGISTERS as f64;
-        let sum: f64 = self
-            .registers
-            .iter()
-            .map(|&r| 2f64.powi(-(r as i32)))
-            .sum();
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
         let alpha = 0.7213 / (1.0 + 1.079 / m);
         let raw = alpha * m * m / sum;
         let zeros = self.registers.iter().filter(|&&r| r == 0).count();
@@ -172,7 +168,10 @@ fn main() {
         workers.len(),
         REGISTERS
     );
-    assert!(err < 0.25, "estimate should be within the sketch's error bound");
+    assert!(
+        err < 0.25,
+        "estimate should be within the sketch's error bound"
+    );
     assert_eq!(result.master_inputs, 1, "aggregation happened on-path");
     deployment.shutdown();
 }

@@ -39,7 +39,9 @@ fn main() {
         1.0,
     );
     let master = deployment.master_shim(app);
-    let workers: Vec<_> = (0..WORKERS).map(|w| deployment.worker_shim(app, w)).collect();
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| deployment.worker_shim(app, w))
+        .collect();
     std::thread::sleep(Duration::from_millis(50)); // listeners come up
 
     // Node ownership: worker w owns nodes w, w+WORKERS, ...

@@ -22,8 +22,14 @@ fn run(adaptive: bool) -> (f64, f64) {
     sched.register_app(batch, 1.0);
     // Keep both queues saturated through the measurement window.
     for _ in 0..4_000 {
-        sched.submit(search, Box::new(|| std::thread::sleep(Duration::from_millis(3))));
-        sched.submit(batch, Box::new(|| std::thread::sleep(Duration::from_millis(1))));
+        sched.submit(
+            search,
+            Box::new(|| std::thread::sleep(Duration::from_millis(3))),
+        );
+        sched.submit(
+            batch,
+            Box::new(|| std::thread::sleep(Duration::from_millis(1))),
+        );
     }
     let t0 = Instant::now();
     while t0.elapsed() < Duration::from_millis(1_500) {
@@ -42,9 +48,17 @@ fn main() {
     println!("search tasks take ~3 ms, batch combiner tasks ~1 ms\n");
 
     let (s, b) = run(false);
-    println!("fixed weights   : search {:4.0}%  batch {:4.0}%   <- long tasks starve the batch app", s * 100.0, b * 100.0);
+    println!(
+        "fixed weights   : search {:4.0}%  batch {:4.0}%   <- long tasks starve the batch app",
+        s * 100.0,
+        b * 100.0
+    );
     let (s2, b2) = run(true);
-    println!("adaptive weights: search {:4.0}%  batch {:4.0}%   <- shares match the 50/50 target", s2 * 100.0, b2 * 100.0);
+    println!(
+        "adaptive weights: search {:4.0}%  batch {:4.0}%   <- shares match the 50/50 target",
+        s2 * 100.0,
+        b2 * 100.0
+    );
 
     assert!(s > 0.62, "fixed weights should starve the short-task app");
     assert!((s2 - 0.5).abs() < 0.12, "adaptive weights should equalise");

@@ -50,8 +50,7 @@ fn main() {
     // One rack, four workers, one agg box attached to the rack switch.
     let transport = Arc::new(ChannelTransport::new());
     let cluster = ClusterSpec::single_rack(4, 1);
-    let mut deployment =
-        NetAggDeployment::launch(transport, &cluster).expect("launch deployment");
+    let mut deployment = NetAggDeployment::launch(transport, &cluster).expect("launch deployment");
 
     let app = deployment.register_app("best", Arc::new(AggWrapper::new(Best)), 1.0);
     let master = deployment.master_shim(app);

@@ -78,7 +78,11 @@ fn run(boxes: u32, queries: usize) -> (f64, Duration) {
     let bytes: u64 = cluster
         .backends
         .iter()
-        .map(|b| b.stats().result_bytes.load(std::sync::atomic::Ordering::Relaxed))
+        .map(|b| {
+            b.stats()
+                .result_bytes
+                .load(std::sync::atomic::Ordering::Relaxed)
+        })
         .sum();
     // Partial-result traffic rate, scaled back to nominal link speeds.
     let throughput = bytes as f64 / elapsed.as_secs_f64() / SCALE;

@@ -8,11 +8,11 @@ use minimr::jobs::Benchmark;
 use minisearch::corpus::CorpusConfig;
 use minisearch::frontend::FrontendConfig;
 use minisearch::netagg::{SearchCluster, SearchFunction};
+use netagg_net::{ChannelTransport, Transport};
 use netagg_repro::netagg_core::prelude::*;
 use netagg_repro::netagg_core::runtime::NetAggDeployment;
 use netagg_repro::netagg_core::shim::TreeSelection;
 use netagg_repro::netagg_sim;
-use netagg_net::{ChannelTransport, Transport};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,7 +42,12 @@ fn search_and_mapreduce_share_one_deployment() {
         2.0,
     )
     .unwrap();
-    let mr = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let mr = MRCluster::launch(
+        &mut dep,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     assert_ne!(search.app, mr.app);
 
     // Interleave work from both applications.
@@ -101,7 +106,10 @@ fn sim_netagg_beats_rack_under_load() {
     // 1 Gbps server to a 10 Gbps box).
     let rack_agg = netagg_sim::run_experiment(&rack).fct_p99(FlowClass::Aggregation);
     let net_agg = netagg_sim::run_experiment(&netagg).fct_p99(FlowClass::Aggregation);
-    assert!(net_agg < 0.7 * rack_agg, "agg flows: {net_agg} vs {rack_agg}");
+    assert!(
+        net_agg < 0.7 * rack_agg,
+        "agg flows: {net_agg} vs {rack_agg}"
+    );
 }
 
 /// The flow-level simulator and the emulated testbed agree on the headline
@@ -188,8 +196,8 @@ fn multi_rack_search_with_straggler_policy() {
 /// replay buffers recover the in-flight query.
 #[test]
 fn search_survives_box_failure() {
-    use netagg_repro::netagg_core::failure::DetectorConfig;
     use netagg_net::{FaultController, FaultTransport};
+    use netagg_repro::netagg_core::failure::DetectorConfig;
     let ctl = FaultController::new();
     let transport: Arc<dyn Transport> =
         Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
@@ -234,7 +242,8 @@ fn search_survives_box_failure() {
         .frontend
         .query(&[minisearch::corpus::word(0)])
         .unwrap();
-    let ids = |o: &minisearch::QueryOutcome| o.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
+    let ids =
+        |o: &minisearch::QueryOutcome| o.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
     assert_eq!(ids(&before), ids(&after));
     ctl.revive(dep.boxes()[0].addr());
     search.shutdown();
@@ -248,14 +257,25 @@ fn mapreduce_speculative_duplicates_are_exact() {
     let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
     let cluster_spec = ClusterSpec::single_rack(3, 1);
     let mut dep = NetAggDeployment::launch(transport, &cluster_spec).unwrap();
-    let mr = MRCluster::launch(&mut dep, Benchmark::WC.job(), TreeSelection::PerRequest, 1.0);
+    let mr = MRCluster::launch(
+        &mut dep,
+        Benchmark::WC.job(),
+        TreeSelection::PerRequest,
+        1.0,
+    );
     let inputs = vec![
         vec![Bytes::from_static(b"a b a c"), Bytes::from_static(b"b b")],
         vec![Bytes::from_static(b"c a")],
         vec![Bytes::from_static(b"a")],
     ];
     let plain = mr
-        .run(inputs.clone(), &JobConfig { request_id: 1, ..JobConfig::default() })
+        .run(
+            inputs.clone(),
+            &JobConfig {
+                request_id: 1,
+                ..JobConfig::default()
+            },
+        )
         .unwrap();
     let speculative = mr
         .run(

@@ -5,9 +5,9 @@
 //! values after one aggregated request.
 
 use bytes::Bytes;
+use netagg_net::{ChannelTransport, Transport};
 use netagg_repro::netagg_core::prelude::*;
 use netagg_repro::netagg_core::runtime::NetAggDeployment;
-use netagg_net::{ChannelTransport, Transport};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,7 +45,8 @@ fn quick_example_flow_publishes_metrics() {
 
     let pending = master.register_request(7, 4);
     for (i, w) in workers.iter().enumerate() {
-        w.send_partial(7, Bytes::from((10 * (i + 1)).to_string())).unwrap();
+        w.send_partial(7, Bytes::from((10 * (i + 1)).to_string()))
+            .unwrap();
     }
     let result = pending.wait(Duration::from_secs(5)).unwrap();
     assert_eq!(result.combined.as_ref(), b"40");
@@ -79,7 +80,10 @@ fn quick_example_flow_publishes_metrics() {
     assert_eq!(snap.counter("aggbox.messages_in"), Some(4));
     assert!(snap.counter("aggbox.bytes_in").unwrap_or(0) >= 8);
     assert_eq!(snap.counter("aggbox.requests_completed"), Some(1));
-    assert_eq!(snap.histogram("aggbox.request_agg_us").map(|h| h.count), Some(1));
+    assert_eq!(
+        snap.histogram("aggbox.request_agg_us").map(|h| h.count),
+        Some(1)
+    );
 
     // Master shim: one request registered and completed, the final
     // aggregate arrived as one message, and all but one worker result was
@@ -88,7 +92,11 @@ fn quick_example_flow_publishes_metrics() {
     assert_eq!(snap.counter("shim.master.requests_completed"), Some(1));
     assert_eq!(snap.counter("shim.master.messages_in"), Some(1));
     assert_eq!(snap.counter("shim.master.emulated_empties"), Some(3));
-    assert_eq!(snap.histogram("shim.master.request_wait_us").map(|h| h.count), Some(1));
+    assert_eq!(
+        snap.histogram("shim.master.request_wait_us")
+            .map(|h| h.count),
+        Some(1)
+    );
 
     // Worker shims: each of the four workers sent one redirected chunk.
     assert_eq!(snap.counter("shim.worker.chunks_sent"), Some(4));
