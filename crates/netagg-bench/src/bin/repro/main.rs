@@ -2,14 +2,19 @@
 //!
 //! Usage:
 //! ```text
-//! repro <target> [--quick|--paper] [--seeds N] [--metrics]
+//! repro <target> [--quick|--paper] [--seeds N] [--metrics] [--trace OUT.json]
 //! targets: fig2 fig3 tab1 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //!          fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23
 //!          fig24 fig25 fig26
 //!          ablate-trees ablate-placement ablate-arrivals
 //!          ablate-backpressure ablate-fanin ext-broadcast
+//!          quick (trace-friendly smoke drive)   perf (BENCH_perf.json)
 //!          sim (fig2..fig14)   testbed (fig15..fig26)   all
 //! ```
+//!
+//! `--trace OUT.json` enables the §11 causal tracer for the run and writes
+//! Chrome trace-event JSON (plus per-request critical paths on stdout)
+//! after the target completes.
 //!
 //! Absolute numbers differ from the paper (our substrate is an emulator on
 //! one machine); the *shape* of each exhibit — who wins, by what factor,
@@ -18,12 +23,13 @@
 
 mod micro_figs;
 mod mr_figs;
+mod perf_figs;
 mod search_figs;
 mod sim_figs;
 
 use netagg_bench::sim::SimScale;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     pub scale: SimScale,
     pub seeds: Option<u64>,
@@ -31,6 +37,8 @@ pub struct Options {
     pub drive_secs: f64,
     /// Dump the process-global metrics snapshot as JSON after the run.
     pub metrics: bool,
+    /// Enable the §11 causal tracer and write Chrome trace JSON here.
+    pub trace: Option<String>,
 }
 
 impl Options {
@@ -47,6 +55,7 @@ fn main() {
         seeds: None,
         drive_secs: 2.0,
         metrics: false,
+        trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -65,6 +74,10 @@ fn main() {
                 Some(s) => opts.drive_secs = s,
                 None => usage("--drive-secs needs a number"),
             },
+            "--trace" => match it.next() {
+                Some(p) => opts.trace = Some(p.clone()),
+                None => usage("--trace needs an output path"),
+            },
             t if !t.starts_with('-') && target.is_none() => target = Some(t.to_string()),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -72,6 +85,12 @@ fn main() {
     let Some(target) = target else {
         usage("missing target");
     };
+
+    if opts.trace.is_some() {
+        // Trace every request: a figure run is short enough that the
+        // bounded span buffer is the backstop, not sampling.
+        netagg_bench::obs::global().tracer().enable(1);
+    }
 
     let sim_targets: &[&str] = &[
         "fig2",
@@ -139,6 +158,8 @@ fn main() {
         "fig24" => mr_figs::fig24(&opts),
         "fig25" => micro_figs::fig25(&opts),
         "fig26" => micro_figs::fig26(&opts),
+        "quick" => perf_figs::quick(&opts),
+        "perf" => perf_figs::perf(&opts),
         other => usage(&format!("unknown target {other}")),
     };
 
@@ -166,12 +187,29 @@ fn main() {
         // transports, simulation sweeps — publishes into this registry.
         println!("\n{}", netagg_bench::obs::global().snapshot().to_json());
     }
+
+    if let Some(path) = &opts.trace {
+        // `perf` drives private per-transport registries and exports its
+        // own merged spans; every other target publishes into the global
+        // registry, whose tracer we drain here.
+        if target != "perf" {
+            let tracer = netagg_bench::obs::global().tracer();
+            perf_figs::write_trace(path, &tracer.spans());
+            if tracer.dropped() > 0 {
+                eprintln!(
+                    "note: {} spans dropped at the {}-span buffer cap",
+                    tracer.dropped(),
+                    tracer.capacity()
+                );
+            }
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <fig2..fig26|tab1|ablate-*|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics]"
+        "usage: repro <fig2..fig26|tab1|ablate-*|quick|perf|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics] [--trace OUT.json]"
     );
     std::process::exit(2);
 }

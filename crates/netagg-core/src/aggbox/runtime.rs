@@ -9,13 +9,14 @@
 //! persistent connections.
 
 use crate::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
-use crate::aggbox::tree::LocalAggTree;
+use crate::aggbox::tree::{LocalAggTree, TraceTarget};
 use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
 use crate::lifecycle::{CancelToken, JoinScope, Mailbox, OverflowPolicy, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::DynAggregator;
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -133,6 +134,17 @@ struct Route {
     children_addrs: Vec<NodeId>,
 }
 
+/// Trace anchor of one sampled request at this box: the per-request span
+/// every local span (queue wait, combine, forward, repoint) parents to.
+#[derive(Debug, Clone, Copy)]
+struct ReqTrace {
+    trace_id: u64,
+    /// The `span.box.request` span id (recorded at completion).
+    span_id: u64,
+    /// First-data arrival on the shared monotonic axis.
+    start_ns: u64,
+}
+
 struct ReqState {
     tree: Arc<LocalAggTree>,
     /// Sequence number of the next outgoing chunk (streaming flushes).
@@ -142,6 +154,8 @@ struct ReqState {
     /// old counter + `expected_extra` arithmetic; see DESIGN.md §8).
     ledger: FanInLedger<SourceId>,
     input_closed: bool,
+    /// `Some` when the request is trace-sampled (DESIGN.md §11).
+    trace: Option<ReqTrace>,
 }
 
 /// Bounded FIFO of recently emitted request output chunks (kept so a late
@@ -196,11 +210,16 @@ struct BoxObs {
     straggler_redirects: std::sync::Arc<Counter>,
     straggler_escalations: std::sync::Arc<Counter>,
     repoints: std::sync::Arc<Counter>,
+    tracer: Arc<TraceRecorder>,
+    /// Component label for box-side spans, e.g. `aggbox-2`.
+    component: Arc<str>,
+    /// Component label for scheduler-task spans, e.g. `aggbox-2-sched`.
+    component_sched: Arc<str>,
     registry: MetricsRegistry,
 }
 
 impl BoxObs {
-    fn new(registry: MetricsRegistry) -> Self {
+    fn new(registry: MetricsRegistry, box_id: u32) -> Self {
         Self {
             messages_in: registry.counter(names::AGGBOX_MESSAGES_IN),
             bytes_in: registry.counter(names::AGGBOX_BYTES_IN),
@@ -211,6 +230,9 @@ impl BoxObs {
             straggler_redirects: registry.counter(names::STRAGGLER_REDIRECTS),
             straggler_escalations: registry.counter(names::STRAGGLER_ESCALATIONS),
             repoints: registry.counter(names::AGGBOX_REPOINTS),
+            tracer: registry.tracer(),
+            component: format!("aggbox-{box_id}").into(),
+            component_sched: format!("aggbox-{box_id}-sched").into(),
             registry,
         }
     }
@@ -320,7 +342,7 @@ impl AggBox {
             cfg.scheduler.clone(),
             cfg.obs.clone(),
         ));
-        let obs = cfg.obs.clone().map(BoxObs::new);
+        let obs = cfg.obs.clone().map(|reg| BoxObs::new(reg, box_id));
         let inner = Arc::new(Inner {
             cfg,
             transport: transport.clone(),
@@ -468,6 +490,28 @@ impl AggBox {
     pub fn shutdown(&self) {
         self.inner.cancel.cancel();
         self.scope.finish();
+        // Requests still open at teardown never reach `on_complete`, so
+        // their box request span would never be recorded — and the
+        // queue-wait / combine spans parented beneath it would be orphans.
+        // Close them start → now, so a box killed mid-request still leaves
+        // one connected trace tree (DESIGN.md §11).
+        if let Some(o) = &self.inner.obs {
+            let mut states = self.inner.states.lock();
+            for ((_, request, _), st) in states.drain() {
+                if let Some(rt) = st.trace {
+                    o.tracer.record_span(
+                        names::spans::BOX_REQUEST,
+                        &o.component,
+                        rt.trace_id,
+                        rt.span_id,
+                        rt.trace_id,
+                        request.0,
+                        rt.start_ns,
+                        trace::now_ns(),
+                    );
+                }
+            }
+        }
     }
 
     fn spawn_reader(self: &Arc<Self>, conn: Box<dyn Connection>) {
@@ -507,12 +551,20 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 source,
                 seq,
                 last,
+                ctx,
+                sent_ns,
                 payload,
-            } => handle_data(inner, app, request, tree, source, seq, last, payload),
+            } => handle_data(
+                inner, app, request, tree, source, seq, last, ctx, sent_ns, payload,
+            ),
             Message::RequestMeta {
                 app,
                 request,
                 tree,
+                // The master's root-span ctx rides along for completeness;
+                // box-side spans parent to the trace id directly because
+                // meta may arrive after the first data chunk (DESIGN.md §11).
+                ctx: _,
                 sources,
             } => {
                 let to_close = {
@@ -549,6 +601,21 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     // aggregate to the new parent (the old parent was slow
                     // or dead and the output may be lost with it).
                     if let Some(chunks) = inner.out_replay.lock().get(&(app, request, tree)) {
+                        // The original request state is gone by now, so the
+                        // replayed chunks re-attach at the trace root (the
+                        // deterministic trace id); the adopting parent's
+                        // wire/recv spans hang off that fresh ctx.
+                        let ctx = match &inner.obs {
+                            Some(o) if o.tracer.sampled(request.0) => {
+                                let tid = trace::trace_id(app.0, request.0);
+                                TraceCtx {
+                                    trace_id: tid,
+                                    parent_span_id: tid,
+                                }
+                            }
+                            _ => TraceCtx::NONE,
+                        };
+                        let sent_ns = if ctx.is_active() { trace::now_ns() } else { 0 };
                         let n = chunks.len();
                         for (i, payload) in chunks.into_iter().enumerate() {
                             let _ = inner.egress.send((
@@ -560,6 +627,8 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                                     source: SourceId::Box(inner.cfg.box_id),
                                     seq: i as u32,
                                     last: i + 1 == n,
+                                    ctx,
+                                    sent_ns,
                                     payload,
                                 },
                             ));
@@ -616,6 +685,8 @@ fn handle_data(
     source: SourceId,
     seq: u32,
     last: bool,
+    ctx: TraceCtx,
+    sent_ns: u64,
     payload: Bytes,
 ) {
     inner.stats.messages_in.fetch_add(1, Ordering::Relaxed);
@@ -623,9 +694,27 @@ fn handle_data(
         .stats
         .bytes_in
         .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    let mut recv_span: Option<(u64, u64)> = None; // (wire/recv parent chain tail, start_ns)
     if let Some(o) = &inner.obs {
         o.messages_in.inc();
         o.bytes_in.add(payload.len() as u64);
+        // Stitch the hop: the sender's ctx parents a wire-transfer span
+        // (sender stamp → arrival) and the ingest work below hangs off it.
+        if ctx.is_active() && o.tracer.enabled() {
+            let now = trace::now_ns();
+            let wire = o.tracer.next_span_id();
+            o.tracer.record_span(
+                names::spans::WIRE_TRANSFER,
+                &o.component,
+                ctx.trace_id,
+                wire,
+                ctx.parent_span_id,
+                request.0,
+                sent_ns.min(now),
+                now,
+            );
+            recv_span = Some((wire, now));
+        }
     }
     let to_close = {
         let mut states = inner.states.lock();
@@ -660,6 +749,20 @@ fn handle_data(
         }
     };
     close_input(inner, to_close, app);
+    // Ingest span for accepted chunks: arrival → ledger/tree hand-off done
+    // (duplicates and unknown routes keep only the wire-transfer span).
+    if let (Some((wire, start)), Some(o)) = (recv_span, &inner.obs) {
+        o.tracer.record_span(
+            names::spans::BOX_RECV,
+            &o.component,
+            ctx.trace_id,
+            o.tracer.next_span_id(),
+            wire,
+            request.0,
+            start,
+            trace::now_ns(),
+        );
+    }
 }
 
 /// Run `end_input` outside the states lock: completion may fire the
@@ -731,6 +834,21 @@ fn child_box_failed(inner: &Arc<Inner>, app: AppId, tree: TreeId, failed_box: u3
             {
                 RepointOutcome::Moved { .. } | RepointOutcome::DuplicateSuppressed => {
                     repointed += 1;
+                    // Mark the adoption inside the request's trace so the
+                    // stitched tree shows where obligations moved.
+                    if let (Some(o), Some(rt)) = (&inner.obs, st.trace) {
+                        let now = trace::now_ns();
+                        o.tracer.record_span(
+                            names::spans::BOX_REPOINT,
+                            &o.component,
+                            rt.trace_id,
+                            o.tracer.next_span_id(),
+                            rt.span_id,
+                            req.0,
+                            now,
+                            now,
+                        );
+                    }
                 }
                 RepointOutcome::AlreadyRepointed | RepointOutcome::NotOwed => {}
             }
@@ -777,6 +895,26 @@ fn get_or_create<'a>(
                 routes.get(&(app, tree))?.owed.iter().copied().collect()
             };
             let ltree = LocalAggTree::new(agg, inner.cfg.fanin);
+            // Trace anchor: one `span.box.request` per sampled request,
+            // parented directly to the trace root (RequestMeta — and hence
+            // the master's root span id — may arrive after the first data).
+            let req_trace = inner.obs.as_ref().and_then(|o| {
+                o.tracer.sampled(request.0).then(|| {
+                    let rt = ReqTrace {
+                        trace_id: trace::trace_id(app.0, request.0),
+                        span_id: o.tracer.next_span_id(),
+                        start_ns: trace::now_ns(),
+                    };
+                    ltree.set_trace(TraceTarget {
+                        tracer: o.tracer.clone(),
+                        trace_id: rt.trace_id,
+                        parent_span_id: rt.span_id,
+                        request: request.0,
+                        component: o.component_sched.clone(),
+                    });
+                    rt
+                })
+            });
             let weak: Weak<Inner> = Arc::downgrade(inner);
             ltree.on_complete(Box::new(move |result| {
                 let Some(inner) = weak.upgrade() else { return };
@@ -787,12 +925,30 @@ fn get_or_create<'a>(
                 }
                 .or_else(|| inner.routes.read().get(&(app, tree)).map(|r| r.parent));
                 let Some(dest) = dest else { return };
-                let (seq, first_data) = inner
+                let (seq, first_data, req_trace) = inner
                     .states
                     .lock()
                     .get(&(app, request, tree))
-                    .map(|st| (st.out_seq, Some(st.first_data)))
-                    .unwrap_or((0, None));
+                    .map(|st| (st.out_seq, Some(st.first_data), st.trace))
+                    .unwrap_or((0, None, None));
+                // Outgoing hop ctx: the chunk's wire span parents to this
+                // box's forward span. `sent_ns` is stamped here, at message
+                // construction, so the receiver's wire-transfer span also
+                // covers time spent queued behind the egress thread.
+                let (ctx, sent_ns, forward_span) = match (&inner.obs, req_trace) {
+                    (Some(o), Some(rt)) => {
+                        let fs = o.tracer.next_span_id();
+                        (
+                            TraceCtx {
+                                trace_id: rt.trace_id,
+                                parent_span_id: fs,
+                            },
+                            trace::now_ns(),
+                            Some((rt, fs)),
+                        )
+                    }
+                    _ => (TraceCtx::NONE, 0, None),
+                };
                 let msg = Message::Data {
                     app,
                     request,
@@ -800,6 +956,8 @@ fn get_or_create<'a>(
                     source: SourceId::Box(inner.cfg.box_id),
                     seq,
                     last: true,
+                    ctx,
+                    sent_ns,
                     payload: payload.clone(),
                 };
                 // Count the completion before handing the aggregate to the
@@ -814,6 +972,31 @@ fn get_or_create<'a>(
                     if let Some(t0) = first_data {
                         // First data byte in → final aggregate out.
                         o.request_agg_us.record_duration(t0.elapsed());
+                    }
+                    if let Some((rt, fs)) = forward_span {
+                        let now = trace::now_ns();
+                        // The box's whole residency for this request:
+                        // first data in → final aggregate handed to egress.
+                        o.tracer.record_span(
+                            names::spans::BOX_REQUEST,
+                            &o.component,
+                            rt.trace_id,
+                            rt.span_id,
+                            rt.trace_id,
+                            request.0,
+                            rt.start_ns,
+                            now,
+                        );
+                        o.tracer.record_span(
+                            names::spans::BOX_FORWARD,
+                            &o.component,
+                            rt.trace_id,
+                            fs,
+                            rt.span_id,
+                            request.0,
+                            sent_ns,
+                            now,
+                        );
                     }
                 }
                 inner
@@ -832,6 +1015,7 @@ fn get_or_create<'a>(
                 first_data: Instant::now(),
                 ledger: FanInLedger::new(owed),
                 input_closed: false,
+                trace: req_trace,
             }))
         }
     }
@@ -914,16 +1098,32 @@ fn flush_loop(inner: &Arc<Inner>) {
             }
             .or_else(|| inner.routes.read().get(&(app, tree_id)).map(|r| r.parent));
             let Some(dest) = dest else { continue };
-            let seq = {
+            let (seq, req_trace) = {
                 let mut states = inner.states.lock();
                 match states.get_mut(&(app, request, tree_id)) {
                     Some(st) => {
                         let s = st.out_seq;
                         st.out_seq += 1;
-                        s
+                        (s, st.trace)
                     }
                     None => continue,
                 }
+            };
+            // Streamed partials are forward hops too: each gets its own
+            // forward span under the box's request span.
+            let (ctx, sent_ns, forward_span) = match (&inner.obs, req_trace) {
+                (Some(o), Some(rt)) => {
+                    let fs = o.tracer.next_span_id();
+                    (
+                        TraceCtx {
+                            trace_id: rt.trace_id,
+                            parent_span_id: fs,
+                        },
+                        trace::now_ns(),
+                        Some((rt, fs)),
+                    )
+                }
+                _ => (TraceCtx::NONE, 0, None),
             };
             let msg = Message::Data {
                 app,
@@ -932,8 +1132,22 @@ fn flush_loop(inner: &Arc<Inner>) {
                 source: SourceId::Box(inner.cfg.box_id),
                 seq,
                 last: false,
+                ctx,
+                sent_ns,
                 payload: chunk.clone(),
             };
+            if let (Some(o), Some((rt, fs))) = (&inner.obs, forward_span) {
+                o.tracer.record_span(
+                    names::spans::BOX_FORWARD,
+                    &o.component,
+                    rt.trace_id,
+                    fs,
+                    rt.span_id,
+                    request.0,
+                    sent_ns,
+                    trace::now_ns(),
+                );
+            }
             inner
                 .out_replay
                 .lock()

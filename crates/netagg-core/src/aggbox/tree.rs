@@ -14,6 +14,8 @@ use crate::aggbox::scheduler::TaskScheduler;
 use crate::protocol::AppId;
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
+use netagg_obs::names;
+use netagg_obs::trace::{self, TraceRecorder};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,12 +23,30 @@ use std::time::{Duration, Instant};
 /// Callback invoked once with the reduction's final result.
 pub type CompletionHandler = Box<dyn FnOnce(Result<Bytes, AggError>) + Send>;
 
+/// Where combine tasks record their queue-wait and execution spans
+/// (DESIGN.md §11). Installed by the agg box when the owning request is
+/// sampled; without one, tasks record nothing.
+#[derive(Clone)]
+pub struct TraceTarget {
+    /// Shared span recorder (the box registry's tracer).
+    pub tracer: Arc<TraceRecorder>,
+    /// Trace the request belongs to.
+    pub trace_id: u64,
+    /// Parent for the task spans (the box's per-request span).
+    pub parent_span_id: u64,
+    /// Request id recorded on each span.
+    pub request: u64,
+    /// Component label, e.g. `aggbox-2-sched`.
+    pub component: Arc<str>,
+}
+
 struct TreeState {
     pending: Vec<Bytes>,
     outstanding: usize,
     ended: bool,
     done: Option<Result<Bytes, AggError>>,
     on_complete: Option<CompletionHandler>,
+    trace: Option<TraceTarget>,
 }
 
 /// A pipelined parallel reduction over serialised items.
@@ -51,9 +71,17 @@ impl LocalAggTree {
                 ended: false,
                 done: None,
                 on_complete: None,
+                trace: None,
             }),
             cv: Condvar::new(),
         })
+    }
+
+    /// Install the trace target subsequent combine tasks record their
+    /// `span.box.queue_wait` / `span.box.combine` spans against. Called at
+    /// request creation, before any data is pushed.
+    pub fn set_trace(&self, t: TraceTarget) {
+        self.state.lock().trace = Some(t);
     }
 
     /// Register a callback fired exactly once with the final result. The
@@ -141,24 +169,8 @@ impl LocalAggTree {
                     // next pass can then take the single result.
                     let batch: Vec<Bytes> = s.pending.drain(..).collect();
                     s.outstanding += 1;
-                    let tree = self.clone();
-                    let agg = self.agg.clone();
-                    let sched_weak = Arc::downgrade(sched);
-                    sched.submit(
-                        app,
-                        Box::new(move || {
-                            let out =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    agg.aggregate_serialized(batch)
-                                }))
-                                .unwrap_or_else(|_| {
-                                    Err(AggError::Corrupt("aggregation function panicked".into()))
-                                });
-                            if let Some(sched) = sched_weak.upgrade() {
-                                tree.task_done(&sched, app, out);
-                            }
-                        }),
-                    );
+                    let trace = s.trace.clone();
+                    self.spawn_combine(trace, sched, app, batch);
                 }
                 _ => {}
             }
@@ -179,30 +191,69 @@ impl LocalAggTree {
             let take = s.pending.len().min(self.fanin);
             let batch: Vec<Bytes> = s.pending.drain(..take).collect();
             s.outstanding += 1;
-            let tree = self.clone();
-            let agg = self.agg.clone();
-            // Tasks hold only a weak scheduler reference: a strong one
-            // could make the last Arc drop on a pool thread, whose Drop
-            // would then try to join itself.
-            let sched_weak = Arc::downgrade(sched);
-            sched.submit(
-                app,
-                Box::new(move || {
-                    // Contain panics from faulty aggregation functions so
-                    // the reduction fails cleanly instead of hanging with a
-                    // permanently outstanding task.
-                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        agg.aggregate_serialized(batch)
-                    }))
-                    .unwrap_or_else(|_| {
-                        Err(AggError::Corrupt("aggregation function panicked".into()))
-                    });
-                    if let Some(sched) = sched_weak.upgrade() {
-                        tree.task_done(&sched, app, out);
-                    }
-                }),
-            );
+            let trace = s.trace.clone();
+            self.spawn_combine(trace, sched, app, batch);
         }
+    }
+
+    /// Submit one combine task, recording mailbox queue wait and execution
+    /// as spans when the request is traced.
+    fn spawn_combine(
+        self: &Arc<Self>,
+        trace: Option<TraceTarget>,
+        sched: &Arc<TaskScheduler>,
+        app: AppId,
+        batch: Vec<Bytes>,
+    ) {
+        let tree = self.clone();
+        let agg = self.agg.clone();
+        // Tasks hold only a weak scheduler reference: a strong one could
+        // make the last Arc drop on a pool thread, whose Drop would then
+        // try to join itself.
+        let sched_weak = Arc::downgrade(sched);
+        let enqueue_ns = trace.as_ref().map(|_| trace::now_ns());
+        sched.submit(
+            app,
+            Box::new(move || {
+                let exec_start = trace.as_ref().map(|t| {
+                    let start = trace::now_ns();
+                    // Queue wait: submit → a pool thread picked the task up.
+                    t.tracer.record_span(
+                        names::spans::BOX_QUEUE_WAIT,
+                        &t.component,
+                        t.trace_id,
+                        t.tracer.next_span_id(),
+                        t.parent_span_id,
+                        t.request,
+                        enqueue_ns.unwrap_or(start),
+                        start,
+                    );
+                    start
+                });
+                // Contain panics from faulty aggregation functions so the
+                // reduction fails cleanly instead of hanging with a
+                // permanently outstanding task.
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    agg.aggregate_serialized(batch)
+                }))
+                .unwrap_or_else(|_| Err(AggError::Corrupt("aggregation function panicked".into())));
+                if let (Some(t), Some(start)) = (&trace, exec_start) {
+                    t.tracer.record_span(
+                        names::spans::BOX_COMBINE,
+                        &t.component,
+                        t.trace_id,
+                        t.tracer.next_span_id(),
+                        t.parent_span_id,
+                        t.request,
+                        start,
+                        trace::now_ns(),
+                    );
+                }
+                if let Some(sched) = sched_weak.upgrade() {
+                    tree.task_done(&sched, app, out);
+                }
+            }),
+        );
     }
 
     fn task_done(

@@ -8,6 +8,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use netagg_net::wire;
 use netagg_net::NetError;
+use netagg_obs::trace::TraceCtx;
 
 /// Identifies an application deployed on the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,6 +73,13 @@ pub enum Message {
         seq: u32,
         /// Final chunk from this source for this request.
         last: bool,
+        /// Causal trace context (DESIGN.md §11): `parent_span_id` is the
+        /// sender's hop-span id. [`TraceCtx::NONE`] when tracing is off.
+        ctx: TraceCtx,
+        /// Sender's send time on the `netagg_obs::trace::now_ns` axis
+        /// (0 when tracing is off); lets the receiver record the
+        /// wire-transfer span.
+        sent_ns: u64,
         /// Serialised partial result or intermediate aggregate.
         payload: Bytes,
     },
@@ -89,6 +97,9 @@ pub enum Message {
         /// The distinct sources participating in the request at the
         /// receiving box.
         sources: Vec<SourceId>,
+        /// Causal trace context flowing *down* the tree: the master's
+        /// root-span id, so the box's request span parents correctly.
+        ctx: TraceCtx,
     },
     /// Parent -> children of a failed/straggling box: send future data for
     /// `request` (or all requests if `None`... encoded as request with
@@ -154,6 +165,8 @@ impl Message {
                 source,
                 seq,
                 last,
+                ctx,
+                sent_ns,
                 payload,
             } => {
                 b.put_u8(TAG_DATA);
@@ -163,6 +176,8 @@ impl Message {
                 source.encode(&mut b);
                 b.put_u32(*seq);
                 b.put_u8(u8::from(*last));
+                wire::put_trace(&mut b, ctx);
+                b.put_u64(*sent_ns);
                 wire::put_bytes(&mut b, payload);
             }
             Message::RequestMeta {
@@ -170,11 +185,13 @@ impl Message {
                 request,
                 tree,
                 sources,
+                ctx,
             } => {
                 b.put_u8(TAG_META);
                 b.put_u16(app.0);
                 b.put_u64(request.0);
                 b.put_u32(tree.0);
+                wire::put_trace(&mut b, ctx);
                 b.put_u32(sources.len() as u32);
                 for s in sources {
                     s.encode(&mut b);
@@ -230,6 +247,8 @@ impl Message {
                 let source = SourceId::decode(&mut src)?;
                 let seq = wire::get_u32(&mut src)?;
                 let last = wire::get_u8(&mut src)? != 0;
+                let ctx = wire::get_trace(&mut src)?;
+                let sent_ns = wire::get_u64(&mut src)?;
                 let payload = wire::get_bytes(&mut src)?;
                 Ok(Message::Data {
                     app,
@@ -238,6 +257,8 @@ impl Message {
                     source,
                     seq,
                     last,
+                    ctx,
+                    sent_ns,
                     payload,
                 })
             }
@@ -245,6 +266,7 @@ impl Message {
                 let app = get_app(&mut src)?;
                 let request = RequestId(wire::get_u64(&mut src)?);
                 let tree = TreeId(wire::get_u32(&mut src)?);
+                let ctx = wire::get_trace(&mut src)?;
                 let n = wire::get_u32(&mut src)? as usize;
                 if n > src.len() {
                     return Err(NetError::Corrupt("meta source count too large".into()));
@@ -258,6 +280,7 @@ impl Message {
                     request,
                     tree,
                     sources,
+                    ctx,
                 })
             }
             TAG_REDIRECT => Ok(Message::Redirect {
@@ -314,6 +337,11 @@ mod tests {
             source: SourceId::Worker(17),
             seq: 42,
             last: true,
+            ctx: TraceCtx {
+                trace_id: 0x8000_0000_0000_0007,
+                parent_span_id: 19,
+            },
+            sent_ns: 123_456_789,
             payload: Bytes::from_static(b"partial result bytes"),
         });
         roundtrip(Message::Data {
@@ -323,6 +351,8 @@ mod tests {
             source: SourceId::Box(9),
             seq: 0,
             last: false,
+            ctx: TraceCtx::NONE,
+            sent_ns: 0,
             payload: Bytes::new(),
         });
     }
@@ -334,12 +364,17 @@ mod tests {
             request: RequestId(1),
             tree: TreeId(0),
             sources: vec![SourceId::Worker(3), SourceId::Box(1), SourceId::Worker(12)],
+            ctx: TraceCtx {
+                trace_id: 0x8000_0000_0000_0001,
+                parent_span_id: 0x8000_0000_0000_0001,
+            },
         });
         roundtrip(Message::RequestMeta {
             app: AppId(7),
             request: RequestId(2),
             tree: TreeId(1),
             sources: Vec::new(),
+            ctx: TraceCtx::NONE,
         });
     }
 
@@ -389,6 +424,8 @@ mod tests {
             source: SourceId::Worker(4),
             seq: 5,
             last: false,
+            ctx: TraceCtx::NONE,
+            sent_ns: 0,
             payload: Bytes::from_static(b"xyz"),
         };
         let enc = m.encode();

@@ -16,6 +16,7 @@ use crate::tree::{master_addr, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -91,11 +92,14 @@ struct MasterObs {
     sources_outstanding: Arc<Gauge>,
     request_wait_us: Arc<Histogram>,
     master_bypasses: Arc<Counter>,
+    tracer: Arc<TraceRecorder>,
+    /// Component label for master-side spans, e.g. `master-1`.
+    component: Arc<str>,
     registry: MetricsRegistry,
 }
 
 impl MasterObs {
-    fn new(registry: MetricsRegistry) -> Self {
+    fn new(registry: MetricsRegistry, app: AppId) -> Self {
         Self {
             requests_registered: registry.counter(names::SHIM_MASTER_REQUESTS_REGISTERED),
             requests_completed: registry.counter(names::SHIM_MASTER_REQUESTS_COMPLETED),
@@ -108,6 +112,8 @@ impl MasterObs {
             sources_outstanding: registry.gauge(names::SHIM_MASTER_SOURCES_OUTSTANDING),
             request_wait_us: registry.histogram(names::SHIM_MASTER_REQUEST_WAIT_US),
             master_bypasses: registry.counter(names::STRAGGLER_MASTER_BYPASSES),
+            tracer: registry.tracer(),
+            component: format!("master-{}", app.0).into(),
             registry,
         }
     }
@@ -134,6 +140,15 @@ struct TreeRoute {
     child_boxes: HashMap<u32, ChildBoxInfo>,
 }
 
+/// Trace anchor of one sampled request at the master: the root span's id
+/// is the trace id itself (DESIGN.md §11), so only the start is kept.
+#[derive(Debug, Clone, Copy)]
+struct PendingTrace {
+    trace_id: u64,
+    /// Registration (or first-data) time on the shared monotonic axis.
+    start_ns: u64,
+}
+
 struct Pending {
     expected_workers: usize,
     /// Set-based fan-in accounting, keyed by (tree, source): completion
@@ -148,6 +163,8 @@ struct Pending {
     registered_at: Instant,
     first_data: Option<Instant>,
     complete: bool,
+    /// `Some` when the request is trace-sampled (DESIGN.md §11).
+    trace: Option<PendingTrace>,
 }
 
 struct Inner {
@@ -211,7 +228,7 @@ impl MasterShim {
                 },
             );
         }
-        let obs = cfg.obs.clone().map(MasterObs::new);
+        let obs = cfg.obs.clone().map(|reg| MasterObs::new(reg, app));
         let cancel = CancelToken::new();
         let scope = JoinScope::with_obs(
             format!("master-shim-{}", app.0),
@@ -321,6 +338,19 @@ impl MasterShim {
             o.requests_registered.inc();
         }
         let subset: std::collections::HashSet<u32> = workers.iter().copied().collect();
+        // Root-span ctx rides down with the metadata so box-side views can
+        // reference the master's root span (root span id == trace id).
+        let meta_ctx = self.inner.obs.as_ref().map_or(TraceCtx::NONE, |o| {
+            if o.tracer.sampled(request) {
+                let tid = trace::trace_id(self.inner.app.0, request);
+                TraceCtx {
+                    trace_id: tid,
+                    parent_span_id: tid,
+                }
+            } else {
+                TraceCtx::NONE
+            }
+        });
         let mut master_owed: Vec<(TreeId, SourceId)> = Vec::new();
         for tree_id in trees_for_request(&self.inner, rid) {
             let Some(spec) = self.inner.specs.iter().find(|s| s.tree == tree_id) else {
@@ -368,6 +398,7 @@ impl MasterShim {
                     app: self.inner.app,
                     request: rid,
                     tree: tree_id,
+                    ctx: meta_ctx,
                     sources: sources.clone(),
                 };
                 let _ = send_ctrl(&self.inner, tb.addr, msg.encode());
@@ -485,13 +516,29 @@ impl MasterShim {
             info.behind_sources.iter().map(|s| (tree, *s)).collect();
         let mut repointed = 0u64;
         let mut completed = 0u64;
-        for p in pending.values_mut() {
+        for (rid, p) in pending.iter_mut() {
             if p.complete {
                 continue;
             }
             match p.ledger.repoint((tree, SourceId::Box(failed_box)), &behind) {
                 RepointOutcome::Moved { .. } | RepointOutcome::DuplicateSuppressed => {
                     repointed += 1;
+                    // Mark the adoption in the request's trace: the span
+                    // tree stays connected across the failure because the
+                    // replayed chunks' fresh ctx re-attaches here.
+                    if let (Some(o), Some(t)) = (&self.inner.obs, p.trace) {
+                        let now = trace::now_ns();
+                        o.tracer.record_span(
+                            names::spans::MASTER_REPOINT,
+                            &o.component,
+                            t.trace_id,
+                            o.tracer.next_span_id(),
+                            t.trace_id,
+                            rid.0,
+                            now,
+                            now,
+                        );
+                    }
                 }
                 RepointOutcome::AlreadyRepointed | RepointOutcome::NotOwed => {}
             }
@@ -531,6 +578,28 @@ impl MasterShim {
     pub fn shutdown(&self) {
         self.inner.cancel.cancel();
         self.scope.finish();
+        // Requests abandoned mid-flight never reach the `wait` success
+        // path, so their root span would be missing and every hop span of
+        // the trace would dangle. Close them start → now so partial traces
+        // still form one connected tree (DESIGN.md §11). Completed entries
+        // already recorded their root in `wait`.
+        if let Some(o) = &self.inner.obs {
+            let mut pending = self.inner.pending.lock();
+            for (rid, p) in pending.drain() {
+                if let Some(t) = p.trace.filter(|_| !p.complete) {
+                    o.tracer.record_span(
+                        names::spans::MASTER_REQUEST,
+                        &o.component,
+                        t.trace_id,
+                        t.trace_id,
+                        0,
+                        rid.0,
+                        t.start_ns,
+                        trace::now_ns(),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -606,6 +675,21 @@ impl PendingRequest {
                 let master_inputs = kept.len();
                 let master_input_bytes = kept.iter().map(Bytes::len).sum();
                 let combined = self.inner.agg.aggregate_serialized(kept)?;
+                // Close the request's root span: registration → fully
+                // merged result. Its span id is the trace id itself, so
+                // every hop recorded anywhere hangs below this one.
+                if let (Some(o), Some(t)) = (&self.inner.obs, p.trace) {
+                    o.tracer.record_span(
+                        names::spans::MASTER_REQUEST,
+                        &o.component,
+                        t.trace_id,
+                        t.trace_id,
+                        0,
+                        self.request.0,
+                        t.start_ns,
+                        trace::now_ns(),
+                    );
+                }
                 return Ok(AggregatedResult {
                     combined,
                     emulated_empty: p.expected_workers.saturating_sub(1),
@@ -648,6 +732,12 @@ fn fresh_pending(inner: &Inner, request: RequestId) -> Pending {
             owed.extend(r.owed.iter().map(|s| (tree, *s)));
         }
     }
+    let trace = inner.obs.as_ref().and_then(|o| {
+        o.tracer.sampled(request.0).then(|| PendingTrace {
+            trace_id: trace::trace_id(inner.app.0, request.0),
+            start_ns: trace::now_ns(),
+        })
+    });
     Pending {
         expected_workers: 0,
         ledger: FanInLedger::new(owed),
@@ -655,6 +745,7 @@ fn fresh_pending(inner: &Inner, request: RequestId) -> Pending {
         registered_at: Instant::now(),
         first_data: None,
         complete: false,
+        trace,
     }
 }
 
@@ -676,14 +767,33 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 source,
                 seq,
                 last,
+                ctx,
+                sent_ns,
                 payload,
             } => {
                 if app != inner.app {
                     continue;
                 }
+                let mut recv_span: Option<(u64, u64)> = None;
                 if let Some(o) = &inner.obs {
                     o.messages_in.inc();
                     o.bytes_in.add(payload.len() as u64);
+                    // Stitch the final hop: sender stamp → arrival here.
+                    if ctx.is_active() && o.tracer.enabled() {
+                        let now = trace::now_ns();
+                        let wire = o.tracer.next_span_id();
+                        o.tracer.record_span(
+                            names::spans::WIRE_TRANSFER,
+                            &o.component,
+                            ctx.trace_id,
+                            wire,
+                            ctx.parent_span_id,
+                            request.0,
+                            sent_ns.min(now),
+                            now,
+                        );
+                        recv_span = Some((wire, now));
+                    }
                 }
                 let mut pending = inner.pending.lock();
                 // Unregistered requests are recorded (the data may arrive
@@ -721,6 +831,20 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 }
                 if let Some(o) = &inner.obs {
                     o.update_ledger_gauges(&pending);
+                    // Ingest span for accepted chunks (duplicates keep only
+                    // the wire-transfer span above).
+                    if let Some((wire, start)) = recv_span {
+                        o.tracer.record_span(
+                            names::spans::MASTER_RECV,
+                            &o.component,
+                            ctx.trace_id,
+                            o.tracer.next_span_id(),
+                            wire,
+                            request.0,
+                            start,
+                            trace::now_ns(),
+                        );
+                    }
                 }
             }
             Message::Heartbeat { nonce, .. } => {
@@ -780,12 +904,13 @@ fn straggler_loop(inner: &Arc<Inner>) {
         for (request, tree, children) in redirects {
             if let Some(o) = &inner.obs {
                 o.master_bypasses.inc();
-                o.registry.emit(
+                o.registry.emit_for_request(
                     names::EVENT_STRAGGLER,
                     format!(
                         "master shim (app {}) bypassed a root box for request {} tree {}",
                         inner.app.0, request.0, tree.0
                     ),
+                    request.0,
                 );
             }
             let msg = Message::Redirect {

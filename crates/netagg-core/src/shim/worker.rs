@@ -8,6 +8,7 @@ use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
 use crate::AggError;
 use bytes::Bytes;
 use netagg_net::{Connection, NetError, NodeId, Transport};
+use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
@@ -55,15 +56,20 @@ struct WorkerObs {
     bytes_sent: Arc<Counter>,
     chunks_resent: Arc<Counter>,
     redirects_applied: Arc<Counter>,
+    tracer: Arc<TraceRecorder>,
+    /// Component label for recorded spans, e.g. `worker-0-2`.
+    component: String,
 }
 
 impl WorkerObs {
-    fn new(registry: &MetricsRegistry) -> Self {
+    fn new(registry: &MetricsRegistry, app: AppId, worker: u32) -> Self {
         Self {
             chunks_sent: registry.counter(names::SHIM_WORKER_CHUNKS_SENT),
             bytes_sent: registry.counter(names::SHIM_WORKER_BYTES_SENT),
             chunks_resent: registry.counter(names::SHIM_WORKER_CHUNKS_RESENT),
             redirects_applied: registry.counter(names::SHIM_WORKER_REDIRECTS_APPLIED),
+            tracer: registry.tracer(),
+            component: format!("worker-{}-{}", app.0, worker),
         }
     }
 }
@@ -198,7 +204,7 @@ impl WorkerShim {
             }),
             broadcasts,
             stats: WorkerStats::default(),
-            obs: obs.as_ref().map(WorkerObs::new),
+            obs: obs.as_ref().map(|reg| WorkerObs::new(reg, app, worker)),
             cancel,
         });
         let shim = Arc::new(Self {
@@ -411,9 +417,18 @@ impl Inner {
             o.bytes_sent.add(payload.len() as u64);
             o.chunks_sent.inc();
         }
-        self.send_data(dest, request, tree, seq, last, payload)
+        self.send_data(
+            dest,
+            request,
+            tree,
+            seq,
+            last,
+            payload,
+            names::spans::WORKER_SEND,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_data(
         &self,
         dest: NodeId,
@@ -422,7 +437,27 @@ impl Inner {
         seq: u32,
         last: bool,
         payload: Bytes,
+        span_name: &'static str,
     ) -> Result<(), AggError> {
+        // Per-chunk trace context: the worker is the leaf of the causal
+        // tree, so the chunk's parent on the wire is this send span and the
+        // send span's own parent is the request root (trace id).
+        let span = self.obs.as_ref().and_then(|o| {
+            o.tracer.sampled(request.0).then(|| {
+                let tid = trace::trace_id(self.app.0, request.0);
+                (tid, o.tracer.next_span_id(), trace::now_ns())
+            })
+        });
+        let (ctx, sent_ns) = match span {
+            Some((tid, span_id, start_ns)) => (
+                TraceCtx {
+                    trace_id: tid,
+                    parent_span_id: span_id,
+                },
+                start_ns,
+            ),
+            None => (TraceCtx::NONE, 0),
+        };
         let msg = Message::Data {
             app: self.app,
             request,
@@ -430,33 +465,50 @@ impl Inner {
             source: SourceId::Worker(self.worker),
             seq,
             last,
+            ctx,
+            sent_ns,
             payload,
         };
         let frame = msg.encode();
-        let mut conns = self.conns.lock();
-        for attempt in 0..2 {
-            let conn = match conns.entry(dest) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    match self.transport.connect(self.addr, dest) {
-                        Ok(c) => v.insert(c),
-                        Err(e) => {
-                            if attempt == 1 {
-                                return Err(e.into());
+        let result = (|| {
+            let mut conns = self.conns.lock();
+            for attempt in 0..2 {
+                let conn = match conns.entry(dest) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        match self.transport.connect(self.addr, dest) {
+                            Ok(c) => v.insert(c),
+                            Err(e) => {
+                                if attempt == 1 {
+                                    return Err(e.into());
+                                }
+                                continue;
                             }
-                            continue;
                         }
                     }
-                }
-            };
-            match conn.send(frame.clone()) {
-                Ok(()) => return Ok(()),
-                Err(_) => {
-                    conns.remove(&dest);
+                };
+                match conn.send(frame.clone()) {
+                    Ok(()) => return Ok(()),
+                    Err(_) => {
+                        conns.remove(&dest);
+                    }
                 }
             }
+            Err(AggError::Net(format!("send to {dest} failed")))
+        })();
+        if let (Some((tid, span_id, start_ns)), Some(o)) = (span, &self.obs) {
+            o.tracer.record_span(
+                span_name,
+                &o.component,
+                tid,
+                span_id,
+                tid,
+                request.0,
+                start_ns,
+                trace::now_ns(),
+            );
         }
-        Err(AggError::Net(format!("send to {dest} failed")))
+        result
     }
 
     /// Resend the replay buffer for one request (or all) to a new parent.
@@ -475,7 +527,15 @@ impl Inner {
                 if let Some(o) = &self.obs {
                     o.chunks_resent.inc();
                 }
-                let _ = self.send_data(dest, req, c.tree, c.seq, c.last, c.payload);
+                let _ = self.send_data(
+                    dest,
+                    req,
+                    c.tree,
+                    c.seq,
+                    c.last,
+                    c.payload,
+                    names::spans::WORKER_RESEND,
+                );
             }
         }
     }

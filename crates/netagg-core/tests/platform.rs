@@ -667,6 +667,8 @@ fn error_paths_are_reported() {
         source: netagg_core::protocol::SourceId::Worker(0),
         seq: 1,
         last: true,
+        ctx: netagg_obs::trace::TraceCtx::NONE,
+        sent_ns: 0,
         payload: Bytes::from_static(b"5"),
     };
     let mut conn = transport.connect(9_999, dep.boxes()[0].addr()).unwrap();

@@ -78,6 +78,9 @@ proptest! {
         worker in any::<u32>(),
         seq in any::<u32>(),
         last in any::<bool>(),
+        trace_id in any::<u64>(),
+        parent_span_id in any::<u64>(),
+        sent_ns in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
         let m = Message::Data {
@@ -87,6 +90,8 @@ proptest! {
             source: SourceId::Worker(worker),
             seq,
             last,
+            ctx: netagg_obs::trace::TraceCtx { trace_id, parent_span_id },
+            sent_ns,
             payload: Bytes::from(payload),
         };
         prop_assert_eq!(Message::decode(m.encode()).unwrap(), m);

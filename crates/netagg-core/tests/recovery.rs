@@ -318,6 +318,8 @@ fn data_frame(
         source,
         seq,
         last,
+        ctx: netagg_obs::trace::TraceCtx::NONE,
+        sent_ns: 0,
         payload: Bytes::from(payload.to_string()),
     }
     .encode()

@@ -1,7 +1,7 @@
 //! Parsers for the two halves of the observability contract:
 //!
-//! * DESIGN.md — §7 metric table + structured-event kinds, and the §9
-//!   thread inventory,
+//! * DESIGN.md — §7 metric table + structured-event kinds, the §9
+//!   thread inventory and the §11 span/stage name table,
 //! * `netagg-obs/src/names.rs` — the constants runtime code compiles
 //!   against.
 //!
@@ -39,6 +39,8 @@ pub struct Contract {
     pub metrics: Vec<Entry>,
     /// §7 structured-event kinds.
     pub events: Vec<Entry>,
+    /// §11 span and stage names (`record_span` call sites).
+    pub spans: Vec<Entry>,
     /// §9 thread names (templates kept verbatim).
     pub threads: Vec<Entry>,
     /// Constants declared in `netagg_obs::names`.
@@ -59,6 +61,7 @@ impl Contract {
         let mut c = Self {
             metrics: table_names(design, "### Metrics contract"),
             events: table_names(design, "### Structured events"),
+            spans: table_names(design, "### Span and stage names"),
             threads: table_names(design, "### Thread inventory"),
             consts: parse_consts(names),
         };
@@ -167,6 +170,13 @@ mod tests {
 |---|---|
 | `failure` | a detector declares a box failed |
 
+### Span and stage names
+
+| Span | Recorded by |
+|---|---|
+| `span.worker.send` | worker shim |
+| `span.wire.transfer` | receiving hop |
+
 ## 9. Lifecycle
 
 ### Thread inventory
@@ -182,6 +192,8 @@ mod tests {
 pub const AGGBOX_TASKS_EXECUTED: &str = \"aggbox.tasks_executed\";
 pub const MAILBOX_DEPTH: &str = \"mailbox.depth.<name>\";
 pub const EVENT_FAILURE: &str = \"failure\";
+pub const WORKER_SEND: &str = \"span.worker.send\";
+pub const WIRE_TRANSFER: &str = \"span.wire.transfer\";
 pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
 ";
 
@@ -195,6 +207,8 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
         );
         let events: Vec<&str> = c.events.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(events, vec!["failure"]);
+        let spans: Vec<&str> = c.spans.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(spans, vec!["span.worker.send", "span.wire.transfer"]);
         let threads: Vec<&str> = c.threads.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(threads, vec!["aggbox-<b>-listen", "aggbox-<b>-reader"]);
     }
@@ -202,7 +216,7 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
     #[test]
     fn parses_consts_with_lines() {
         let c = Contract::from_sources(DESIGN, NAMES);
-        assert_eq!(c.consts.len(), 3);
+        assert_eq!(c.consts.len(), 5);
         assert_eq!(c.consts[0].ident, "AGGBOX_TASKS_EXECUTED");
         assert_eq!(c.consts[0].value, "aggbox.tasks_executed");
         assert_eq!(c.consts[0].line, 2);
@@ -215,7 +229,8 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
         let c = Contract::load(&root).unwrap();
         assert!(c.metrics.len() >= 40, "metrics: {}", c.metrics.len());
         assert_eq!(c.events.len(), 3);
+        assert!(c.spans.len() >= 10, "spans: {}", c.spans.len());
         assert!(c.threads.len() >= 15, "threads: {}", c.threads.len());
-        assert!(c.consts.len() >= c.metrics.len() + c.events.len());
+        assert!(c.consts.len() >= c.metrics.len() + c.events.len() + c.spans.len());
     }
 }

@@ -390,9 +390,10 @@ pub fn no_poll_shutdown(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
 
 const METRIC_CALLS: &[&str] = &["counter", "gauge", "histogram"];
 
-/// Hardcoded metric/event names at registry call sites: the name must (a)
-/// exist in the §7 contract and (b) be spelled via `netagg_obs::names`
-/// rather than a string literal, so renames stay one-edit changes.
+/// Hardcoded metric/event/span names at instrumentation call sites: the
+/// name must (a) exist in the §7 contract (§11 for spans) and (b) be
+/// spelled via `netagg_obs::names` rather than a string literal, so
+/// renames stay one-edit changes.
 pub fn metrics_contract_sites(
     path: &str,
     lexed: &Lexed,
@@ -406,8 +407,9 @@ pub fn metrics_contract_sites(
             continue;
         }
         let is_metric = METRIC_CALLS.contains(&t.text.as_str());
-        let is_emit = t.text == "emit";
-        if !is_metric && !is_emit {
+        let is_emit = t.text == "emit" || t.text == "emit_for_request";
+        let is_span = t.text == "record_span";
+        if !is_metric && !is_emit && !is_span {
             continue;
         }
         if !toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false) {
@@ -423,8 +425,17 @@ pub fn metrics_contract_sites(
         }
         let table: Vec<&crate::contract::Entry> = if is_emit {
             contract.events.iter().collect()
+        } else if is_span {
+            contract.spans.iter().collect()
         } else {
             contract.metrics.iter().collect()
+        };
+        let (what, section) = if is_emit {
+            ("event", "§7")
+        } else if is_span {
+            ("span", "§11")
+        } else {
+            ("metric", "§7")
         };
         let hit = table.iter().find(|e| matches_template(&e.name, &pattern));
         match hit {
@@ -433,10 +444,9 @@ pub fn metrics_contract_sites(
                 path,
                 lit_tok,
                 format!(
-                    "{} name `{}` is not in the DESIGN.md §7 contract — add a \
-                     table row and a `netagg_obs::names` constant, or fix the \
-                     name",
-                    if is_emit { "event" } else { "metric" },
+                    "{what} name `{}` is not in the DESIGN.md {section} \
+                     contract — add a table row and a `netagg_obs::names` \
+                     constant, or fix the name",
                     lit_tok.text
                 ),
             )),
@@ -445,18 +455,14 @@ pub fn metrics_contract_sites(
                     .const_for(&e.name)
                     .map(|c| format!("`netagg_obs::names::{}`", c.ident))
                     .unwrap_or_else(|| "the `netagg_obs::names` constant".into());
-                let what = if is_format {
-                    "formatted metric name"
-                } else {
-                    "hardcoded metric name"
-                };
+                let spelled = if is_format { "formatted" } else { "hardcoded" };
                 out.push(diag(
                     METRICS_CONTRACT,
                     path,
                     lit_tok,
                     format!(
-                        "{what} `{}` duplicates the contract — use {hint} \
-                         instead of a string literal",
+                        "{spelled} metric name `{}` duplicates the contract — \
+                         use {hint} instead of a string literal",
                         lit_tok.text
                     ),
                 ));
@@ -469,13 +475,19 @@ pub fn metrics_contract_sites(
 // Rule 4b: metrics-contract (DESIGN.md §7 ⇄ names.rs sync)
 // ---------------------------------------------------------------------------
 
-/// Bidirectional drift check between the §7 table (plus event kinds) and
-/// the `netagg_obs::names` constants: every row must have a constant with
-/// that exact value, and every constant must have a row.
+/// Bidirectional drift check between the §7 table (plus event kinds and
+/// the §11 span names) and the `netagg_obs::names` constants: every row
+/// must have a constant with that exact value, and every constant must
+/// have a row.
 pub fn metrics_contract_sync(contract: &Contract, out: &mut Vec<Diagnostic>) {
     let design = "DESIGN.md";
     let names = "crates/netagg-obs/src/names.rs";
-    for e in contract.metrics.iter().chain(contract.events.iter()) {
+    for e in contract
+        .metrics
+        .iter()
+        .chain(contract.events.iter())
+        .chain(contract.spans.iter())
+    {
         if contract.const_for(&e.name).is_none() {
             out.push(Diagnostic {
                 rule: METRICS_CONTRACT.into(),
@@ -496,6 +508,7 @@ pub fn metrics_contract_sync(contract: &Contract, out: &mut Vec<Diagnostic>) {
             .metrics
             .iter()
             .chain(contract.events.iter())
+            .chain(contract.spans.iter())
             .any(|e| e.name == c.value);
         if !known {
             out.push(Diagnostic {
@@ -505,7 +518,7 @@ pub fn metrics_contract_sync(contract: &Contract, out: &mut Vec<Diagnostic>) {
                 col: 1,
                 level: Level::Error,
                 message: format!(
-                    "constant `{}` (\"{}\") has no row in the DESIGN.md §7 \
+                    "constant `{}` (\"{}\") has no row in the DESIGN.md §7/§11 \
                      contract — add the row or remove the constant",
                     c.ident, c.value
                 ),

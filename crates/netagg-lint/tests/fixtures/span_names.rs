@@ -1,0 +1,12 @@
+// Fixture for metrics-contract span-name checks. NOT compiled — lexed
+// directly by the lint engine against the mini contract in lint_rules.rs.
+
+fn violations(tracer: &TraceRecorder) {
+    tracer.record_span("span.worker.send", c, t, s, p, r, a, b); // line 5: in contract, but hardcoded
+    tracer.record_span("span.totally.unknown", c, t, s, p, r, a, b); // line 6: not in the contract
+}
+
+fn fine(tracer: &TraceRecorder) {
+    tracer.record_span(names::spans::WORKER_SEND, c, t, s, p, r, a, b); // constant: the blessed spelling
+    let key = "span.worker.send"; // bare string, not a call site
+}

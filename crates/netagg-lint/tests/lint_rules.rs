@@ -15,7 +15,7 @@ fn fixture(name: &str) -> String {
 }
 
 /// A small but representative contract: one plain metric, three templated
-/// ones, the event kinds, and two thread rows.
+/// ones, the event kinds, two span names, and two thread rows.
 fn mini_contract() -> Contract {
     Contract::from_sources(
         "### Metrics contract\n\
@@ -28,6 +28,10 @@ fn mini_contract() -> Contract {
          | Kind | When |\n|---|---|\n\
          | `failure` | declared |\n\
          | `repoint` | re-pointed |\n\
+         ### Span and stage names\n\
+         | Span | Recorded by |\n|---|---|\n\
+         | `span.worker.send` | worker shim |\n\
+         | `span.wire.transfer` | receiving hop |\n\
          ### Thread inventory\n\
          | Thread name | Owner |\n|---|---|\n\
          | `aggbox-<b>-listen` | `AggBox` |\n\
@@ -37,7 +41,9 @@ fn mini_contract() -> Contract {
          pub const MAILBOX_DEPTH: &str = \"mailbox.depth.<name>\";\n\
          pub const NET_LINK_FRAMES: &str = \"net.link.<from>-><to>.frames\";\n\
          pub const EVENT_FAILURE: &str = \"failure\";\n\
-         pub const EVENT_REPOINT: &str = \"repoint\";\n",
+         pub const EVENT_REPOINT: &str = \"repoint\";\n\
+         pub const WORKER_SEND: &str = \"span.worker.send\";\n\
+         pub const WIRE_TRANSFER: &str = \"span.wire.transfer\";\n",
     )
 }
 
@@ -101,6 +107,19 @@ fn metrics_contract_flags_hardcoded_unknown_and_event_names() {
     assert!(msgs[1].contains("MAILBOX_DEPTH"), "{:?}", msgs[1]);
     assert!(msgs[2].contains("not in the DESIGN.md §7 contract"));
     assert!(msgs[3].contains("event"), "{:?}", msgs[3]);
+}
+
+#[test]
+fn metrics_contract_flags_hardcoded_and_unknown_span_names() {
+    let diags = run("span_names.rs");
+    assert_eq!(spans(&diags, "metrics-contract"), vec![5, 6], "{diags:?}");
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs[0].contains("WORKER_SEND"), "{:?}", msgs[0]);
+    assert!(
+        msgs[1].contains("not in the DESIGN.md §11 contract"),
+        "{:?}",
+        msgs[1]
+    );
 }
 
 #[test]
@@ -185,7 +204,12 @@ fn real_contract_is_in_sync() {
 fn deleting_any_metric_row_fails_the_gate() {
     let (design, names) = real_sources();
     let c = Contract::from_sources(&design, &names);
-    for entry in c.metrics.iter().chain(c.events.iter()) {
+    for entry in c
+        .metrics
+        .iter()
+        .chain(c.events.iter())
+        .chain(c.spans.iter())
+    {
         let row_marker = format!("`{}`", entry.name);
         let pruned: String = design
             .lines()

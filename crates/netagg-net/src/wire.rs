@@ -7,6 +7,7 @@
 
 use crate::transport::NetError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use netagg_obs::trace::TraceCtx;
 
 /// Append a length-prefixed byte string.
 pub fn put_bytes(dst: &mut BytesMut, b: &[u8]) {
@@ -72,6 +73,22 @@ pub fn get_f64(src: &mut Bytes) -> Result<f64, NetError> {
     Ok(src.get_f64())
 }
 
+/// Append a [`TraceCtx`] as two big-endian `u64`s (DESIGN.md §11).
+/// Untraced frames encode [`TraceCtx::NONE`] — 16 zero bytes — so the
+/// frame layout is the same whether tracing is on or off.
+pub fn put_trace(dst: &mut BytesMut, ctx: &TraceCtx) {
+    dst.put_u64(ctx.trace_id);
+    dst.put_u64(ctx.parent_span_id);
+}
+
+/// Read a [`TraceCtx`] written by [`put_trace`].
+pub fn get_trace(src: &mut Bytes) -> Result<TraceCtx, NetError> {
+    Ok(TraceCtx {
+        trace_id: get_u64(src)?,
+        parent_span_id: get_u64(src)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +117,24 @@ mod tests {
         assert!(get_u64(&mut Bytes::new()).is_err());
         assert!(get_f64(&mut Bytes::new()).is_err());
         assert!(get_u8(&mut Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_and_rejects_truncation() {
+        let mut buf = BytesMut::new();
+        let ctx = TraceCtx {
+            trace_id: 0x8000_0000_0000_0001,
+            parent_span_id: 42,
+        };
+        put_trace(&mut buf, &ctx);
+        put_trace(&mut buf, &TraceCtx::NONE);
+        assert_eq!(buf.len(), 32);
+        let mut src = buf.freeze();
+        assert_eq!(get_trace(&mut src).unwrap(), ctx);
+        let none = get_trace(&mut src).unwrap();
+        assert_eq!(none, TraceCtx::NONE);
+        assert!(!none.is_active());
+        assert!(get_trace(&mut Bytes::from_static(&[0; 15])).is_err());
     }
 
     #[test]

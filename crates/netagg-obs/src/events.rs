@@ -10,6 +10,11 @@ pub struct Event {
     /// Monotonic sequence number, 1-based, assigned at emission. Gaps in a
     /// drained snapshot indicate events evicted by the bounded ring.
     pub seq: u64,
+    /// Emission time on the [`crate::trace::now_ns`] monotonic axis, so
+    /// events correlate with recorded spans.
+    pub timestamp_ns: u64,
+    /// Request the event concerns, when it concerns exactly one.
+    pub request: Option<u64>,
     /// Event category, e.g. `"failure"` or `"straggler"`.
     pub kind: String,
     /// Free-form human-readable detail.
@@ -55,13 +60,28 @@ impl EventRing {
         }
     }
 
-    /// Append an event, evicting the oldest if the ring is full.
+    /// Append an event, evicting the oldest if the ring is full. The
+    /// event is stamped with [`crate::trace::now_ns`] and carries no
+    /// request id; use [`EventRing::emit_for_request`] when the event
+    /// concerns exactly one request.
     pub fn emit(&self, kind: &str, detail: impl Into<String>) {
+        self.push(kind, detail.into(), None);
+    }
+
+    /// Append an event tied to one request (correlates the ring with the
+    /// request's trace spans).
+    pub fn emit_for_request(&self, kind: &str, detail: impl Into<String>, request: u64) {
+        self.push(kind, detail.into(), Some(request));
+    }
+
+    fn push(&self, kind: &str, detail: String, request: Option<u64>) {
         let seq = self.total.fetch_add(1, Ordering::Relaxed) + 1;
         let ev = Event {
             seq,
+            timestamp_ns: crate::trace::now_ns(),
+            request,
             kind: kind.to_string(),
-            detail: detail.into(),
+            detail,
         };
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
@@ -127,6 +147,19 @@ mod tests {
         assert_eq!(ring.capacity(), 1);
         assert_eq!(ring.events().len(), 1);
         assert_eq!(ring.events()[0].seq, 2);
+    }
+
+    #[test]
+    fn events_are_timestamped_and_optionally_request_scoped() {
+        let ring = EventRing::new(4);
+        let before = crate::trace::now_ns();
+        ring.emit("failure", "box 0 declared failed");
+        ring.emit_for_request("repoint", "request 7 re-pointed", 7);
+        let evs = ring.events();
+        assert!(evs[0].timestamp_ns >= before);
+        assert!(evs[1].timestamp_ns >= evs[0].timestamp_ns);
+        assert_eq!(evs[0].request, None);
+        assert_eq!(evs[1].request, Some(7));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`MetricsSnapshot`] — a point-in-time copy of everything in a
 //!   registry that serializes to JSON ([`MetricsSnapshot::to_json`]) and
 //!   human-readable text ([`MetricsSnapshot::to_text`]).
+//! * [`trace`] — causal per-request tracing: a bounded, sampled
+//!   [`trace::TraceRecorder`] of [`trace::SpanRecord`]s stitched across
+//!   components by a wire-carried [`trace::TraceCtx`], exported as Chrome
+//!   trace-event JSON and per-request critical-path summaries
+//!   (DESIGN.md §11).
 //!
 //! # Quick example
 //!
@@ -48,6 +53,7 @@ mod histogram;
 pub mod names;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use events::{Event, EventRing};
 pub use histogram::{Histogram, HistogramSnapshot};

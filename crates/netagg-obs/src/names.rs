@@ -146,6 +146,43 @@ pub const EVENT_STRAGGLER: &str = "straggler";
 /// Behind-sources of a failed box moved into direct fan-in entries (§8).
 pub const EVENT_REPOINT: &str = "repoint";
 
+/// The span and stage names of the DESIGN.md §11 tracing contract.
+///
+/// Like the metric names above, every [`crate::trace::TraceRecorder`]
+/// call site spells its span name through these constants; `netagg-lint`
+/// diffs this module against the §11 "Span and stage names" table
+/// bidirectionally.
+pub mod spans {
+    /// Master root span: request registered → result delivered.
+    pub const MASTER_REQUEST: &str = "span.master.request";
+    /// Master shim processing one arriving data frame.
+    pub const MASTER_RECV: &str = "span.master.recv";
+    /// Master shim re-pointing one in-flight request around a dead box.
+    pub const MASTER_REPOINT: &str = "span.master.repoint";
+    /// Box-side span of one request: first data in → final aggregate out.
+    pub const BOX_REQUEST: &str = "span.box.request";
+    /// Box runtime processing one arriving data frame.
+    pub const BOX_RECV: &str = "span.box.recv";
+    /// Scheduler queue wait: combine submitted → combine started.
+    pub const BOX_QUEUE_WAIT: &str = "span.box.queue_wait";
+    /// One combine executed by a scheduler task.
+    pub const BOX_COMBINE: &str = "span.box.combine";
+    /// Box building + enqueueing an upward result frame.
+    pub const BOX_FORWARD: &str = "span.box.forward";
+    /// Box adopting a failed child box's subtree for one request.
+    pub const BOX_REPOINT: &str = "span.box.repoint";
+    /// Worker shim serialising + sending one partial.
+    pub const WORKER_SEND: &str = "span.worker.send";
+    /// Worker shim replaying buffered chunks after a re-point.
+    pub const WORKER_RESEND: &str = "span.worker.resend";
+    /// Frame in flight: sender stamp → receiver decode.
+    pub const WIRE_TRANSFER: &str = "span.wire.transfer";
+    /// Simulator: one flow of a simulated request.
+    pub const SIM_FLOW: &str = "span.sim.flow";
+    /// Simulator: whole-request envelope (first start → last finish).
+    pub const SIM_REQUEST: &str = "span.sim.request";
+}
+
 /// Substitute the `<placeholder>` segments of a template name, in order,
 /// with `args` (which must match the placeholder count exactly).
 ///

@@ -3,6 +3,7 @@
 use crate::events::{Event, EventRing};
 use crate::histogram::Histogram;
 use crate::snapshot::MetricsSnapshot;
+use crate::trace::TraceRecorder;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +101,7 @@ struct Inner {
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     events: EventRing,
+    tracer: Arc<TraceRecorder>,
 }
 
 /// A thread-safe registry of named metrics.
@@ -146,8 +148,16 @@ impl MetricsRegistry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 events: EventRing::new(capacity),
+                tracer: Arc::new(TraceRecorder::default()),
             }),
         }
+    }
+
+    /// The registry's span recorder (DESIGN.md §11). Shared by every
+    /// clone of the registry; disabled (and effectively free) until
+    /// [`TraceRecorder::enable`] is called.
+    pub fn tracer(&self) -> Arc<TraceRecorder> {
+        self.inner.tracer.clone()
     }
 
     /// Get or create the counter named `name`.
@@ -168,6 +178,11 @@ impl MetricsRegistry {
     /// Append a structured event to the bounded ring.
     pub fn emit(&self, kind: &str, detail: impl Into<String>) {
         self.inner.events.emit(kind, detail);
+    }
+
+    /// Append a structured event tied to one request.
+    pub fn emit_for_request(&self, kind: &str, detail: impl Into<String>, request: u64) {
+        self.inner.events.emit_for_request(kind, detail, request);
     }
 
     /// The retained events, oldest first.
@@ -245,6 +260,15 @@ mod tests {
         assert_eq!(snap.counter("c"), Some(3));
         assert_eq!(snap.gauge("g"), Some(-1.5));
         assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn clones_share_the_tracer() {
+        let obs = MetricsRegistry::new();
+        obs.tracer().enable(1);
+        let clone = obs.clone();
+        assert!(clone.tracer().enabled());
+        assert!(Arc::ptr_eq(&obs.tracer(), &clone.tracer()));
     }
 
     #[test]

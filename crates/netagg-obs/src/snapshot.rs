@@ -63,7 +63,8 @@ impl MetricsSnapshot {
     ///
     /// The layout is `{"counters": {..}, "gauges": {..}, "histograms":
     /// {name: {count, sum, min, max, p50, p95, p99}, ..},
-    /// "events_recorded": N, "events": [{seq, kind, detail}, ..]}`.
+    /// "events_recorded": N, "events": [{seq, ts_ns, request, kind,
+    /// detail}, ..]}` (`request` is `null` for events not tied to one).
     /// Serialization is hand-rolled (the workspace deliberately carries no
     /// JSON dependency); non-finite gauge values render as `null`.
     pub fn to_json(&self) -> String {
@@ -103,9 +104,15 @@ impl MetricsSnapshot {
         ));
         for (i, ev) in self.events.iter().enumerate() {
             push_sep(&mut out, i, "    ");
+            let request = ev
+                .request
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".into());
             out.push_str(&format!(
-                "{{\"seq\": {}, \"kind\": {}, \"detail\": {}}}",
+                "{{\"seq\": {}, \"ts_ns\": {}, \"request\": {request}, \
+                 \"kind\": {}, \"detail\": {}}}",
                 ev.seq,
+                ev.timestamp_ns,
                 json_string(&ev.kind),
                 json_string(&ev.detail)
             ));
@@ -164,7 +171,14 @@ impl MetricsSnapshot {
         }
         out.push('\n');
         for ev in &self.events {
-            out.push_str(&format!("  [{}] {}: {}\n", ev.seq, ev.kind, ev.detail));
+            let req = ev.request.map(|r| format!(" req {r}")).unwrap_or_default();
+            out.push_str(&format!(
+                "  [{} @{:.3}ms{req}] {}: {}\n",
+                ev.seq,
+                ev.timestamp_ns as f64 / 1e6,
+                ev.kind,
+                ev.detail
+            ));
         }
         out
     }
@@ -255,15 +269,20 @@ mod tests {
         obs.gauge("g").set(0.5);
         obs.histogram("h_us").record(123);
         obs.emit("kind", "detail \"quoted\"");
+        obs.emit_for_request("repoint", "request-scoped", 42);
         let snap = obs.snapshot();
         let json = snap.to_json();
         assert!(json.contains("\"a.b\": 7"));
         assert!(json.contains("\"g\": 0.5"));
         assert!(json.contains("\"h_us\": {\"count\": 1"));
         assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ts_ns\": "));
+        assert!(json.contains("\"request\": null"));
+        assert!(json.contains("\"request\": 42"));
         let text = snap.to_text();
         assert!(text.contains("a.b"));
-        assert!(text.contains("events: 1 recorded"));
+        assert!(text.contains("events: 2 recorded"));
+        assert!(text.contains("req 42"));
         assert_eq!(format!("{snap}"), text);
     }
 }

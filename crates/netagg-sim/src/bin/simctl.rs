@@ -7,13 +7,18 @@
 //!        [--box-rate GBPS] [--paper|--quick]
 //!        [--deployment all|incremental|tor|aggr|core|none]
 //!        [--per-switch N] [--stragglers F] [--csv PATH] [--metrics]
+//!        [--trace PATH]
 //! ```
 //!
 //! Prints the run's FCT summary, per-class percentiles and link-traffic
 //! statistics. `--csv PATH` additionally dumps every simulated flow
 //! (kind, request, size, start, finish, fct) for external analysis.
 //! `--metrics` appends the run's `sim.*` metrics snapshot as JSON (the
-//! contract is documented in DESIGN.md, "Observability").
+//! contract is documented in DESIGN.md, "Observability"). `--trace PATH`
+//! synthesises `span.sim.*` records from the flow log — one
+//! `span.sim.request` envelope per aggregation request with its
+//! `span.sim.flow` children — and writes Chrome trace-event JSON
+//! (DESIGN.md §11).
 
 use netagg_sim::metrics::{self, FlowClass};
 use netagg_sim::topology::Tier;
@@ -24,6 +29,7 @@ fn main() {
     let mut per_switch = 1u32;
     let mut deployment = String::from("all");
     let mut csv_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut metrics_json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +61,7 @@ fn main() {
             "--per-switch" => per_switch = parse::<f64>(&value("--per-switch")) as u32,
             "--deployment" => deployment = value("--deployment"),
             "--csv" => csv_path = Some(value("--csv")),
+            "--trace" => trace_path = Some(value("--trace")),
             "--metrics" => metrics_json = true,
             "--paper" => cfg.topology = netagg_sim::TopologyConfig::paper(),
             "--quick" => cfg.topology = netagg_sim::TopologyConfig::quick(),
@@ -157,9 +164,67 @@ fn main() {
         }
     }
 
+    if let Some(path) = trace_path {
+        let spans = synthesize_spans(&result);
+        match std::fs::write(&path, netagg_obs::trace::chrome_trace_json(&spans)) {
+            Ok(()) => println!("wrote {} sim spans to {path}", spans.len()),
+            Err(e) => usage(&format!("could not write {path}: {e}")),
+        }
+    }
+
     if metrics_json {
         println!("\n{}", obs.snapshot().to_json());
     }
+}
+
+/// Rebuild §11-style spans from the flow log: per aggregation request a
+/// `span.sim.request` envelope (first flow start → last flow finish, span
+/// id = trace id so it roots the tree) with one `span.sim.flow` child per
+/// flow. Background flows have no request and are not part of any trace.
+fn synthesize_spans(result: &netagg_sim::SimResult) -> Vec<netagg_obs::trace::SpanRecord> {
+    use netagg_obs::names::spans;
+    use netagg_obs::trace::{trace_id, SpanRecord};
+    use std::collections::BTreeMap;
+
+    let ns = |secs: f64| (secs.max(0.0) * 1e9) as u64;
+    let mut envelopes: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut next_span = 1u64;
+    for r in &result.records {
+        let Some(request) = r.request.map(u64::from) else {
+            continue;
+        };
+        let tid = trace_id(0, request);
+        let (start, finish) = (ns(r.start), ns(r.finish));
+        let env = envelopes.entry(request).or_insert((start, finish));
+        env.0 = env.0.min(start);
+        env.1 = env.1.max(finish);
+        out.push(SpanRecord {
+            span_id: next_span,
+            parent_span_id: tid,
+            trace_id: tid,
+            request,
+            name: spans::SIM_FLOW,
+            component: format!("sim-{:?}", r.kind).to_lowercase(),
+            start_ns: start,
+            dur_ns: finish.saturating_sub(start),
+        });
+        next_span += 1;
+    }
+    for (request, (start, finish)) in envelopes {
+        let tid = trace_id(0, request);
+        out.push(SpanRecord {
+            span_id: tid,
+            parent_span_id: 0,
+            trace_id: tid,
+            request,
+            name: spans::SIM_REQUEST,
+            component: "sim".to_string(),
+            start_ns: start,
+            dur_ns: finish.saturating_sub(start),
+        });
+    }
+    out
 }
 
 fn parse<T: std::str::FromStr>(v: &str) -> T {
@@ -175,7 +240,7 @@ fn usage(err: &str) -> ! {
         "usage: simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F] \
          [--oversub F] [--flows N] [--seed N] [--frac F] [--box-rate GBPS] \
          [--deployment all|incremental|tor|aggr|core|none] [--per-switch N] \
-         [--stragglers F] [--paper|--quick] [--csv PATH] [--metrics]"
+         [--stragglers F] [--paper|--quick] [--csv PATH] [--metrics] [--trace PATH]"
     );
     std::process::exit(2);
 }

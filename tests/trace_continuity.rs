@@ -1,0 +1,272 @@
+//! End-to-end fences for the §11 causal-tracing contract: the spans of
+//! one request always form a single connected tree rooted at the master's
+//! request span — across components, across transports, and across a box
+//! killed mid-request — and sampling keeps the recorder bounded.
+
+use bytes::Bytes;
+use netagg_repro::netagg_core::failure::DetectorConfig;
+use netagg_repro::netagg_core::prelude::*;
+use netagg_repro::netagg_core::protocol::TreeId;
+use netagg_repro::netagg_net::{
+    ChannelTransport, FaultController, FaultTransport, TcpTransport, Transport,
+};
+use netagg_repro::netagg_obs::names::spans;
+use netagg_repro::netagg_obs::trace::{self, SpanRecord, TraceRecorder};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Sum;
+impl AggregationFunction for Sum {
+    type Item = i64;
+    fn deserialize(&self, b: &Bytes) -> Result<i64, AggError> {
+        std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AggError::Corrupt("not an int".into()))
+    }
+    fn serialize(&self, v: &i64) -> Bytes {
+        Bytes::from(v.to_string())
+    }
+    fn aggregate(&self, items: Vec<i64>) -> i64 {
+        items.into_iter().sum()
+    }
+    fn empty(&self) -> i64 {
+        0
+    }
+}
+
+fn sum_agg() -> Arc<dyn DynAggregator> {
+    Arc::new(AggWrapper::new(Sum))
+}
+
+/// Assert the spans of `trace` form exactly one tree: one root (parent 0,
+/// span id = trace id) and every other span's parent recorded. Returns
+/// the spans of the trace.
+fn assert_connected(all: &[SpanRecord], trace: u64) -> Vec<SpanRecord> {
+    let spans: Vec<SpanRecord> = all
+        .iter()
+        .filter(|s| s.trace_id == trace)
+        .cloned()
+        .collect();
+    assert!(!spans.is_empty(), "no spans recorded for trace {trace:#x}");
+    let ids: HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent_span_id == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "trace {trace:#x} must have exactly one root: {roots:?}"
+    );
+    assert_eq!(roots[0].span_id, trace, "root span id is the trace id");
+    for s in &spans {
+        assert!(
+            s.parent_span_id == 0 || ids.contains(&s.parent_span_id),
+            "span {:#x} ({} in {}) is orphaned: parent {:#x} was never recorded",
+            s.span_id,
+            s.name,
+            s.component,
+            s.parent_span_id
+        );
+    }
+    spans
+}
+
+fn assert_covers_every_layer(spans: &[SpanRecord]) {
+    for (layer, pred) in [
+        (
+            "master shim",
+            spans.iter().any(|s| s.component.starts_with("master-")),
+        ),
+        (
+            "agg box",
+            spans
+                .iter()
+                .any(|s| s.component.starts_with("aggbox-") && !s.component.ends_with("-sched")),
+        ),
+        (
+            "scheduler task",
+            spans.iter().any(|s| s.component.ends_with("-sched")),
+        ),
+        (
+            "worker shim",
+            spans.iter().any(|s| s.component.starts_with("worker-")),
+        ),
+    ] {
+        assert!(pred, "no span from the {layer} layer: {spans:?}");
+    }
+    for name in [
+        spans::MASTER_REQUEST,
+        spans::MASTER_RECV,
+        spans::BOX_REQUEST,
+        spans::BOX_RECV,
+        spans::BOX_QUEUE_WAIT,
+        spans::BOX_COMBINE,
+        spans::BOX_FORWARD,
+        spans::WORKER_SEND,
+        spans::WIRE_TRANSFER,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "span {name} missing from the request tree"
+        );
+    }
+}
+
+/// The quick-example flow leaves one connected, layer-complete span tree —
+/// on the in-process channel transport and on real TCP sockets alike.
+#[test]
+fn quick_flow_trace_is_one_connected_tree_on_both_transports() {
+    let transports: Vec<(&str, Arc<dyn Transport>)> = vec![
+        ("channel", Arc::new(ChannelTransport::new())),
+        ("tcp", Arc::new(TcpTransport::new())),
+    ];
+    for (label, transport) in transports {
+        let cluster = ClusterSpec::single_rack(4, 1);
+        let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+        let obs = dep.obs().clone();
+        obs.tracer().enable(1);
+        let app = dep.register_app("sum", sum_agg(), 1.0);
+        let master = dep.master_shim(app);
+        let workers: Vec<_> = (0..4).map(|w| dep.worker_shim(app, w)).collect();
+
+        let pending = master.register_request(7, 4);
+        for w in &workers {
+            w.send_partial(7, Bytes::from("5")).unwrap();
+        }
+        let result = pending.wait(Duration::from_secs(10)).unwrap();
+        assert_eq!(result.combined.as_ref(), b"20", "{label}");
+        // Shutdown joins every thread, so all trailing spans are recorded.
+        dep.shutdown();
+
+        let all = obs.tracer().spans();
+        let spans = assert_connected(&all, trace::trace_id(app.0, 7));
+        assert_covers_every_layer(&spans);
+        assert_eq!(obs.tracer().dropped(), 0, "{label}: spans dropped");
+    }
+}
+
+/// A box killed mid-request must not sever the trace: the recovery path
+/// re-parents the adopted contributors under the master (re-point mark
+/// included), the dead box's open request span is closed at teardown, and
+/// the exported spans still form one connected tree.
+#[test]
+fn trace_survives_box_kill_as_one_connected_tree() {
+    let ctl = FaultController::new();
+    let transport: Arc<dyn Transport> =
+        Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
+    let cluster = ClusterSpec::single_rack(3, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let obs = dep.obs().clone();
+    obs.tracer().enable(1);
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let workers: Vec<_> = (0..3).map(|w| dep.worker_shim(app, w)).collect();
+    dep.enable_failure_detection(DetectorConfig {
+        interval: Duration::from_millis(30),
+        timeout: Duration::from_millis(60),
+        misses: 2,
+    });
+    let box_addr = dep.boxes()[0].addr();
+
+    // Two contributors deliver through the box, then it dies mid-request.
+    let pending = master.register_request(1, 3);
+    workers[0].send_partial(1, Bytes::from("5")).unwrap();
+    workers[1].send_partial(1, Bytes::from("7")).unwrap();
+    // Kill only after the box has actually ingested both chunks —
+    // otherwise the kill races frame delivery and the box has no
+    // request state (or spans) to survive.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while dep.snapshot().counter("aggbox.messages_in").unwrap_or(0) < 2 {
+        assert!(Instant::now() < deadline, "box never saw the chunks");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    ctl.kill(box_addr);
+
+    // The detector re-points all workers directly at the master.
+    let deadline = Instant::now() + Duration::from_secs(8);
+    while !workers
+        .iter()
+        .all(|w| w.assignment(TreeId(0)) == Some(master.addr()))
+    {
+        assert!(Instant::now() < deadline, "workers never re-pointed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    workers[2].send_partial(1, Bytes::from("11")).unwrap();
+    let result = pending.wait(Duration::from_secs(10)).unwrap();
+    assert_eq!(result.combined.as_ref(), b"23");
+
+    ctl.revive(box_addr);
+    dep.shutdown();
+
+    let all = obs.tracer().spans();
+    let spans = assert_connected(&all, trace::trace_id(app.0, 1));
+    // The failure must be visible inside the tree, not as a severed branch:
+    // the re-point mark, replayed worker chunks, and the dead box's
+    // teardown-closed request span all attach to recorded parents.
+    assert!(
+        spans.iter().any(|s| s.name == spans::MASTER_REPOINT),
+        "re-point mark missing: {spans:?}"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == spans::WORKER_RESEND),
+        "replayed chunks must carry resend spans"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == spans::BOX_REQUEST && s.component.starts_with("aggbox-")),
+        "dead box's request span must be closed at teardown"
+    );
+}
+
+/// 1/16 sampling over 10 000 requests: the recorder keeps only sampled
+/// traces and never outgrows its capacity bound.
+#[test]
+fn sampling_keeps_the_recorder_bounded_over_ten_thousand_requests() {
+    let t = TraceRecorder::with_capacity(4096);
+    t.enable(16);
+    let mut sampled = 0u64;
+    for request in 0..10_000u64 {
+        if !t.sampled(request) {
+            continue;
+        }
+        sampled += 1;
+        let tid = trace::trace_id(0, request);
+        let span = t.next_span_id();
+        let now = trace::now_ns();
+        t.record_span(
+            spans::MASTER_REQUEST,
+            "master-0",
+            tid,
+            tid,
+            0,
+            request,
+            now,
+            now + 10,
+        );
+        t.record_span(
+            spans::WORKER_SEND,
+            "worker-0-0",
+            tid,
+            span,
+            tid,
+            request,
+            now,
+            now + 5,
+        );
+    }
+    assert!(
+        (300..1000).contains(&sampled),
+        "1/16 sampling admitted {sampled} of 10000 requests"
+    );
+    assert!(t.len() <= t.capacity(), "recorder outgrew its bound");
+    let expected_drops = (2 * sampled).saturating_sub(t.capacity() as u64);
+    assert_eq!(
+        t.dropped(),
+        expected_drops,
+        "overflow must be counted, not silently lost"
+    );
+    // Unsampled requests must leave no spans at all.
+    let traced: HashSet<u64> = t.spans().iter().map(|s| s.request).collect();
+    assert!(traced.iter().all(|r| t.sampled(*r)));
+}
