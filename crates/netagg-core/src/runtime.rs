@@ -89,8 +89,11 @@ impl NetAggDeployment {
         obs: MetricsRegistry,
     ) -> Result<Self, AggError> {
         let specs = build_tree_specs(cluster);
-        // Everything the deployment starts talks through a metered
-        // transport, so `net.*` traffic counters come for free.
+        // Hand the registry to the transport itself first (the TCP
+        // reactor publishes `net.tcp.*` and counts its shard threads in
+        // `runtime.threads_active` — DESIGN.md §12), then wrap it in a
+        // metered decorator so `net.*` traffic counters come for free.
+        transport.attach_obs(&obs);
         let transport: Arc<dyn Transport> = Arc::new(MeteredTransport::new(transport, obs.clone()));
         let mut boxes = Vec::new();
         for b in 0..cluster.total_boxes() {

@@ -1,7 +1,8 @@
 //! Parsers for the two halves of the observability contract:
 //!
 //! * DESIGN.md — §7 metric table + structured-event kinds, the §9
-//!   thread inventory and the §11 span/stage name table,
+//!   thread inventory, the §11 span/stage name table and the §12
+//!   reactor-thread table,
 //! * `netagg-obs/src/names.rs` — the constants runtime code compiles
 //!   against.
 //!
@@ -43,6 +44,8 @@ pub struct Contract {
     pub spans: Vec<Entry>,
     /// §9 thread names (templates kept verbatim).
     pub threads: Vec<Entry>,
+    /// §12 reactor thread names (must be a subset of [`Contract::threads`]).
+    pub reactor_threads: Vec<Entry>,
     /// Constants declared in `netagg_obs::names`.
     pub consts: Vec<ConstEntry>,
 }
@@ -63,6 +66,7 @@ impl Contract {
             events: table_names(design, "### Structured events"),
             spans: table_names(design, "### Span and stage names"),
             threads: table_names(design, "### Thread inventory"),
+            reactor_threads: table_names(design, "### Reactor threads"),
             consts: parse_consts(names),
         };
         // Event kinds double as `emit()` call-site names; keep them out of
@@ -185,6 +189,14 @@ mod tests {
 |---|---|
 | `aggbox-<b>-listen` | `AggBox` |
 | `aggbox-<b>-reader` (per conn) | `AggBox` |
+
+## 12. Transport architecture
+
+### Reactor threads
+
+| Thread name | Spawned by |
+|---|---|
+| `net-reactor-<i>` | `TcpTransport` |
 ";
 
     const NAMES: &str = "\
@@ -211,6 +223,8 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
         assert_eq!(spans, vec!["span.worker.send", "span.wire.transfer"]);
         let threads: Vec<&str> = c.threads.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(threads, vec!["aggbox-<b>-listen", "aggbox-<b>-reader"]);
+        let reactors: Vec<&str> = c.reactor_threads.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(reactors, vec!["net-reactor-<i>"]);
     }
 
     #[test]
@@ -231,6 +245,10 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
         assert_eq!(c.events.len(), 3);
         assert!(c.spans.len() >= 10, "spans: {}", c.spans.len());
         assert!(c.threads.len() >= 15, "threads: {}", c.threads.len());
+        assert!(
+            !c.reactor_threads.is_empty(),
+            "DESIGN.md §12 must name the reactor threads"
+        );
         assert!(c.consts.len() >= c.metrics.len() + c.events.len() + c.spans.len());
     }
 }

@@ -13,7 +13,8 @@
 //!   `netagg_obs::names`, and that module stays in exact bidirectional
 //!   sync with the DESIGN.md §7 table.
 //! * **thread-inventory** — inline `JoinScope::spawn` names match the
-//!   DESIGN.md §9 thread table.
+//!   DESIGN.md §9 thread table, and the §12 reactor-thread table stays a
+//!   subset of §9.
 //!
 //! Suppress a finding with a comment on (or immediately above) the line:
 //!
@@ -256,6 +257,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
 
     let mut diags = Vec::new();
     rules::metrics_contract_sync(&contract, &mut diags);
+    rules::thread_inventory_sync(&contract, &mut diags);
     for file in &files {
         let src = fs::read_to_string(file)?;
         let rel = file

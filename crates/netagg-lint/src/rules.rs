@@ -568,6 +568,36 @@ pub fn thread_inventory(path: &str, lexed: &Lexed, contract: &Contract, out: &mu
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 5b: thread-inventory (DESIGN.md §12 ⇄ §9 sync)
+// ---------------------------------------------------------------------------
+
+/// The §12 "Reactor threads" table documents the TCP data plane's threads
+/// next to the architecture prose; every name it lists must also appear in
+/// the authoritative §9 inventory, so the two sections cannot drift apart.
+pub fn thread_inventory_sync(contract: &Contract, out: &mut Vec<Diagnostic>) {
+    for e in &contract.reactor_threads {
+        let in_inventory = contract
+            .threads
+            .iter()
+            .any(|t| unify(&compile_template(&t.name), &compile_template(&e.name)));
+        if !in_inventory {
+            out.push(Diagnostic {
+                rule: THREAD_INVENTORY.into(),
+                file: "DESIGN.md".into(),
+                line: e.line,
+                col: 1,
+                level: Level::Error,
+                message: format!(
+                    "§12 reactor thread `{}` is not in the §9 thread \
+                     inventory — the two tables have drifted",
+                    e.name
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

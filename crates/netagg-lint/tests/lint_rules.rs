@@ -248,6 +248,42 @@ fn renaming_any_constant_fails_the_gate() {
 }
 
 #[test]
+fn reactor_thread_table_must_stay_subset_of_inventory() {
+    let (design, names) = real_sources();
+    let c = Contract::from_sources(&design, &names);
+    assert!(
+        !c.reactor_threads.is_empty(),
+        "DESIGN.md §12 'Reactor threads' table is missing"
+    );
+    // In sync today…
+    let mut out = Vec::new();
+    netagg_lint::rules::thread_inventory_sync(&c, &mut out);
+    assert!(out.is_empty(), "§12/§9 drift: {out:?}");
+    // …and deleting the §9 row is caught.
+    for entry in &c.reactor_threads {
+        let row_marker = format!("`{}`", entry.name);
+        let pruned: String = design
+            .lines()
+            .enumerate()
+            .filter(|(i, l)| {
+                // Drop only the §9 occurrence (before the §12 section).
+                let in_inventory = (*i as u32) < entry.line - 1;
+                !(in_inventory && l.trim_start().starts_with('|') && l.contains(&row_marker))
+            })
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let pc = Contract::from_sources(&pruned, &names);
+        let mut errs = Vec::new();
+        netagg_lint::rules::thread_inventory_sync(&pc, &mut errs);
+        assert!(
+            errs.iter().any(|e| e.message.contains(&entry.name)),
+            "deleting the §9 `{}` row went unnoticed",
+            entry.name
+        );
+    }
+}
+
+#[test]
 fn workspace_is_clean() {
     let diags = lint_workspace(&workspace_root()).unwrap();
     let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.level == Level::Error).collect();

@@ -172,6 +172,10 @@ impl Transport for EmuNet {
             latency: self.latency,
         }))
     }
+
+    fn attach_obs(&self, obs: &netagg_obs::MetricsRegistry) {
+        self.inner.attach_obs(obs);
+    }
 }
 
 struct EmuListener {

@@ -166,6 +166,10 @@ impl<T: Transport> Transport for FaultTransport<T> {
             ctl: self.ctl.clone(),
         }))
     }
+
+    fn attach_obs(&self, obs: &netagg_obs::MetricsRegistry) {
+        self.inner.attach_obs(obs);
+    }
 }
 
 struct FaultListener {

@@ -6,12 +6,20 @@
 //!
 //! * [`transport`] — blocking, message-oriented [`Transport`] /
 //!   [`Connection`] traits with logical node addresses.
-//! * [`channel`] — in-process transport over bounded crossbeam channels
-//!   (the bound provides natural back-pressure, mirroring the paper's
+//! * [`channel`] — in-process transport over bounded [`Mailbox`]es (the
+//!   bound provides natural back-pressure, mirroring the paper's
 //!   back-pressure mechanism).
-//! * [`tcp`] — real TCP-loopback transport with length-prefixed framing.
-//! * [`framing`] — the length-prefixed binary frame codec (the role KryoNet
-//!   plays in the paper's Java prototype).
+//! * [`tcp`] — real TCP-loopback transport: an event-driven sharded
+//!   reactor multiplexing logical connections onto shared physical links
+//!   with batched zero-copy framing (DESIGN.md §12).
+//! * [`framing`] — the length-prefixed binary frame codec over shared
+//!   zero-copy chunks (the role KryoNet plays in the paper's Java
+//!   prototype).
+//! * [`flow`] — [`FlowWindow`]: byte-counted per-connection send windows,
+//!   the TCP reactor's sender-side backpressure (§12).
+//! * [`units`] — typed [`units::Bytes`] / [`units::BitsPerSec`] /
+//!   [`units::Nanosecs`] quantities used by flow control and the link
+//!   emulator.
 //! * [`ratelimit`] — token-bucket rate limiting used to emulate link
 //!   capacities (1 Gbps edge vs 10 Gbps box links).
 //! * [`emu`] — [`emu::EmuNet`]: a transport whose endpoints have emulated
@@ -30,17 +38,20 @@
 pub mod channel;
 pub mod emu;
 pub mod fault;
+pub mod flow;
 pub mod framing;
 pub mod lifecycle;
 pub mod metered;
 pub mod ratelimit;
 pub mod tcp;
 pub mod transport;
+pub mod units;
 pub mod wire;
 
 pub use channel::ChannelTransport;
 pub use emu::{EmuNet, EmuNetBuilder};
 pub use fault::{DetRng, FaultController, FaultStep, FaultTransport};
+pub use flow::FlowWindow;
 pub use framing::{encode_frame, FrameDecoder, MAX_FRAME};
 pub use lifecycle::{CancelToken, JoinScope, Mailbox, OverflowPolicy};
 pub use metered::MeteredTransport;

@@ -27,7 +27,11 @@
 //! waker-table lock; a waker may take its own queue lock and notify
 //! condvars, but must never call [`CancelToken::register_waker`] or
 //! [`CancelToken::cancel`] itself. All wakers installed by this module
-//! obey that rule.
+//! obey that rule. Unregistration ([`WakerGuard`] drop) moves the waker
+//! out of the table and drops it *outside* the lock, because dropping a
+//! waker closure can cascade into further unregistrations on the same
+//! token — a mailbox queue may hold items that themselves own mailboxes
+//! (the TCP reactor's accept queue holds connections owning inboxes).
 
 use netagg_obs::{names, Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
@@ -181,8 +185,18 @@ pub struct WakerGuard {
 
 impl Drop for WakerGuard {
     fn drop(&mut self) {
-        let mut table = self.token.inner.table.lock();
-        table.wakers.retain(|(i, _)| *i != self.id);
+        // Extract under the lock, drop outside it: a waker closure can own
+        // state (e.g. a mailbox queue) whose drop unregisters further
+        // wakers on this same token, and the table lock is not reentrant.
+        let removed = {
+            let mut table = self.token.inner.table.lock();
+            table
+                .wakers
+                .iter()
+                .position(|(i, _)| *i == self.id)
+                .map(|idx| table.wakers.swap_remove(idx).1)
+        };
+        drop(removed);
     }
 }
 
@@ -479,6 +493,33 @@ impl<T> Mailbox<T> {
                     return Err(MailboxSendError::Full(v));
                 }
             }
+        }
+    }
+
+    /// Enqueue `v` without ever blocking, regardless of the overflow
+    /// policy: a full mailbox returns [`MailboxSendError::Full`] even under
+    /// [`OverflowPolicy::Block`], and the caller keeps the item (it is not
+    /// counted as dropped — the caller is expected to retry or shed).
+    ///
+    /// This exists for producers that must never park, such as the TCP
+    /// reactor delivering inbound frames (§12): a full inbox becomes
+    /// kernel-level backpressure on the link instead of a blocked reactor.
+    pub fn try_send(&self, v: T) -> Result<(), MailboxSendError<T>> {
+        let sh = &self.inner.shared;
+        let mut s = sh.state.lock();
+        if self.inner.cancel.is_cancelled() {
+            return Err(MailboxSendError::Cancelled(v));
+        }
+        if s.closed {
+            return Err(MailboxSendError::Closed(v));
+        }
+        if s.queue.len() < self.inner.capacity {
+            s.queue.push_back(v);
+            self.note_depth(s.queue.len());
+            sh.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(MailboxSendError::Full(v))
         }
     }
 
@@ -910,6 +951,47 @@ mod tests {
         assert_eq!(mb.send(3), Err(MailboxSendError::Full(3)));
         assert_eq!(mb.dropped(), 1);
         assert_eq!(mb.len(), 2);
+    }
+
+    #[test]
+    fn try_send_never_blocks_and_keeps_the_item() {
+        let mb: Mailbox<u32> = Mailbox::new("t", 2, OverflowPolicy::Block, CancelToken::new());
+        mb.try_send(1).unwrap();
+        mb.try_send(2).unwrap();
+        // Block policy would park here; try_send must hand the item back.
+        assert_eq!(mb.try_send(3), Err(MailboxSendError::Full(3)));
+        assert_eq!(mb.dropped(), 0, "a refused try_send is not a drop");
+        mb.close();
+        assert_eq!(mb.try_send(4), Err(MailboxSendError::Closed(4)));
+        assert_eq!(mb.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn nested_mailbox_drop_does_not_deadlock_the_waker_table() {
+        // A queued item that itself owns a mailbox on the same token:
+        // dropping the outer mailbox's last handle drops the queue from
+        // inside WakerGuard teardown, which unregisters the inner
+        // mailbox's waker on the same (non-reentrant) table lock. This
+        // deadlocked before unregistration moved the waker drop outside
+        // the lock — the TCP reactor's accept queue has exactly this
+        // shape (queued connections own their inbox mailboxes).
+        let cancel = CancelToken::new();
+        let outer: Mailbox<Mailbox<u32>> =
+            Mailbox::new("outer", 4, OverflowPolicy::Block, cancel.clone());
+        let inner: Mailbox<u32> = Mailbox::new("inner", 4, OverflowPolicy::Block, cancel.clone());
+        outer.send(inner).unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = done.clone();
+        let h = std::thread::spawn(move || {
+            drop(outer); // last handle: queue (and inner mailbox) drop here
+            flag.store(true, Ordering::SeqCst);
+        });
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !done.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "nested mailbox drop deadlocked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.join().unwrap();
     }
 
     #[test]

@@ -73,6 +73,10 @@ impl Transport for MeteredTransport {
             inner, local, peer, &self.obs,
         )))
     }
+
+    fn attach_obs(&self, obs: &MetricsRegistry) {
+        self.inner.attach_obs(obs);
+    }
 }
 
 struct MeteredListener {

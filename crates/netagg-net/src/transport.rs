@@ -8,12 +8,15 @@
 
 use crate::lifecycle::CancelToken;
 use bytes::Bytes;
+use netagg_obs::MetricsRegistry;
 use std::fmt;
 use std::time::Duration;
 
 /// Poll granularity of the default `*_cancellable` implementations, for
-/// transports without a wakeable queue (e.g. TCP sockets). In-process
-/// transports override with a true condvar wakeup.
+/// transports without a wakeable queue. Both built-in transports override
+/// it with a true wakeup: the channel transport blocks on mailboxes, and
+/// the TCP transport's reactor (DESIGN.md §12) delivers inbound frames
+/// into per-connection mailboxes, so its receives are wakeable too.
 pub const CANCEL_POLL: Duration = Duration::from_millis(20);
 
 /// Logical address of a node (server, agg box, client).
@@ -132,6 +135,12 @@ pub trait Transport: Send + Sync {
     fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError>;
     /// Open a connection from `local` to `peer` (which must be bound).
     fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError>;
+    /// Attach a metrics registry for transport-internal instrumentation
+    /// (reactor thread counts, batching counters — DESIGN.md §7
+    /// `net.tcp.*`). The runtime calls this once, before the first
+    /// `bind`/`connect`; transports without internal threads ignore it.
+    /// Decorator transports forward it to their inner transport.
+    fn attach_obs(&self, _obs: &MetricsRegistry) {}
 }
 
 #[cfg(test)]

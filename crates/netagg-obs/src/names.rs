@@ -124,6 +124,21 @@ pub const NET_LINK_FRAMES: &str = "net.link.<from>-><to>.frames";
 /// Payload bytes per directed link (template).
 pub const NET_LINK_BYTES: &str = "net.link.<from>-><to>.bytes";
 
+// --- tcp reactor (§12) -----------------------------------------------------
+
+/// Reactor shard wakeups out of a park (kick, registration or tick).
+pub const NET_TCP_REACTOR_WAKEUPS: &str = "net.tcp.reactor_wakeups";
+/// Socket write syscalls issued by the reactor; each may carry many
+/// coalesced mux records, so `frames_sent / batches_written` is the
+/// effective batching factor.
+pub const NET_TCP_BATCHES_WRITTEN: &str = "net.tcp.batches_written";
+/// Mux records written in a batch that carried at least one other record.
+pub const NET_TCP_FRAMES_COALESCED: &str = "net.tcp.frames_coalesced";
+/// Physical links (multiplexed sockets) currently registered.
+pub const NET_TCP_LINKS_ACTIVE: &str = "net.tcp.links_active";
+/// Virtual connections (mux channels) currently open.
+pub const NET_TCP_CHANNELS_ACTIVE: &str = "net.tcp.channels_active";
+
 // --- simulator -------------------------------------------------------------
 
 /// Flows completed by a simulation run.

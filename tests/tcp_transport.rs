@@ -1,0 +1,152 @@
+//! End-to-end fences for the sharded TCP reactor (DESIGN.md §12) at the
+//! deployment level: the whole aggregation stack over real sockets, the
+//! reactor threads accounted for in `runtime.threads_active`, and the
+//! failure-recovery path behaving identically to the channel transport.
+
+use bytes::Bytes;
+use netagg_core::failure::DetectorConfig;
+use netagg_core::prelude::*;
+use netagg_net::{DetRng, FaultController, FaultStep, FaultTransport, TcpTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sum-of-integers aggregation over a trivial text encoding.
+struct Sum;
+impl AggregationFunction for Sum {
+    type Item = i64;
+    fn deserialize(&self, b: &Bytes) -> Result<i64, AggError> {
+        std::str::from_utf8(b)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| AggError::Corrupt("not an int".into()))
+    }
+    fn serialize(&self, v: &i64) -> Bytes {
+        Bytes::from(v.to_string())
+    }
+    fn aggregate(&self, items: Vec<i64>) -> i64 {
+        items.into_iter().sum()
+    }
+    fn empty(&self) -> i64 {
+        0
+    }
+}
+
+fn sum_agg() -> Arc<dyn DynAggregator> {
+    Arc::new(AggWrapper::new(Sum))
+}
+
+fn parse(b: &Bytes) -> i64 {
+    std::str::from_utf8(b).unwrap().parse().unwrap()
+}
+
+fn fast_detector() -> DetectorConfig {
+    DetectorConfig {
+        interval: Duration::from_millis(30),
+        timeout: Duration::from_millis(60),
+        misses: 2,
+    }
+}
+
+/// Seed for the fault schedules. Override with `NETAGG_FAULT_SEED=<u64>`
+/// to reproduce a specific run (same convention as `recovery.rs`).
+fn fault_seed() -> u64 {
+    std::env::var("NETAGG_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xAE57_11E5)
+}
+
+/// Graceful shutdown: after the deployment shuts down and the last
+/// transport handle drops, every thread — box runtimes AND the
+/// `net-reactor-<i>` shards — must be joined, leaving
+/// `runtime.threads_active` at exactly zero (§12 invariant 5).
+#[test]
+fn tcp_shutdown_joins_all_reactor_threads() {
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let cluster = ClusterSpec::single_rack(4, 1);
+    let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+    let obs = dep.obs().clone();
+    let app = dep.register_app("sum", sum_agg(), 1.0);
+    let master = dep.master_shim(app);
+    let workers: Vec<_> = (0..4).map(|w| dep.worker_shim(app, w)).collect();
+
+    let pending = master.register_request(1, 4);
+    for w in &workers {
+        w.send_partial(1, Bytes::from("5")).unwrap();
+    }
+    assert_eq!(
+        parse(&pending.wait(Duration::from_secs(10)).unwrap().combined),
+        20
+    );
+    // The reactor is up and counted while the deployment runs.
+    assert!(
+        obs.snapshot()
+            .gauge("runtime.threads_active")
+            .unwrap_or(0.0)
+            > 0.0,
+        "running deployment must report live threads"
+    );
+
+    dep.shutdown();
+    // Every handle that (transitively) holds the transport must go:
+    // the pending-request handle keeps the master shim alive, the shims
+    // keep the metered transport alive, the deployment keeps everything.
+    drop(pending);
+    drop(master);
+    drop(workers);
+    drop(dep); // last transport handle → reactor JoinScope joins the shards
+    assert_eq!(
+        obs.snapshot().gauge("runtime.threads_active"),
+        Some(0.0),
+        "threads survived shutdown (reactor shards not joined?)"
+    );
+}
+
+/// Recovery parity with the channel transport: kill the rack box after a
+/// seeded number of frames, mid-request, over real sockets. The fan-in
+/// ledger must still produce the exact total (5+7+11=23) once the
+/// detector re-points the workers at the master.
+#[test]
+fn tcp_kill_mid_request_recovers_with_exact_total() {
+    let seed = fault_seed();
+    let mut rng = DetRng::new(seed);
+    for round in 0..3u64 {
+        let n = rng.gen_range(1, 12);
+        let ctl = FaultController::new();
+        let transport: Arc<dyn Transport> =
+            Arc::new(FaultTransport::new(TcpTransport::new(), ctl.clone()));
+        let cluster = ClusterSpec::single_rack(3, 1);
+        let mut dep = NetAggDeployment::launch(transport, &cluster).unwrap();
+        let app = dep.register_app("sum", sum_agg(), 1.0);
+        let master = dep.master_shim(app);
+        let workers: Vec<_> = (0..3).map(|w| dep.worker_shim(app, w)).collect();
+        dep.enable_failure_detection(fast_detector());
+        let box_addr = dep.boxes()[0].addr();
+
+        ctl.schedule(FaultStep {
+            watch: box_addr,
+            after_frames: ctl.frames_delivered(box_addr) + n,
+            kill_target: box_addr,
+        });
+
+        let req = round + 1;
+        let p = master.register_request(req, 3);
+        // Sends may fail if the box is already dead; the replay buffer
+        // recovers them once the detector re-points the worker.
+        let _ = workers[0].send_partial(req, Bytes::from("5"));
+        let _ = workers[1].send_partial(req, Bytes::from("7"));
+        std::thread::sleep(Duration::from_millis(400));
+        let _ = workers[2].send_partial(req, Bytes::from("11"));
+        let result = p.wait(Duration::from_secs(10)).unwrap_or_else(|e| {
+            panic!("seed {seed:#x} round {round} (kill after {n} frames): {e:?}")
+        });
+        assert_eq!(
+            parse(&result.combined),
+            23,
+            "seed {seed:#x} round {round}: kill after {n} frames must still total 23"
+        );
+        ctl.clear_schedule();
+        ctl.revive(box_addr);
+        dep.shutdown();
+    }
+}
