@@ -9,6 +9,7 @@
 //!          ablate-trees ablate-placement ablate-arrivals
 //!          ablate-backpressure ablate-fanin ext-broadcast
 //!          quick (trace-friendly smoke drive)   perf (BENCH_perf.json)
+//!          sim-perf (BENCH_sim.json — 10,240-server simulator scaling)
 //!          sim (fig2..fig14)   testbed (fig15..fig26)   all
 //! ```
 //!
@@ -26,6 +27,7 @@ mod mr_figs;
 mod perf_figs;
 mod search_figs;
 mod sim_figs;
+mod sim_perf;
 
 use netagg_bench::sim::SimScale;
 
@@ -160,6 +162,7 @@ fn main() {
         "fig26" => micro_figs::fig26(&opts),
         "quick" => perf_figs::quick(&opts),
         "perf" => perf_figs::perf(&opts),
+        "sim-perf" => sim_perf::sim_perf(&opts),
         other => usage(&format!("unknown target {other}")),
     };
 
@@ -209,7 +212,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <fig2..fig26|tab1|ablate-*|quick|perf|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics] [--trace OUT.json]"
+        "usage: repro <fig2..fig26|tab1|ablate-*|quick|perf|sim-perf|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics] [--trace OUT.json]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,199 @@
+//! `repro sim-perf` — the fluid-simulator scaling baseline
+//! (`BENCH_sim.json`).
+//!
+//! All runs use the 10,240-server `scale10x` fabric (32 pods × 10 ToRs ×
+//! 32 servers, 1:4 over-subscription) under the NetAgg strategy:
+//!
+//! 1. **Reference point** — one fixed workload run by *both* engines: the
+//!    incremental certificate-repair solver and the naive global
+//!    per-event re-solver. The headline `events_per_sec` (and the
+//!    `speedup` over naive) come from this point; the acceptance bar is
+//!    incremental ≥ 10× naive on this topology. The flow count is capped
+//!    so the quadratic naive leg finishes in seconds — the same events,
+//!    the same fabric, an honest like-for-like ratio.
+//! 2. **Sweep** — edge-load × α grid plus a boxes-per-switch column,
+//!    incremental engine only, recording events/sec, wall-clock and the
+//!    engine's re-solve counters per point.
+//!
+//! `--quick` (the CI configuration, also used for the committed baseline
+//! so the regression gate compares like with like) shrinks the reference
+//! cap and drops the most expensive sweep points; `--paper` extends the
+//! sweep to edge load 0.5 (~42 k concurrent-arrival flows).
+
+use crate::Options;
+use netagg_bench::sim::SimScale;
+use netagg_sim::{
+    run_experiment_stats, Deployment, EngineKind, ExperimentConfig, Strategy, TopologyConfig,
+    WorkloadConfig,
+};
+use std::time::Instant;
+
+/// One measured sweep point.
+struct Point {
+    edge_load: f64,
+    alpha: f64,
+    boxes_per_switch: u32,
+    flows: usize,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    makespan_s: f64,
+    resolves: u64,
+    avg_scope: f64,
+    fallbacks: u64,
+}
+
+/// The common `scale10x` NetAgg configuration for every leg.
+fn base_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.topology = TopologyConfig::scale10x();
+    cfg.strategy = Strategy::NetAgg;
+    cfg
+}
+
+/// Run `cfg` once, timing the simulation proper (topology and workload
+/// generation excluded — the engines share them and the gate measures
+/// solver throughput).
+fn run_point(cfg: &ExperimentConfig) -> (Point, u64) {
+    let t0 = Instant::now();
+    let (result, stats) = run_experiment_stats(cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    // The reference engine does not track events; both engines process one
+    // start and one completion per simulated flow, so the flow count gives
+    // a comparable event total.
+    let events = if stats.events() > 0 {
+        stats.events()
+    } else {
+        2 * result.records.len() as u64
+    };
+    let per_switch = match cfg.deployment {
+        Deployment::All { per_switch } => per_switch,
+        _ => 0,
+    };
+    (
+        Point {
+            edge_load: 0.0,
+            alpha: cfg.workload.alpha,
+            boxes_per_switch: per_switch,
+            flows: result.records.len(),
+            events,
+            wall_secs: wall,
+            events_per_sec: events as f64 / wall.max(1e-9),
+            makespan_s: result.makespan,
+            resolves: stats.resolves,
+            avg_scope: stats.resolved_flows as f64 / stats.resolves.max(1) as f64,
+            fallbacks: stats.fallbacks,
+        },
+        events,
+    )
+}
+
+pub fn sim_perf(opts: &Options) {
+    // Reference-point flow cap: sized so the quadratic naive engine
+    // finishes in seconds at --quick (CI) and minutes at larger scales.
+    let (ref_flows, loads, alphas): (usize, &[f64], &[f64]) = match opts.scale {
+        SimScale::Quick => (2_000, &[0.125], &[0.1, 1.0]),
+        SimScale::Default => (4_000, &[0.125, 0.25], &[0.1, 1.0]),
+        SimScale::Paper => (8_000, &[0.125, 0.25, 0.5], &[0.1, 1.0]),
+    };
+
+    println!("# sim-perf: scale10x (10240 servers), NetAgg strategy");
+    println!("## reference point: both engines, {ref_flows} flows");
+    let mut ref_cfg = base_config();
+    ref_cfg.workload.num_flows = ref_flows;
+    ref_cfg.engine = EngineKind::Incremental;
+    let (inc, _) = run_point(&ref_cfg);
+    ref_cfg.engine = EngineKind::Reference;
+    let (naive, _) = run_point(&ref_cfg);
+    let speedup = inc.events_per_sec / naive.events_per_sec.max(1e-9);
+    println!(
+        "  incremental {:>10.0} events/s   ({} events in {:.2}s)",
+        inc.events_per_sec, inc.events, inc.wall_secs
+    );
+    println!(
+        "  naive       {:>10.0} events/s   ({} events in {:.2}s)",
+        naive.events_per_sec, naive.events, naive.wall_secs
+    );
+    println!("  speedup     {speedup:>10.1}x");
+
+    println!("## sweep: edge load x alpha (+ boxes-per-switch), incremental engine");
+    let mut points: Vec<Point> = Vec::new();
+    let mut sweep_one = |edge_load: f64, alpha: f64, per_switch: u32| {
+        let mut cfg = base_config();
+        cfg.workload = WorkloadConfig::for_edge_load(&cfg.topology, edge_load);
+        cfg.workload.alpha = alpha;
+        cfg.deployment = Deployment::All { per_switch };
+        let (mut p, _) = run_point(&cfg);
+        p.edge_load = edge_load;
+        println!(
+            "  load {:>5.3}  alpha {:>4.2}  boxes {}  {:>6} flows  {:>9.0} events/s  \
+             {:>8.2}s wall  (re-solves {}, avg scope {:.1}, fallbacks {})",
+            p.edge_load,
+            p.alpha,
+            p.boxes_per_switch,
+            p.flows,
+            p.events_per_sec,
+            p.wall_secs,
+            p.resolves,
+            p.avg_scope,
+            p.fallbacks,
+        );
+        points.push(p);
+    };
+    for &load in loads {
+        for &alpha in alphas {
+            sweep_one(load, alpha, 1);
+        }
+    }
+    // Boxes-per-switch column at the lightest load: more boxes per switch
+    // spread the box-processing bottleneck without changing the fabric.
+    for per_switch in [2u32, 4] {
+        sweep_one(loads[0], alphas[0], per_switch);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"sim-perf\",\n");
+    json.push_str("  \"topology\": \"scale10x(10240 servers)\",\n");
+    json.push_str("  \"strategy\": \"netagg\",\n");
+    json.push_str(&format!(
+        "  \"events_per_sec\": {:.1},\n  \"naive_events_per_sec\": {:.1},\n  \
+         \"speedup_over_naive\": {:.1},\n",
+        inc.events_per_sec, naive.events_per_sec, speedup
+    ));
+    json.push_str(&format!(
+        "  \"reference_point\": {{\"flows\": {}, \"events\": {}, \
+         \"incremental_wall_secs\": {:.3}, \"naive_wall_secs\": {:.3}}},\n",
+        inc.flows, inc.events, inc.wall_secs, naive.wall_secs
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"edge_load\": {}, \"alpha\": {}, \"boxes_per_switch\": {}, \
+             \"flows\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \
+             \"wall_secs\": {:.3}, \"makespan_s\": {:.6}, \"resolves\": {}, \
+             \"avg_scope\": {:.1}, \"fallbacks\": {}}}",
+            p.edge_load,
+            p.alpha,
+            p.boxes_per_switch,
+            p.flows,
+            p.events,
+            p.events_per_sec,
+            p.wall_secs,
+            p.makespan_s,
+            p.resolves,
+            p.avg_scope,
+            p.fallbacks,
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    let path = "BENCH_sim.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("error: writing {path}: {e}"),
+    }
+    if speedup < 10.0 {
+        eprintln!("warning: incremental speedup {speedup:.1}x is below the 10x acceptance bar");
+    }
+}

@@ -499,6 +499,7 @@ mod tests {
             deployment: Deployment::all(),
             box_rate: 9.2 * GBPS,
             box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Incremental,
         }
     }
 
@@ -619,6 +620,7 @@ mod tests {
             deployment: Deployment::all(),
             box_rate: 9.2 * GBPS,
             box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Incremental,
         };
         let workers: Vec<_> = (1..30).map(|i| topo.server(i)).collect();
         let n = workers.len();

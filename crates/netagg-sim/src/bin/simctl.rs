@@ -4,7 +4,8 @@
 //! ```text
 //! simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F]
 //!        [--oversub F] [--flows N] [--seed N] [--frac F]
-//!        [--box-rate GBPS] [--paper|--quick]
+//!        [--box-rate GBPS] [--paper|--quick|--scale10x]
+//!        [--engine incremental|naive] [--edge-load F]
 //!        [--deployment all|incremental|tor|aggr|core|none]
 //!        [--per-switch N] [--stragglers F] [--csv PATH] [--metrics]
 //!        [--trace PATH]
@@ -22,7 +23,7 @@
 
 use netagg_sim::metrics::{self, FlowClass};
 use netagg_sim::topology::Tier;
-use netagg_sim::{run_experiment_with_obs, Deployment, ExperimentConfig, Strategy, GBPS};
+use netagg_sim::{Deployment, EngineKind, ExperimentConfig, Strategy, WorkloadConfig, GBPS};
 
 fn main() {
     let mut cfg = ExperimentConfig::default_scale();
@@ -31,6 +32,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_json = false;
+    let mut edge_load: Option<f64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -65,9 +67,23 @@ fn main() {
             "--metrics" => metrics_json = true,
             "--paper" => cfg.topology = netagg_sim::TopologyConfig::paper(),
             "--quick" => cfg.topology = netagg_sim::TopologyConfig::quick(),
+            "--scale10x" => cfg.topology = netagg_sim::TopologyConfig::scale10x(),
+            "--edge-load" => edge_load = Some(parse(&value("--edge-load"))),
+            "--engine" => {
+                cfg.engine = match value("--engine").as_str() {
+                    "incremental" => EngineKind::Incremental,
+                    "naive" | "reference" => EngineKind::Reference,
+                    other => usage(&format!("unknown engine {other}")),
+                }
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+    if let Some(load) = edge_load {
+        // Applied after flag parsing so it sees the final topology choice;
+        // overrides --flows.
+        cfg.workload.num_flows = WorkloadConfig::for_edge_load(&cfg.topology, load).num_flows;
     }
     cfg.deployment = match deployment.as_str() {
         "all" => Deployment::All { per_switch },
@@ -89,7 +105,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let obs = netagg_obs::MetricsRegistry::new();
-    let result = run_experiment_with_obs(&cfg, &obs);
+    let (result, stats) = netagg_sim::run_experiment_stats_with_obs(&cfg, &obs);
     let elapsed = t0.elapsed();
 
     println!(
@@ -143,6 +159,23 @@ fn main() {
         result.makespan * 1e3,
         result.records.len(),
     );
+    if stats.events() > 0 {
+        println!(
+            "engine: {} events ({} starts, {} completions) in {elapsed:.2?} = {:.0} events/s   \
+             re-solves {} (avg scope {:.1}, max {}, expansions {}, fallbacks {})   \
+             stale discards {}",
+            stats.events(),
+            stats.starts,
+            stats.completions,
+            stats.events() as f64 / elapsed.as_secs_f64().max(1e-9),
+            stats.resolves,
+            stats.resolved_flows as f64 / stats.resolves.max(1) as f64,
+            stats.max_scope,
+            stats.expansions,
+            stats.fallbacks,
+            stats.stale_discards,
+        );
+    }
 
     if let Some(path) = csv_path {
         let mut out = String::from("kind,request,size_bytes,start_s,finish_s,fct_s\n");
@@ -240,7 +273,8 @@ fn usage(err: &str) -> ! {
         "usage: simctl [--strategy rack|binary|chain|netagg|direct] [--alpha F] \
          [--oversub F] [--flows N] [--seed N] [--frac F] [--box-rate GBPS] \
          [--deployment all|incremental|tor|aggr|core|none] [--per-switch N] \
-         [--stragglers F] [--paper|--quick] [--csv PATH] [--metrics] [--trace PATH]"
+         [--stragglers F] [--paper|--quick|--scale10x] [--engine incremental|naive] \
+         [--edge-load F] [--csv PATH] [--metrics] [--trace PATH]"
     );
     std::process::exit(2);
 }

@@ -17,11 +17,78 @@
 //! while keeping each event's rate allocation a pure max-min problem.
 
 use crate::deployment::BoxPlacement;
-use crate::flow::{FlowSpec, Resource, SegmentKind};
+use crate::flow::{self, FlowSpec, Resource, SegmentKind};
 use crate::topology::Topology;
 use crate::ExperimentConfig;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Why an engine refused to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A resource was configured with a non-positive or non-finite
+    /// capacity. A zero-capacity resource would give every flow crossing
+    /// it a 0/0 = NaN rate, which would then poison every f64 ordering in
+    /// the event machinery; it is rejected up front instead.
+    InvalidCapacity {
+        /// Index into the engine's resource table (links first, then
+        /// `[in, out, proc]` per box).
+        resource: usize,
+        /// The offending capacity value, bytes/s.
+        capacity: f64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidCapacity { resource, capacity } => write!(
+                f,
+                "resource {resource} has invalid capacity {capacity} bytes/s; \
+                 capacities must be finite and > 0 (a zero-capacity resource \
+                 would yield NaN rates)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Validate a resource capacity table: every entry finite and > 0.
+pub(crate) fn validate_caps(caps: &[f64]) -> Result<(), EngineError> {
+    for (resource, &capacity) in caps.iter().enumerate() {
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(EngineError::InvalidCapacity { resource, capacity });
+        }
+    }
+    Ok(())
+}
+
+/// Build the shared resource capacity table for a topology and deployment:
+/// fabric links first, then `[in, out, proc]` per agg box.
+pub(crate) fn capacity_table(
+    topo: &Topology,
+    placement: &BoxPlacement,
+    cfg: &ExperimentConfig,
+) -> Vec<f64> {
+    let mut caps: Vec<f64> = topo.links.iter().map(|l| l.capacity).collect();
+    for _ in 0..placement.num_boxes() {
+        caps.push(cfg.box_link); // in
+        caps.push(cfg.box_link); // out
+        caps.push(cfg.box_rate); // proc
+    }
+    caps
+}
+
+/// Map a flow resource to its index in the capacity table.
+pub(crate) fn resource_index(num_links: usize, r: Resource) -> usize {
+    match r {
+        Resource::Link(l) => l.0 as usize,
+        Resource::BoxIn(b) => num_links + 3 * b.0 as usize,
+        Resource::BoxOut(b) => num_links + 3 * b.0 as usize + 1,
+        Resource::BoxProc(b) => num_links + 3 * b.0 as usize + 2,
+    }
+}
 
 /// Completion record of one flow.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -46,7 +113,10 @@ impl FlowRecord {
 }
 
 /// Result of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// The determinism fence in `tests/incremental_parity.rs` asserts results
+/// are byte-identical (bit-exact f64s) across runs with the same seed.
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct SimResult {
     /// One record per simulated flow, in expansion order.
     pub records: Vec<FlowRecord>,
@@ -66,7 +136,7 @@ impl SimResult {
             .filter(|r| class.matches(r.kind))
             .map(FlowRecord::fct)
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v
     }
 
@@ -91,14 +161,22 @@ impl SimResult {
             }
         }
         let mut v: Vec<f64> = per_req.into_values().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v
     }
 }
 
-const EPS_BYTES: f64 = 1e-3;
-
-/// The simulation engine: owns the resource capacity table.
+/// The reference simulation engine: owns the resource capacity table.
+///
+/// This is the retained *global* solver: it recomputes progressive-filling
+/// max-min fairness over every active flow at every event. It is exact and
+/// simple but quadratic in the number of flows, so it tops out near the
+/// paper's 1,024-server scale. [`crate::incremental::IncrementalEngine`]
+/// is the production engine; this one is kept as the oracle the parity
+/// suite (`tests/incremental_parity.rs`) checks the incremental results
+/// against, and stays selectable via
+/// [`crate::EngineKind::Reference`].
+#[derive(Debug)]
 pub struct Engine {
     /// Capacity of every resource, bytes/s. Layout: fabric links first,
     /// then `[in, out, proc]` per agg box.
@@ -118,24 +196,30 @@ enum State {
 
 impl Engine {
     /// Build the resource capacity table for a topology and deployment.
+    ///
+    /// Panics if any resource capacity is non-positive or non-finite; use
+    /// [`Engine::try_new`] to handle that case as an error.
     pub fn new(topo: &Topology, placement: &BoxPlacement, cfg: &ExperimentConfig) -> Self {
-        let num_links = topo.num_links();
-        let mut caps: Vec<f64> = topo.links.iter().map(|l| l.capacity).collect();
-        for _ in 0..placement.num_boxes() {
-            caps.push(cfg.box_link); // in
-            caps.push(cfg.box_link); // out
-            caps.push(cfg.box_rate); // proc
-        }
-        Self { caps, num_links }
+        Self::try_new(topo, placement, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the engine, rejecting zero/negative/non-finite capacities
+    /// (which would otherwise propagate NaN rates into the event queue).
+    pub fn try_new(
+        topo: &Topology,
+        placement: &BoxPlacement,
+        cfg: &ExperimentConfig,
+    ) -> Result<Self, EngineError> {
+        let caps = capacity_table(topo, placement, cfg);
+        validate_caps(&caps)?;
+        Ok(Self {
+            caps,
+            num_links: topo.num_links(),
+        })
     }
 
     fn resource_index(&self, r: Resource) -> usize {
-        match r {
-            Resource::Link(l) => l.0 as usize,
-            Resource::BoxIn(b) => self.num_links + 3 * b.0 as usize,
-            Resource::BoxOut(b) => self.num_links + 3 * b.0 as usize + 1,
-            Resource::BoxProc(b) => self.num_links + 3 * b.0 as usize + 2,
-        }
+        resource_index(self.num_links, r)
     }
 
     /// Run all flows to completion and return per-flow records plus link
@@ -175,7 +259,7 @@ impl Engine {
             .enumerate()
             .map(|(i, f)| (f.start, i as u32))
             .collect();
-        starts.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        starts.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let mut t = 0.0f64;
         let mut active: Vec<u32> = Vec::new();
@@ -195,6 +279,15 @@ impl Engine {
             open: &mut usize,
         ) {
             loop {
+                // Completion is idempotent: a flow already recorded as done
+                // (e.g. a residual that sat exactly on the epsilon boundary
+                // and was classified delivered on two paths) must not be
+                // counted twice — that would underflow `open` and corrupt
+                // parent accounting.
+                if state[f as usize] == State::Done {
+                    debug_assert!(false, "flow {f} completed twice");
+                    break;
+                }
                 state[f as usize] = State::Done;
                 finish[f as usize] = t;
                 *open -= 1;
@@ -219,7 +312,7 @@ impl Engine {
                     starts.pop();
                     let i = i as usize;
                     debug_assert_eq!(state[i], State::Pending);
-                    if remaining[i] <= EPS_BYTES {
+                    if flow::delivered(remaining[i]) {
                         // Zero-byte flow: treat as immediately drained.
                         if open_children[i] == 0 {
                             complete(
@@ -283,7 +376,7 @@ impl Engine {
                 let fi = active[idx];
                 let f = fi as usize;
                 remaining[f] -= rates[f] * dt;
-                if remaining[f] <= EPS_BYTES {
+                if flow::delivered(remaining[f]) {
                     remaining[f] = 0.0;
                     active.swap_remove(idx);
                     if open_children[f] == 0 {
@@ -353,11 +446,12 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on level.
-        other
-            .level
-            .partial_cmp(&self.level)
-            .unwrap_or(Ordering::Equal)
+        // Min-heap on level. `total_cmp` gives a genuine total order even
+        // for degenerate levels, so the heap invariant can never be broken
+        // by an incomparable pair (the old `partial_cmp(..).unwrap_or`
+        // silently treated NaN as equal-to-everything, corrupting the
+        // heap instead of failing).
+        other.level.total_cmp(&self.level)
     }
 }
 
@@ -369,7 +463,12 @@ impl Ord for Entry {
 /// frozen at that level, and the levels of their other resources are
 /// updated. Total cost per allocation is
 /// `O(sum of path lengths x log(resources))`.
-struct Allocator {
+///
+/// Shared with [`crate::incremental`]: the incremental engine re-solves a
+/// *suffix* of the allocation by seeding each touched resource's frozen
+/// sum with the bandwidth already committed to flows it keeps frozen
+/// ([`Allocator::waterfill_seeded`]).
+pub(crate) struct Allocator {
     frozen_sum: Vec<f64>,
     live_count: Vec<u32>,
     version: Vec<u32>,
@@ -381,7 +480,7 @@ struct Allocator {
 }
 
 impl Allocator {
-    fn new(num_resources: usize) -> Self {
+    pub(crate) fn new(num_resources: usize) -> Self {
         Self {
             frozen_sum: vec![0.0; num_resources],
             live_count: vec![0; num_resources],
@@ -398,12 +497,28 @@ impl Allocator {
         (caps[r] - self.frozen_sum[r]).max(0.0) / self.live_count[r] as f64
     }
 
-    fn waterfill(
+    pub(crate) fn waterfill(
         &mut self,
         active: &[u32],
         res_lists: &[Vec<u32>],
         caps: &[f64],
         rates: &mut [f64],
+    ) {
+        self.waterfill_seeded(active, res_lists, caps, rates, None)
+    }
+
+    /// Progressive filling over `active`, optionally seeding each touched
+    /// resource's frozen bandwidth. `frozen_base(r)` is the bandwidth of
+    /// flows using `r` that this solve treats as permanently frozen below
+    /// every level it will assign (the incremental engine's kept prefix);
+    /// `None` means no external frozen flows (a full global solve).
+    pub(crate) fn waterfill_seeded(
+        &mut self,
+        active: &[u32],
+        res_lists: &[Vec<u32>],
+        caps: &[f64],
+        rates: &mut [f64],
+        frozen_base: Option<&dyn Fn(usize) -> f64>,
     ) {
         self.generation += 1;
         let generation = self.generation;
@@ -415,7 +530,10 @@ impl Allocator {
                 let r = r as usize;
                 if self.stamp[r] != generation {
                     self.stamp[r] = generation;
-                    self.frozen_sum[r] = 0.0;
+                    self.frozen_sum[r] = match frozen_base {
+                        Some(base) => base(r),
+                        None => 0.0,
+                    };
                     self.live_count[r] = 0;
                     self.version[r] = 0;
                     self.touched.push(r as u32);
@@ -507,6 +625,7 @@ mod tests {
             deployment: Deployment::None,
             box_rate: 9.2 * GBPS,
             box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Reference,
         };
         let placement = BoxPlacement::new(topo, &cfg.deployment);
         Engine::new(topo, &placement, &cfg)
@@ -680,6 +799,7 @@ mod tests {
             deployment: Deployment::all(),
             box_rate: 0.5 * GBPS, // slower than the edge link
             box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Reference,
         };
         let placement = BoxPlacement::new(&topo, &cfg.deployment);
         let mut eng = Engine::new(&topo, &placement, &cfg);
@@ -723,6 +843,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_capacity_resource_is_an_error_not_nan() {
+        let topo = Topology::build(&TopologyConfig::quick());
+        let cfg = ExperimentConfig {
+            topology: topo.config.clone(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::NetAgg,
+            deployment: Deployment::all(),
+            box_rate: 0.0, // would yield 0/0 = NaN rates
+            box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Reference,
+        };
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let err = Engine::try_new(&topo, &placement, &cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidCapacity { capacity, .. } if capacity == 0.0
+        ));
+        let err = crate::IncrementalEngine::try_new(&topo, &placement, &cfg).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidCapacity { .. }));
+        assert!(err.to_string().contains("invalid capacity"));
+    }
+
+    #[test]
+    fn epsilon_boundary_residual_completes_exactly_once() {
+        // A flow whose residual sits exactly on the EPS_BYTES boundary is
+        // delivered at admission; gating a parent on it must complete both
+        // exactly once (a double-complete underflows `open` and is caught
+        // by the idempotence guard in `complete`).
+        let topo = Topology::build(&TopologyConfig::quick());
+        let rin = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let rout = crate::routing::server_route(&topo, topo.server(1), topo.server(2), 0);
+        let child = FlowSpec::leaf(
+            flow::EPS_BYTES,
+            rin.links
+                .into_iter()
+                .map(crate::flow::Resource::Link)
+                .collect(),
+            0.0,
+            SegmentKind::WorkerPartial,
+            0,
+        );
+        let parent = FlowSpec {
+            size: 1e6,
+            resources: rout
+                .links
+                .into_iter()
+                .map(crate::flow::Resource::Link)
+                .collect(),
+            children: vec![0],
+            alpha: 1.0,
+            local_input: 0.0,
+            start: 0.0,
+            kind: SegmentKind::AggregatedOutput,
+            request: Some(0),
+        };
+        let mut eng = engine_for(&topo);
+        let res = eng.run(vec![child.clone(), parent.clone()]);
+        assert_eq!(res.records[0].finish, 0.0, "boundary residual is delivered");
+        let expected = 1e6 / GBPS;
+        assert!((res.records[1].fct() - expected).abs() < 1e-6 * expected);
+
+        // Same boundary classification in the incremental engine.
+        let cfg = ExperimentConfig {
+            topology: topo.config.clone(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::Direct,
+            deployment: Deployment::None,
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Incremental,
+        };
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let mut inc = crate::IncrementalEngine::new(&topo, &placement, &cfg);
+        let res = inc.run(vec![child, parent]);
+        assert_eq!(res.records[0].finish, 0.0);
+        assert!((res.records[1].fct() - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn residual_just_above_epsilon_is_not_skipped() {
+        // One ulp-ish above the boundary: the flow must actually transfer
+        // (not be misclassified as delivered), in both engines.
+        let topo = Topology::build(&TopologyConfig::quick());
+        let route = crate::routing::server_route(&topo, topo.server(0), topo.server(1), 0);
+        let size = flow::EPS_BYTES * 1.001;
+        let flows = vec![FlowSpec::background(size, route.links, 0.0)];
+        let mut eng = engine_for(&topo);
+        let res = eng.run(flows.clone());
+        assert!(res.records[0].finish > 0.0, "flow above the boundary ran");
+
+        let cfg = ExperimentConfig {
+            topology: topo.config.clone(),
+            workload: WorkloadConfig::default(),
+            strategy: Strategy::Direct,
+            deployment: Deployment::None,
+            box_rate: 9.2 * GBPS,
+            box_link: 10.0 * GBPS,
+            engine: crate::EngineKind::Incremental,
+        };
+        let placement = BoxPlacement::new(&topo, &cfg.deployment);
+        let mut inc = crate::IncrementalEngine::new(&topo, &placement, &cfg);
+        let res = inc.run(flows);
+        assert!(res.records[0].finish > 0.0);
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod aggregation;
 pub mod cost;
 pub mod deployment;
 pub mod engine;
+pub mod events;
 pub mod flow;
+pub mod incremental;
 pub mod metrics;
 pub mod routing;
 pub mod topology;
@@ -35,15 +37,33 @@ pub mod workload;
 pub use aggregation::Strategy;
 pub use cost::{CostModel, UpgradeOption};
 pub use deployment::{BoxPlacement, Deployment};
-pub use engine::{Engine, SimResult};
+pub use engine::{Engine, EngineError, SimResult};
 pub use flow::{FlowId, FlowSpec, SegmentKind};
+pub use incremental::{EngineStats, IncrementalEngine};
 pub use metrics::{FlowClass, Metrics};
 pub use topology::{Endpoint, LinkId, NodeId, Topology, TopologyConfig};
-pub use workload::{Request, Workload, WorkloadConfig};
+pub use workload::{ArrivalProcess, Request, Workload, WorkloadConfig};
 
 /// Gigabits per second expressed in bytes per second (decimal, as used for
 /// network link capacities).
 pub const GBPS: f64 = 1e9 / 8.0;
+
+/// Which fluid solver runs the experiment.
+///
+/// Both engines implement the same fluid max-min model and agree within
+/// floating-point accumulation order (pinned to 1e-6 relative by
+/// `tests/incremental_parity.rs`); they differ only in asymptotics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum EngineKind {
+    /// Event-driven incremental solver with certificate-verified local
+    /// repair ([`IncrementalEngine`]): the production engine, scales to
+    /// the 10,240-server fabric.
+    #[default]
+    Incremental,
+    /// Global per-event re-solve ([`Engine`]): simple and quadratic; kept
+    /// as the oracle for parity testing and small topologies.
+    Reference,
+}
 
 /// Complete configuration of one simulation experiment.
 #[derive(Debug, Clone)]
@@ -60,6 +80,8 @@ pub struct ExperimentConfig {
     pub box_rate: f64,
     /// Capacity of the link attaching an agg box to its switch, bytes/s.
     pub box_link: f64,
+    /// Which fluid solver to run (incremental by default).
+    pub engine: EngineKind,
 }
 
 impl ExperimentConfig {
@@ -73,6 +95,7 @@ impl ExperimentConfig {
             deployment: Deployment::all(),
             box_rate: 9.2 * GBPS,
             box_link: 10.0 * GBPS,
+            engine: EngineKind::Incremental,
         }
     }
 
@@ -100,12 +123,27 @@ impl ExperimentConfig {
 /// Build the topology, generate the workload, expand it into segment trees
 /// under the configured strategy and run the fluid simulation to completion.
 pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
+    run_experiment_stats(cfg).0
+}
+
+/// Like [`run_experiment`], additionally returning the engine's event and
+/// re-solve counters (all zero for [`EngineKind::Reference`], which does
+/// not track them).
+pub fn run_experiment_stats(cfg: &ExperimentConfig) -> (SimResult, EngineStats) {
     let topo = Topology::build(&cfg.topology);
     let placement = BoxPlacement::new(&topo, &cfg.deployment);
     let workload = Workload::generate(&topo, &cfg.workload);
     let flows = aggregation::expand(&topo, &placement, &workload, cfg);
-    let mut engine = Engine::new(&topo, &placement, cfg);
-    engine.run(flows)
+    match cfg.engine {
+        EngineKind::Incremental => {
+            let mut engine = IncrementalEngine::new(&topo, &placement, cfg);
+            engine.run_stats(flows)
+        }
+        EngineKind::Reference => {
+            let mut engine = Engine::new(&topo, &placement, cfg);
+            (engine.run(flows), EngineStats::default())
+        }
+    }
 }
 
 /// Like [`run_experiment`], but additionally publishing the run's outcome
@@ -116,7 +154,16 @@ pub fn run_experiment_with_obs(
     cfg: &ExperimentConfig,
     obs: &netagg_obs::MetricsRegistry,
 ) -> SimResult {
-    let result = run_experiment(cfg);
+    run_experiment_stats_with_obs(cfg, obs).0
+}
+
+/// [`run_experiment_with_obs`] + the engine counters of
+/// [`run_experiment_stats`].
+pub fn run_experiment_stats_with_obs(
+    cfg: &ExperimentConfig,
+    obs: &netagg_obs::MetricsRegistry,
+) -> (SimResult, EngineStats) {
+    let (result, stats) = run_experiment_stats(cfg);
     let flows_completed = obs.counter(netagg_obs::names::SIM_FLOWS_COMPLETED);
     let bytes_delivered = obs.counter(netagg_obs::names::SIM_BYTES_DELIVERED);
     let fct_us = obs.histogram(netagg_obs::names::SIM_FCT_US);
@@ -140,5 +187,5 @@ pub fn run_experiment_with_obs(
         requests_completed.inc();
         request_completion_us.record(((finish - start) * 1e6) as u64);
     }
-    result
+    (result, stats)
 }

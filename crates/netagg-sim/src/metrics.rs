@@ -61,7 +61,7 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// returns `(value, cumulative fraction)` pairs.
 pub fn cdf(values: &[f64], points: usize) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     if sorted.is_empty() {
         return Vec::new();
     }
@@ -116,7 +116,7 @@ pub fn link_traffic_sorted(result: &SimResult) -> Vec<f64> {
         .copied()
         .filter(|&b| b > 0.0)
         .collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     v
 }
 

@@ -141,6 +141,22 @@ impl TopologyConfig {
         }
     }
 
+    /// 10x the paper's server count: 10 240 servers
+    /// (32 pods x 10 ToRs x 32 servers), same 1 Gbps edge and 1:4
+    /// over-subscription (ROADMAP item 2; the scale target of the
+    /// incremental engine and the `repro sim-perf` sweeps).
+    pub fn scale10x() -> Self {
+        Self {
+            pods: 32,
+            tors_per_pod: 10,
+            servers_per_tor: 32,
+            aggs_per_pod: 8,
+            cores: 32,
+            edge_capacity: crate::GBPS,
+            oversub: 4.0,
+        }
+    }
+
     /// 256 servers (8 pods x 2 ToRs x 16 servers); same capacity ratios.
     pub fn default_scale() -> Self {
         Self {
@@ -434,6 +450,23 @@ mod tests {
         // servers + tor-agg mesh + agg-core, duplex.
         let expected_links = 2 * (1024 + 64 * 4 + 64 * (16 / 4));
         assert_eq!(t.num_links(), expected_links);
+    }
+
+    #[test]
+    fn scale10x_topology_dimensions() {
+        let cfg = TopologyConfig::scale10x();
+        let t = Topology::build(&cfg);
+        assert_eq!(cfg.num_servers(), 10_240);
+        assert_eq!(cfg.num_tors(), 320);
+        assert_eq!(cfg.num_agg_switches(), 256);
+        assert_eq!(cfg.num_switches(), 320 + 256 + 32);
+        // servers + tor-agg mesh + agg-core, duplex.
+        let expected_links = 2 * (10_240 + 320 * 8 + 256 * (32 / 8));
+        assert_eq!(t.num_links(), expected_links);
+        // Same capacity ratios as the paper fabric.
+        let down = cfg.servers_per_tor as f64 * cfg.edge_capacity;
+        let up = cfg.aggs_per_pod as f64 * cfg.uplink_capacity();
+        assert!((down / up - cfg.oversub).abs() < 1e-9);
     }
 
     #[test]

@@ -87,6 +87,29 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// Flows per server of the default configuration (2 000 flows on the
+    /// 256-server default-scale fabric): the unit of "edge load" for the
+    /// scale sweeps.
+    pub const FLOWS_PER_SERVER: f64 = 2000.0 / 256.0;
+
+    /// A workload whose flow count scales with the fabric: `edge_load` x
+    /// [`Self::FLOWS_PER_SERVER`] flows per server, so `edge_load = 1.0`
+    /// offers the same per-server demand as the default configuration on
+    /// any topology (the x-axis of the `repro sim-perf` edge-load sweep).
+    pub fn for_edge_load(topo: &crate::topology::TopologyConfig, edge_load: f64) -> Self {
+        assert!(
+            edge_load.is_finite() && edge_load > 0.0,
+            "edge load must be finite and positive, got {edge_load}"
+        );
+        Self {
+            num_flows: (edge_load * Self::FLOWS_PER_SERVER * topo.num_servers() as f64).round()
+                as usize,
+            ..Self::default()
+        }
+    }
+}
+
 impl ArrivalProcess {
     /// Base start time of the next request/flow.
     fn next_start(&self, rng: &mut StdRng, clock: &mut f64) -> f64 {
@@ -286,6 +309,18 @@ mod tests {
         assert_eq!(total, 500);
         let frac = w.num_worker_flows() as f64 / total as f64;
         assert!((frac - 0.4).abs() < 0.05, "aggregatable fraction {frac}");
+    }
+
+    #[test]
+    fn edge_load_scales_flow_count_with_servers() {
+        let quick = TopologyConfig::quick(); // 32 servers
+        let w1 = WorkloadConfig::for_edge_load(&quick, 1.0);
+        assert_eq!(w1.num_flows, 250); // 32 x 2000/256
+        let w2 = WorkloadConfig::for_edge_load(&quick, 2.0);
+        assert_eq!(w2.num_flows, 500);
+        let big = TopologyConfig::scale10x();
+        let wb = WorkloadConfig::for_edge_load(&big, 1.0);
+        assert_eq!(wb.num_flows, 80_000); // 10240 x 2000/256
     }
 
     #[test]
