@@ -10,6 +10,8 @@
 //!          ablate-backpressure ablate-fanin ext-broadcast
 //!          quick (trace-friendly smoke drive)   perf (BENCH_perf.json)
 //!          sim-perf (BENCH_sim.json — 10,240-server simulator scaling)
+//!          soak (BENCH_soak.json — §7-contract scenario soak; --quick
+//!                runs the CI-sized section only)
 //!          sim (fig2..fig14)   testbed (fig15..fig26)   all
 //! ```
 //!
@@ -28,6 +30,7 @@ mod perf_figs;
 mod search_figs;
 mod sim_figs;
 mod sim_perf;
+mod soak;
 
 use netagg_bench::sim::SimScale;
 
@@ -163,6 +166,7 @@ fn main() {
         "quick" => perf_figs::quick(&opts),
         "perf" => perf_figs::perf(&opts),
         "sim-perf" => sim_perf::sim_perf(&opts),
+        "soak" => soak::soak(&opts),
         other => usage(&format!("unknown target {other}")),
     };
 
@@ -212,7 +216,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro <fig2..fig26|tab1|ablate-*|quick|perf|sim-perf|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics] [--trace OUT.json]"
+        "usage: repro <fig2..fig26|tab1|ablate-*|quick|perf|sim-perf|soak|sim|testbed|all> [--quick|--paper] [--seeds N] [--drive-secs S] [--metrics] [--trace OUT.json]"
     );
     std::process::exit(2);
 }

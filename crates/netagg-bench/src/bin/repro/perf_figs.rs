@@ -10,80 +10,42 @@
 //! percentiles never mix transports, then writes `BENCH_perf.json`.
 
 use crate::Options;
-use bytes::Bytes;
 use netagg_bench::sim::SimScale;
 use netagg_core::prelude::*;
-use netagg_core::runtime::{DeploymentConfig, NetAggDeployment};
-use netagg_net::{ChannelTransport, TcpTransport, Transport};
 use netagg_obs::trace::{self, SpanRecord};
 use netagg_obs::MetricsRegistry;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// The quick-example aggregation: max over decimal-encoded integers.
-struct Max;
-impl AggregationFunction for Max {
-    type Item = i64;
-    fn deserialize(&self, b: &Bytes) -> Result<i64, AggError> {
-        std::str::from_utf8(b)
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| AggError::Corrupt("not an integer".into()))
-    }
-    fn serialize(&self, item: &i64) -> Bytes {
-        Bytes::from(item.to_string())
-    }
-    fn aggregate(&self, items: Vec<i64>) -> i64 {
-        items.into_iter().max().unwrap_or(i64::MIN)
-    }
-    fn empty(&self) -> i64 {
-        i64::MIN
-    }
-}
+use netagg_scenarios::{
+    builtin_providers, ScenarioHarness, ScenarioSpec, SyntheticKind, TopologySpec,
+    TransportProvider,
+};
+use std::time::Duration;
 
 const WORKERS: u32 = 4;
 
-fn transports() -> Vec<(&'static str, Arc<dyn Transport>)> {
-    vec![
-        ("channel", Arc::new(ChannelTransport::new())),
-        ("tcp", Arc::new(TcpTransport::new())),
-    ]
-}
-
 /// One closed-loop drive: `requests` max-aggregations of `WORKERS`
-/// partials each, through a single-rack deployment on `transport`,
-/// publishing into `registry`. Request ids start at `base` so legs
-/// sharing one registry (the `quick` target) keep disjoint trace ids.
-/// Returns the wall-clock elapsed time.
+/// partials each, through a single-rack deployment on a fresh transport
+/// from `provider`, publishing into `registry`. Request ids start at
+/// `base` so legs sharing one registry (the `quick` target) keep disjoint
+/// trace ids. Returns the wall-clock elapsed time of the drive phase.
 fn drive(
-    transport: Arc<dyn Transport>,
+    provider: &dyn TransportProvider,
     registry: MetricsRegistry,
     base: u64,
     requests: u64,
 ) -> Result<Duration, AggError> {
-    let cluster = ClusterSpec::single_rack(WORKERS, 1);
-    let mut deployment = NetAggDeployment::launch_with_obs(
-        transport,
-        &cluster,
-        DeploymentConfig::default(),
-        registry,
-    )?;
-    let app = deployment.register_app("max", Arc::new(AggWrapper::new(Max)), 1.0);
-    let master = deployment.master_shim(app);
-    let workers: Vec<_> = (0..WORKERS)
-        .map(|w| deployment.worker_shim(app, w))
-        .collect();
-    let t0 = Instant::now();
-    for rid in base..base + requests {
-        let pending = master.register_request(rid, WORKERS as usize);
-        for (i, w) in workers.iter().enumerate() {
-            w.send_partial(rid, Bytes::from((10 * (i + 1)).to_string()))?;
-        }
-        pending.wait(Duration::from_secs(30))?;
+    let spec = ScenarioSpec::new("perf-closed-loop", TopologySpec::single_rack(WORKERS, 1))
+        .synthetic("max", SyntheticKind::Max, requests, 1.0)
+        .with_request_base(base);
+    let mut harness = ScenarioHarness::build_with_obs(&spec, provider, registry)?;
+    harness.drive();
+    let report = harness.finish();
+    if !report.passed() {
+        return Err(AggError::Corrupt(format!(
+            "perf drive: {} failures, {} mismatches, violations {:?}",
+            report.failures, report.mismatches, report.violations
+        )));
     }
-    let elapsed = t0.elapsed();
-    deployment.shutdown();
-    Ok(elapsed)
+    Ok(report.elapsed)
 }
 
 /// `repro quick` — a short drive on both transports through the
@@ -94,9 +56,10 @@ pub fn quick(opts: &Options) {
         _ => 10,
     };
     println!("# quick: {requests} aggregated requests per transport (quick topology)");
-    for (i, (label, transport)) in transports().into_iter().enumerate() {
+    for (i, provider) in builtin_providers().iter().enumerate() {
+        let label = provider.label();
         let registry = netagg_bench::obs::global().clone();
-        match drive(transport, registry, i as u64 * 1_000_000, requests) {
+        match drive(provider.as_ref(), registry, i as u64 * 1_000_000, requests) {
             Ok(elapsed) => println!(
                 "  {label:<8} {requests} requests in {:.1} ms",
                 elapsed.as_secs_f64() * 1e3
@@ -130,7 +93,7 @@ struct PerfLeg {
 
 fn run_leg(
     label: &'static str,
-    transport: Arc<dyn Transport>,
+    provider: &dyn TransportProvider,
     base: u64,
     requests: u64,
 ) -> Result<(PerfLeg, Vec<SpanRecord>), AggError> {
@@ -138,7 +101,7 @@ fn run_leg(
     // bleed across transports (or in from other figures).
     let registry = MetricsRegistry::new();
     registry.tracer().enable(1);
-    let elapsed = drive(transport, registry.clone(), base, requests)?;
+    let elapsed = drive(provider, registry.clone(), base, requests)?;
     let snap = registry.snapshot();
     let wait = snap
         .histogram(netagg_obs::names::SHIM_MASTER_REQUEST_WAIT_US)
@@ -206,8 +169,9 @@ pub fn perf(opts: &Options) {
     println!("# perf: {requests} requests per transport, quick topology, {WORKERS} workers");
     let mut legs: Vec<PerfLeg> = Vec::new();
     let mut traced: Vec<SpanRecord> = Vec::new();
-    for (i, (label, transport)) in transports().into_iter().enumerate() {
-        match run_leg(label, transport, i as u64 * 1_000_000, requests) {
+    for (i, provider) in builtin_providers().iter().enumerate() {
+        let label = provider.label();
+        match run_leg(label, provider.as_ref(), i as u64 * 1_000_000, requests) {
             Ok((leg, spans)) => {
                 println!(
                     "  {:<8} {:>8.0} frames/s   e2e µs p50 {:>6} p95 {:>6} p99 {:>6}",

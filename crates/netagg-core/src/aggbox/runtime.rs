@@ -195,6 +195,17 @@ impl OutReplay {
     fn get(&self, key: &(AppId, RequestId, TreeId)) -> Option<Vec<Bytes>> {
         self.map.get(key).cloned()
     }
+
+    /// Every retained entry for `(app, tree)`, in emission order — the
+    /// resend set for a permanent re-point (the old parent died and may
+    /// have taken any of these with it).
+    fn matching(&self, app: AppId, tree: TreeId) -> Vec<(RequestId, Vec<Bytes>)> {
+        self.order
+            .iter()
+            .filter(|(a, _, t)| *a == app && *t == tree)
+            .filter_map(|k| self.map.get(k).map(|c| (k.1, c.clone())))
+            .collect()
+    }
 }
 
 /// Pre-resolved metric handles mirroring [`BoxStats`] into a
@@ -588,9 +599,46 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                 new_parent,
             } => {
                 if permanent {
-                    let mut routes = inner.routes.write();
-                    if let Some(r) = routes.get_mut(&(app, tree)) {
-                        r.parent = new_parent;
+                    {
+                        let mut routes = inner.routes.write();
+                        if let Some(r) = routes.get_mut(&(app, tree)) {
+                            r.parent = new_parent;
+                        }
+                    }
+                    // The old parent is dead (this is the detector's
+                    // re-point): any output this box already forwarded to
+                    // it died with it, and the workers behind this box will
+                    // not replay those chunks — the box absorbed and acked
+                    // their partials. Resend the retained replay window.
+                    // Held states lock: a request with live state is still
+                    // open here (its completion resolves its destination
+                    // only after removing the state, so it will see the
+                    // route update above) — resend only its flushed chunks,
+                    // keeping their original seqs and never `last`, or the
+                    // real final chunk would be suppressed as a duplicate
+                    // seq upstream. A request without state (or whose final
+                    // chunk is already recorded past `out_seq`) is fully in
+                    // the window and replays with `last` intact; delivered
+                    // requests are deduped upstream by per-source seqs and
+                    // the master's delivered-id memory.
+                    let resend: Vec<(RequestId, Vec<Bytes>, bool)> = {
+                        let states = inner.states.lock();
+                        inner
+                            .out_replay
+                            .lock()
+                            .matching(app, tree)
+                            .into_iter()
+                            .map(|(rid, chunks)| {
+                                let finished = match states.get(&(app, rid, tree)) {
+                                    Some(st) => chunks.len() as u32 > st.out_seq,
+                                    None => true,
+                                };
+                                (rid, chunks, finished)
+                            })
+                            .collect()
+                    };
+                    for (rid, chunks, finished) in resend {
+                        resend_replay(inner, app, rid, tree, new_parent, chunks, finished);
                     }
                 } else {
                     inner
@@ -601,38 +649,7 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     // aggregate to the new parent (the old parent was slow
                     // or dead and the output may be lost with it).
                     if let Some(chunks) = inner.out_replay.lock().get(&(app, request, tree)) {
-                        // The original request state is gone by now, so the
-                        // replayed chunks re-attach at the trace root (the
-                        // deterministic trace id); the adopting parent's
-                        // wire/recv spans hang off that fresh ctx.
-                        let ctx = match &inner.obs {
-                            Some(o) if o.tracer.sampled(request.0) => {
-                                let tid = trace::trace_id(app.0, request.0);
-                                TraceCtx {
-                                    trace_id: tid,
-                                    parent_span_id: tid,
-                                }
-                            }
-                            _ => TraceCtx::NONE,
-                        };
-                        let sent_ns = if ctx.is_active() { trace::now_ns() } else { 0 };
-                        let n = chunks.len();
-                        for (i, payload) in chunks.into_iter().enumerate() {
-                            let _ = inner.egress.send((
-                                new_parent,
-                                Message::Data {
-                                    app,
-                                    request,
-                                    tree,
-                                    source: SourceId::Box(inner.cfg.box_id),
-                                    seq: i as u32,
-                                    last: i + 1 == n,
-                                    ctx,
-                                    sent_ns,
-                                    payload,
-                                },
-                            ));
-                        }
+                        resend_replay(inner, app, request, tree, new_parent, chunks, true);
                     }
                 }
             }
@@ -770,6 +787,53 @@ fn handle_data(
 fn close_input(inner: &Arc<Inner>, tree: Option<Arc<LocalAggTree>>, app: AppId) {
     if let Some(t) = tree {
         t.end_input(&inner.scheduler, app);
+    }
+}
+
+/// Resend one request's retained output chunks to `new_parent` after a
+/// redirect (per-request straggler redirect or permanent failure
+/// re-point). The replayed chunks re-attach at the trace root (the
+/// deterministic trace id); the adopting parent's wire/recv spans hang off
+/// that fresh ctx. `finished` marks whether the retained chunks include
+/// the request's final output: only then may the resend carry `last` —
+/// for a still-open request the real final chunk follows under the next
+/// seq, and a premature `last` here would close the source early.
+fn resend_replay(
+    inner: &Arc<Inner>,
+    app: AppId,
+    request: RequestId,
+    tree: TreeId,
+    new_parent: NodeId,
+    chunks: Vec<Bytes>,
+    finished: bool,
+) {
+    let ctx = match &inner.obs {
+        Some(o) if o.tracer.sampled(request.0) => {
+            let tid = trace::trace_id(app.0, request.0);
+            TraceCtx {
+                trace_id: tid,
+                parent_span_id: tid,
+            }
+        }
+        _ => TraceCtx::NONE,
+    };
+    let sent_ns = if ctx.is_active() { trace::now_ns() } else { 0 };
+    let n = chunks.len();
+    for (i, payload) in chunks.into_iter().enumerate() {
+        let _ = inner.egress.send((
+            new_parent,
+            Message::Data {
+                app,
+                request,
+                tree,
+                source: SourceId::Box(inner.cfg.box_id),
+                seq: i as u32,
+                last: finished && i + 1 == n,
+                ctx,
+                sent_ns,
+                payload,
+            },
+        ));
     }
 }
 
@@ -919,12 +983,6 @@ fn get_or_create<'a>(
             ltree.on_complete(Box::new(move |result| {
                 let Some(inner) = weak.upgrade() else { return };
                 let Ok(payload) = result else { return };
-                let dest = {
-                    let redirects = inner.out_redirects.lock();
-                    redirects.get(&(app, request, tree)).copied()
-                }
-                .or_else(|| inner.routes.read().get(&(app, tree)).map(|r| r.parent));
-                let Some(dest) = dest else { return };
                 let (seq, first_data, req_trace) = inner
                     .states
                     .lock()
@@ -1006,7 +1064,20 @@ fn get_or_create<'a>(
                 // Clean up the request state (also before the egress
                 // hand-off, for the same observer-visibility reason).
                 inner.states.lock().remove(&(app, request, tree));
+                // Resolve the destination only AFTER the final chunk is in
+                // the replay window and the state is gone: the permanent
+                // re-point handler treats a state-less request as fully
+                // recorded, and conversely a completion that still had
+                // state while the re-point snapshotted is guaranteed to
+                // read the updated route here — either way exactly one
+                // `last` chunk reaches a live parent.
+                let dest = {
+                    let redirects = inner.out_redirects.lock();
+                    redirects.get(&(app, request, tree)).copied()
+                }
+                .or_else(|| inner.routes.read().get(&(app, tree)).map(|r| r.parent));
                 inner.out_redirects.lock().remove(&(app, request, tree));
+                let Some(dest) = dest else { return };
                 let _ = inner.egress.send((dest, msg));
             }));
             Some(v.insert(ReqState {

@@ -19,7 +19,7 @@ use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -167,6 +167,12 @@ struct Pending {
     trace: Option<PendingTrace>,
 }
 
+/// How many delivered request ids the shim remembers for duplicate
+/// suppression of late replays. Replays trail the failure they recover
+/// from by at most the in-flight window, so a few thousand ids is far
+/// more history than any redelivery can span.
+const DELIVERED_MEMORY: usize = 4096;
+
 struct Inner {
     app: AppId,
     addr: NodeId,
@@ -176,6 +182,11 @@ struct Inner {
     specs: Vec<TreeSpec>,
     routes: Mutex<HashMap<TreeId, TreeRoute>>,
     pending: Mutex<HashMap<RequestId, Pending>>,
+    /// Recently delivered request ids (reaped from `pending` by `wait`).
+    /// Late replayed chunks for these are duplicates and must not
+    /// resurrect a fresh ledger entry — that would complete the request
+    /// a second time and leak the resurrected entry. Bounded FIFO.
+    delivered: Mutex<(VecDeque<RequestId>, HashSet<RequestId>)>,
     cv: Condvar,
     num_trees: u32,
     cancel: CancelToken,
@@ -245,6 +256,7 @@ impl MasterShim {
             specs: specs.to_vec(),
             routes: Mutex::new(routes),
             pending: Mutex::new(HashMap::new()),
+            delivered: Mutex::new((VecDeque::new(), HashSet::new())),
             cv: Condvar::new(),
             num_trees: specs.len() as u32,
             cancel: cancel.clone(),
@@ -652,6 +664,19 @@ impl PendingRequest {
                 .ok_or_else(|| AggError::Net("request not registered".into()))?;
             if p.complete {
                 let p = pending.remove(&self.request).unwrap();
+                // Remember the delivery (bounded memory) so late replayed
+                // chunks cannot resurrect the request. Lock order:
+                // pending before delivered, matching the reader path.
+                {
+                    let mut delivered = self.inner.delivered.lock();
+                    delivered.0.push_back(self.request);
+                    delivered.1.insert(self.request);
+                    if delivered.0.len() > DELIVERED_MEMORY {
+                        if let Some(old) = delivered.0.pop_front() {
+                            delivered.1.remove(&old);
+                        }
+                    }
+                }
                 drop(pending);
                 if let Some(o) = &self.inner.obs {
                     // Registration → fully merged result, as the unmodified
@@ -796,6 +821,17 @@ fn reader_loop(inner: &Arc<Inner>, mut conn: Box<dyn Connection>) {
                     }
                 }
                 let mut pending = inner.pending.lock();
+                // A chunk for an already-delivered request (a worker
+                // replaying after the waiter reaped the result) is a
+                // duplicate; seeding a fresh ledger for it would complete
+                // the request a second time. Lock order: pending before
+                // delivered, matching the reap in `PendingRequest::wait`.
+                if inner.delivered.lock().1.contains(&request) {
+                    if let Some(o) = &inner.obs {
+                        o.duplicates_dropped.inc();
+                    }
+                    continue;
+                }
                 // Unregistered requests are recorded (the data may arrive
                 // before register_request on another thread); the ledger
                 // is seeded from the routing table either way.

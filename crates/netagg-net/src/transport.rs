@@ -143,6 +143,24 @@ pub trait Transport: Send + Sync {
     fn attach_obs(&self, _obs: &MetricsRegistry) {}
 }
 
+/// A shared transport is itself a transport, so decorators written over a
+/// generic `T: Transport` (fault injection, metering) compose with the
+/// type-erased `Arc<dyn Transport>` handles that scenario providers and
+/// deployments pass around.
+impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
+    fn bind(&self, local: NodeId) -> Result<Box<dyn Listener>, NetError> {
+        (**self).bind(local)
+    }
+
+    fn connect(&self, local: NodeId, peer: NodeId) -> Result<Box<dyn Connection>, NetError> {
+        (**self).connect(local, peer)
+    }
+
+    fn attach_obs(&self, obs: &MetricsRegistry) {
+        (**self).attach_obs(obs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

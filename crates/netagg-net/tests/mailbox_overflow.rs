@@ -1,0 +1,89 @@
+//! Sustained-overflow accounting for `DropOldest` mailboxes: under a
+//! deterministic producer/consumer rate gap, the `mailbox.dropped.*`
+//! counters must match the evictions *exactly* (no sampling, no drift),
+//! the depth gauge must track occupancy, and the surviving items must be
+//! precisely the ones a FIFO-evicting model predicts.
+
+use netagg_net::lifecycle::{CancelToken, Mailbox, OverflowPolicy};
+use netagg_obs::MetricsRegistry;
+use std::collections::VecDeque;
+
+#[test]
+fn drop_oldest_counters_match_evictions_exactly() {
+    const CAPACITY: usize = 16;
+    const ROUNDS: u64 = 200;
+    const PRODUCED_PER_ROUND: u64 = 5;
+    const CONSUMED_PER_ROUND: u64 = 2;
+
+    let obs = MetricsRegistry::new();
+    let cancel = CancelToken::new();
+    let mb: Mailbox<u64> = Mailbox::with_obs(
+        "overflow",
+        CAPACITY,
+        OverflowPolicy::DropOldest,
+        cancel,
+        &obs,
+    );
+
+    // Reference model: a FIFO that evicts its head on overflow.
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut model_dropped: u64 = 0;
+    let mut next = 0u64;
+
+    for round in 0..ROUNDS {
+        // Producer runs faster than the consumer: +5 / -2 per round, so
+        // the queue saturates and stays saturated — sustained overflow.
+        for _ in 0..PRODUCED_PER_ROUND {
+            mb.send(next).expect("DropOldest send never fails");
+            model.push_back(next);
+            if model.len() > CAPACITY {
+                model.pop_front();
+                model_dropped += 1;
+            }
+            next += 1;
+        }
+        for _ in 0..CONSUMED_PER_ROUND {
+            let got = mb.recv().expect("queue is non-empty by construction");
+            let want = model.pop_front().expect("model in sync");
+            assert_eq!(
+                got, want,
+                "round {round}: eviction must drop the *oldest* item, \
+                 so the head the consumer sees matches the model"
+            );
+        }
+        // Exact agreement every round, not just at the end: a counter
+        // updated lazily or in batches would fail here.
+        assert_eq!(mb.dropped(), model_dropped, "round {round}: dropped()");
+        assert_eq!(
+            obs.counter("mailbox.dropped.overflow").get(),
+            model_dropped,
+            "round {round}: mailbox.dropped.<name>"
+        );
+        assert_eq!(
+            obs.counter("mailbox.dropped.drop_oldest").get(),
+            model_dropped,
+            "round {round}: mailbox.dropped.<policy>"
+        );
+        assert_eq!(
+            obs.gauge("mailbox.depth.overflow").get(),
+            model.len() as f64,
+            "round {round}: depth gauge tracks occupancy"
+        );
+    }
+
+    // Conservation: every produced item was consumed, evicted, or still
+    // queued — drops are not merely *close* to the rate gap, they account
+    // for it exactly.
+    let produced = ROUNDS * PRODUCED_PER_ROUND;
+    let consumed = ROUNDS * CONSUMED_PER_ROUND;
+    assert_eq!(
+        model_dropped,
+        produced - consumed - model.len() as u64,
+        "conservation: produced = consumed + dropped + queued"
+    );
+
+    // Drain what survives: it must be exactly the model's tail.
+    while let Some(want) = model.pop_front() {
+        assert_eq!(mb.recv().unwrap(), want);
+    }
+}

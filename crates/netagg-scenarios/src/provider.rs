@@ -1,0 +1,89 @@
+//! The [`TransportProvider`] contract: one scenario, any transport.
+//!
+//! A provider is a named factory for the *base* transport a scenario runs
+//! over. The scenario runner wraps whatever the provider builds in a
+//! [`netagg_net::FaultTransport`] (so the impairment schedule applies
+//! uniformly) and hands the result to
+//! [`netagg_core::runtime::NetAggDeployment`], which adds its own metering
+//! decorator. A provider therefore only answers two questions: what is this
+//! transport called, and how do I get a fresh, isolated instance of it?
+//!
+//! The contract (fenced by `tests/parity.rs`):
+//!
+//! * **Fresh state** — every [`TransportProvider::build`] call returns a
+//!   transport with no bound addresses, so scenarios never leak state into
+//!   each other even when one process runs a whole matrix.
+//! * **Blocking message semantics** — the transport must uphold the
+//!   [`Transport`] trait's reliable, ordered, message-oriented semantics;
+//!   a [`crate::ScenarioSpec`] run against any compliant provider produces
+//!   the same application-level results (same totals, same top-k winners),
+//!   differing only in timing.
+//! * **Impairment transparency** — faults are injected *above* the
+//!   provider's transport, so a provider never needs fault hooks of its
+//!   own.
+
+use netagg_net::{ChannelTransport, TcpTransport, Transport};
+use std::sync::Arc;
+
+/// A named factory for the base transport a scenario deploys over.
+pub trait TransportProvider: Send + Sync {
+    /// Short stable label (`channel`, `tcp`) used in reports, JSON
+    /// artifacts and test names.
+    fn label(&self) -> &'static str;
+    /// Build a fresh transport with no bound addresses.
+    fn build(&self) -> Arc<dyn Transport>;
+}
+
+/// Provider for the in-process [`ChannelTransport`] (bounded mailboxes,
+/// zero syscalls — the deterministic end of the matrix).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ChannelProvider;
+
+impl TransportProvider for ChannelProvider {
+    fn label(&self) -> &'static str {
+        "channel"
+    }
+
+    fn build(&self) -> Arc<dyn Transport> {
+        Arc::new(ChannelTransport::new())
+    }
+}
+
+/// Provider for the loopback [`TcpTransport`] (the event-driven sharded
+/// reactor of DESIGN.md §12 — real sockets, real syscalls).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpProvider;
+
+impl TransportProvider for TcpProvider {
+    fn label(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn build(&self) -> Arc<dyn Transport> {
+        Arc::new(TcpTransport::new())
+    }
+}
+
+/// Both built-in providers, in matrix order (channel first: failures there
+/// implicate the scenario, failures only on tcp implicate the reactor).
+pub fn builtin_providers() -> Vec<Box<dyn TransportProvider>> {
+    vec![Box::new(ChannelProvider), Box::new(TcpProvider)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn providers_build_fresh_transports() {
+        for p in builtin_providers() {
+            // The same address binds on two consecutive builds: no state
+            // leaks from one instance to the next.
+            let a = p.build();
+            let _la = a.bind(7).unwrap();
+            let b = p.build();
+            let _lb = b.bind(7).unwrap();
+            assert!(!p.label().is_empty());
+        }
+    }
+}

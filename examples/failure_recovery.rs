@@ -3,49 +3,28 @@
 //! buffers recovering the in-flight request (Section 3.1, "Handling
 //! failures").
 //!
+//! The deployment is assembled by the scenario harness — one spec names
+//! the topology, the workload and the detector; the fault controller and
+//! shims come from accessors instead of hand-wiring.
+//!
 //! Run with: `cargo run --example failure_recovery`
 
 use bytes::Bytes;
-use netagg_core::failure::DetectorConfig;
-use netagg_core::prelude::*;
-use netagg_net::{ChannelTransport, FaultController, FaultTransport, Transport};
-use std::sync::Arc;
+use netagg_scenarios::{
+    ChannelProvider, ScenarioHarness, ScenarioSpec, SyntheticKind, TopologySpec,
+};
 use std::time::Duration;
 
-struct Sum;
-impl AggregationFunction for Sum {
-    type Item = i64;
-    fn deserialize(&self, b: &Bytes) -> Result<i64, AggError> {
-        std::str::from_utf8(b)
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| AggError::Corrupt("not an int".into()))
-    }
-    fn serialize(&self, v: &i64) -> Bytes {
-        Bytes::from(v.to_string())
-    }
-    fn aggregate(&self, items: Vec<i64>) -> i64 {
-        items.into_iter().sum()
-    }
-    fn empty(&self) -> i64 {
-        0
-    }
-}
-
 fn main() {
-    let ctl = FaultController::new();
-    let transport: Arc<dyn Transport> =
-        Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
-    let cluster = ClusterSpec::single_rack(3, 1);
-    let mut deployment = NetAggDeployment::launch(transport, &cluster).unwrap();
-    let app = deployment.register_app("sum", Arc::new(AggWrapper::new(Sum)), 1.0);
-    let master = deployment.master_shim(app);
-    let workers: Vec<_> = (0..3).map(|w| deployment.worker_shim(app, w)).collect();
-    deployment.enable_failure_detection(DetectorConfig {
-        interval: Duration::from_millis(30),
-        timeout: Duration::from_millis(60),
-        misses: 2,
-    });
+    // Zero spec-driven requests: this example narrates each request by
+    // hand through the harness's shim accessors.
+    let spec = ScenarioSpec::new("failure-recovery", TopologySpec::single_rack(3, 1))
+        .synthetic("sum", SyntheticKind::Sum, 0, 1.0)
+        .with_fast_detector();
+    let harness = ScenarioHarness::build(&spec, &ChannelProvider).unwrap();
+    let (master, workers) = harness.synthetic_shims(0).unwrap();
+    let master = master.clone();
+    let workers = workers.to_vec();
 
     // Healthy request: aggregated at the box.
     let p = master.register_request(1, 3);
@@ -63,9 +42,9 @@ fn main() {
     let p = master.register_request(2, 3);
     workers[0].send_partial(2, Bytes::from("1")).unwrap();
     workers[1].send_partial(2, Bytes::from("2")).unwrap();
-    let box_addr = deployment.boxes()[0].addr();
+    let box_addr = harness.deployment().boxes()[0].addr();
     println!("\nkilling the agg box mid-request...");
-    ctl.kill(box_addr);
+    harness.fault().kill(box_addr);
     std::thread::sleep(Duration::from_millis(400)); // detector fires, redirects
     workers[2].send_partial(2, Bytes::from("4")).unwrap();
     let r = p.wait(Duration::from_secs(10)).unwrap();
@@ -87,6 +66,12 @@ fn main() {
         String::from_utf8_lossy(&r.combined)
     );
     assert_eq!(r.combined.as_ref(), b"15");
-    deployment.shutdown();
+    drop((master, workers));
+    let report = harness.finish();
+    println!(
+        "\nteardown contract: detections={} repoints={} violations={:?}",
+        report.detections, report.repoints, report.violations
+    );
+    assert!(report.violations.is_empty());
     println!("\nok");
 }

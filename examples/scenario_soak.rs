@@ -1,0 +1,50 @@
+//! Declarative scenarios: one [`ScenarioSpec`] runs the full workload mix
+//! (synthetic aggregations, search, map/reduce) with a seeded impairment
+//! schedule, identically on every transport provider, and checks the
+//! platform's teardown contract (DESIGN.md §7/§14) at the end.
+//!
+//! This is a miniature of the soak harness (`repro soak`); it finishes in
+//! a few seconds.
+//!
+//! Run with: `cargo run --example scenario_soak`
+
+use netagg_scenarios::{
+    builtin_providers, run_scenario, Impairment, ScenarioSpec, SyntheticKind, TopologySpec,
+};
+
+fn main() {
+    // Two racks, a box per rack; three apps plus a mid-run box kill and a
+    // straggler storm, all derived from the spec's seed.
+    let spec = ScenarioSpec::new("example-soak", TopologySpec::multi_rack(2, 3, 1))
+        .synthetic("sum", SyntheticKind::Sum, 2_000, 2.0)
+        .synthetic("topk", SyntheticKind::TopK { k: 4 }, 1_000, 1.0)
+        .mapreduce(10, 1.0)
+        .impair(Impairment::BoxKill {
+            slot: 0,
+            after_requests: 800,
+        })
+        .impair(Impairment::StragglerStorm {
+            workers: vec![1, 4],
+            delay_ms: 1,
+            from_requests: 400,
+            until_requests: 700,
+        })
+        .with_fast_detector()
+        .with_inflight(8);
+
+    // The same spec runs against the in-process channel transport and the
+    // TCP sharded reactor; only timing may differ.
+    for provider in builtin_providers() {
+        let report = run_scenario(&spec, provider.as_ref()).unwrap();
+        println!("{}", report.summary());
+        assert!(
+            report.passed(),
+            "{}: failures={} mismatches={} violations={:?}",
+            report.provider,
+            report.failures,
+            report.mismatches,
+            report.violations
+        );
+    }
+    println!("ok");
+}

@@ -4,6 +4,8 @@
 //! * [`netagg_core`] — the middlebox platform (the paper's contribution).
 //! * [`netagg_net`] — transports, framing, link emulation, fault injection.
 //! * [`netagg_obs`] — metrics registry and structured-event buffer.
+//! * [`netagg_scenarios`] — declarative scenario specs, transport
+//!   providers and the soak harness.
 //! * [`netagg_sim`] — the flow-level data-centre simulator.
 //! * [`minisearch`] — the distributed search engine (Solr substitute).
 //! * [`minimr`] — the map/reduce framework (Hadoop substitute).
@@ -13,4 +15,5 @@ pub use minisearch;
 pub use netagg_core;
 pub use netagg_net;
 pub use netagg_obs;
+pub use netagg_scenarios;
 pub use netagg_sim;

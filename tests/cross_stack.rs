@@ -3,51 +3,37 @@
 //! ratios at small scale, and simulation/testbed consistency.
 
 use bytes::Bytes;
-use minimr::cluster::{JobConfig, MRCluster};
-use minimr::jobs::Benchmark;
+use minimr::cluster::JobConfig;
 use minisearch::corpus::CorpusConfig;
-use minisearch::frontend::FrontendConfig;
-use minisearch::netagg::{SearchCluster, SearchFunction};
-use netagg_net::{ChannelTransport, Transport};
-use netagg_repro::netagg_core::prelude::*;
-use netagg_repro::netagg_core::runtime::NetAggDeployment;
-use netagg_repro::netagg_core::shim::TreeSelection;
+use netagg_repro::netagg_scenarios::{
+    ChannelProvider, ScenarioHarness, ScenarioSpec, TopologySpec,
+};
 use netagg_repro::netagg_sim;
-use std::sync::Arc;
 use std::time::Duration;
 
+/// Corpus used by the shared-deployment test; seed 5 pins the shards.
+fn shared_corpus() -> CorpusConfig {
+    CorpusConfig {
+        num_docs: 200,
+        vocabulary: 800,
+        mean_words: 40,
+        markers_per_doc: 3,
+        seed: 5,
+    }
+}
+
 /// Both applications (search + map/reduce) share one deployment and one
-/// agg box; the box's scheduler accounts CPU per application.
+/// agg box; the box's scheduler accounts CPU per application. The
+/// workloads are driven by hand through the harness accessors (zero
+/// spec-driven requests), so the test controls exact inputs.
 #[test]
 fn search_and_mapreduce_share_one_deployment() {
-    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
-    let cluster_spec = ClusterSpec::single_rack(4, 1);
-    let mut dep = NetAggDeployment::launch(transport.clone(), &cluster_spec).unwrap();
-
-    let mut search = SearchCluster::launch(
-        &mut dep,
-        transport.clone(),
-        &CorpusConfig {
-            num_docs: 200,
-            vocabulary: 800,
-            mean_words: 40,
-            markers_per_doc: 3,
-            seed: 5,
-        },
-        SearchFunction::TopK { k: 10 },
-        FrontendConfig {
-            backend_k: 30,
-            timeout: Duration::from_secs(10),
-        },
-        2.0,
-    )
-    .unwrap();
-    let mr = MRCluster::launch(
-        &mut dep,
-        Benchmark::WC.job(),
-        TreeSelection::PerRequest,
-        1.0,
-    );
+    let spec = ScenarioSpec::new("shared-deployment", TopologySpec::single_rack(4, 1))
+        .search_with_backend_k(0, shared_corpus(), 10, 30, 2.0)
+        .mapreduce(0, 1.0);
+    let harness = ScenarioHarness::build(&spec, &ChannelProvider).unwrap();
+    let search = harness.search(0).unwrap();
+    let mr = harness.mapreduce(1).unwrap();
     assert_ne!(search.app, mr.app);
 
     // Interleave work from both applications.
@@ -76,13 +62,13 @@ fn search_and_mapreduce_share_one_deployment() {
     assert_eq!(count(b"y"), Some(2));
 
     // The box's scheduler ran tasks for both applications.
-    let cpu = dep.boxes()[0].scheduler().cpu_times();
+    let cpu = harness.deployment().boxes()[0].scheduler().cpu_times();
     assert_eq!(cpu.len(), 2);
     for c in &cpu {
         assert!(c.tasks_run > 0, "app {:?} ran no box tasks", c.app);
     }
-    search.shutdown();
-    dep.shutdown();
+    let report = harness.finish();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
 
 /// The simulator's headline comparison holds under contention: NetAgg
@@ -148,38 +134,29 @@ fn sim_and_testbed_agree_on_reduction() {
 fn multi_rack_search_with_straggler_policy() {
     use netagg_repro::netagg_core::runtime::DeploymentConfig;
     use netagg_repro::netagg_core::straggler::StragglerPolicy;
-    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
-    let cluster_spec = ClusterSpec::multi_rack(2, 2, 1);
-    let mut dep = NetAggDeployment::launch_with(
-        transport.clone(),
-        &cluster_spec,
-        DeploymentConfig {
+    let spec = ScenarioSpec::new("straggler-policy", TopologySpec::multi_rack(2, 2, 1))
+        .with_tuning(DeploymentConfig {
             straggler: Some(StragglerPolicy {
                 threshold: Duration::from_millis(300),
                 repeat_limit: 100,
             }),
             ..DeploymentConfig::default()
-        },
-    )
-    .unwrap();
-    let mut search = SearchCluster::launch(
-        &mut dep,
-        transport,
-        &CorpusConfig {
-            num_docs: 150,
-            vocabulary: 500,
-            mean_words: 30,
-            markers_per_doc: 3,
-            seed: 9,
-        },
-        SearchFunction::TopK { k: 5 },
-        FrontendConfig {
-            backend_k: 20,
-            timeout: Duration::from_secs(10),
-        },
-        1.0,
-    )
-    .unwrap();
+        })
+        .search_with_backend_k(
+            0,
+            CorpusConfig {
+                num_docs: 150,
+                vocabulary: 500,
+                mean_words: 30,
+                markers_per_doc: 3,
+                seed: 9,
+            },
+            5,
+            20,
+            1.0,
+        );
+    let harness = ScenarioHarness::build(&spec, &ChannelProvider).unwrap();
+    let search = harness.search(0).unwrap();
     for q in 0..8 {
         let out = search
             .frontend
@@ -187,8 +164,8 @@ fn multi_rack_search_with_straggler_policy() {
             .unwrap();
         assert!(out.results.docs.len() <= 5);
     }
-    search.shutdown();
-    dep.shutdown();
+    let report = harness.finish();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
 
 /// A search cluster keeps answering queries after its agg box dies: the
@@ -196,36 +173,25 @@ fn multi_rack_search_with_straggler_policy() {
 /// replay buffers recover the in-flight query.
 #[test]
 fn search_survives_box_failure() {
-    use netagg_net::{FaultController, FaultTransport};
-    use netagg_repro::netagg_core::failure::DetectorConfig;
-    let ctl = FaultController::new();
-    let transport: Arc<dyn Transport> =
-        Arc::new(FaultTransport::new(ChannelTransport::new(), ctl.clone()));
-    let cluster_spec = ClusterSpec::single_rack(4, 1);
-    let mut dep = NetAggDeployment::launch(transport.clone(), &cluster_spec).unwrap();
-    let mut search = SearchCluster::launch(
-        &mut dep,
-        transport,
-        &CorpusConfig {
-            num_docs: 200,
-            vocabulary: 800,
-            mean_words: 40,
-            markers_per_doc: 3,
-            seed: 11,
-        },
-        SearchFunction::TopK { k: 10 },
-        FrontendConfig {
-            backend_k: 30,
-            timeout: Duration::from_secs(10),
-        },
-        1.0,
-    )
-    .unwrap();
-    dep.enable_failure_detection(DetectorConfig {
-        interval: Duration::from_millis(30),
-        timeout: Duration::from_millis(60),
-        misses: 2,
-    });
+    // The harness always layers a `FaultTransport` over the provider's
+    // transport, so ad-hoc kills go through `harness.fault()`.
+    let spec = ScenarioSpec::new("search-box-failure", TopologySpec::single_rack(4, 1))
+        .search_with_backend_k(
+            0,
+            CorpusConfig {
+                num_docs: 200,
+                vocabulary: 800,
+                mean_words: 40,
+                markers_per_doc: 3,
+                seed: 11,
+            },
+            10,
+            30,
+            1.0,
+        )
+        .with_fast_detector();
+    let harness = ScenarioHarness::build(&spec, &ChannelProvider).unwrap();
+    let search = harness.search(0).unwrap();
 
     let before = search
         .frontend
@@ -233,7 +199,8 @@ fn search_survives_box_failure() {
         .unwrap();
     assert!(!before.results.docs.is_empty());
 
-    ctl.kill(dep.boxes()[0].addr());
+    let box_addr = harness.deployment().boxes()[0].addr();
+    harness.fault().kill(box_addr);
     std::thread::sleep(Duration::from_millis(400)); // detector fires
 
     // Queries after the failure bypass the dead box and return the same
@@ -245,24 +212,20 @@ fn search_survives_box_failure() {
     let ids =
         |o: &minisearch::QueryOutcome| o.results.docs.iter().map(|d| d.doc).collect::<Vec<_>>();
     assert_eq!(ids(&before), ids(&after));
-    ctl.revive(dep.boxes()[0].addr());
-    search.shutdown();
-    dep.shutdown();
+    harness.fault().revive(box_addr);
+    let report = harness.finish();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.detections >= 1, "detector never fired");
 }
 
 /// Speculative re-execution emits duplicate mapper output; the boxes'
 /// per-source sequence suppression keeps the job's result exact.
 #[test]
 fn mapreduce_speculative_duplicates_are_exact() {
-    let transport: Arc<dyn Transport> = Arc::new(ChannelTransport::new());
-    let cluster_spec = ClusterSpec::single_rack(3, 1);
-    let mut dep = NetAggDeployment::launch(transport, &cluster_spec).unwrap();
-    let mr = MRCluster::launch(
-        &mut dep,
-        Benchmark::WC.job(),
-        TreeSelection::PerRequest,
-        1.0,
-    );
+    let spec =
+        ScenarioSpec::new("mr-speculation", TopologySpec::single_rack(3, 1)).mapreduce(0, 1.0);
+    let harness = ScenarioHarness::build(&spec, &ChannelProvider).unwrap();
+    let mr = harness.mapreduce(0).unwrap();
     let inputs = vec![
         vec![Bytes::from_static(b"a b a c"), Bytes::from_static(b"b b")],
         vec![Bytes::from_static(b"c a")],
@@ -301,5 +264,8 @@ fn mapreduce_speculative_duplicates_are_exact() {
     assert_eq!(count(b"a"), Some(4));
     assert_eq!(count(b"b"), Some(3));
     assert_eq!(count(b"c"), Some(2));
-    dep.shutdown();
+    // Speculative duplicates were suppressed, not delivered twice; the
+    // harness's teardown contract re-checks that from the metrics.
+    let report = harness.finish();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
