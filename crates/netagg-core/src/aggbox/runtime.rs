@@ -11,14 +11,17 @@
 use crate::aggbox::scheduler::{SchedulerConfig, TaskScheduler};
 use crate::aggbox::tree::{LocalAggTree, TraceTarget};
 use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
-use crate::lifecycle::{CancelToken, JoinScope, Mailbox, OverflowPolicy, DEFAULT_JOIN_DEADLINE};
+use crate::lifecycle::{
+    CancelToken, JoinScope, Mailbox, OrderedMutex, OrderedRwLock, OverflowPolicy,
+    DEFAULT_JOIN_DEADLINE,
+};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::DynAggregator;
 use bytes::Bytes;
+use netagg_net::lock_order;
 use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, Histogram, MetricsRegistry};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -297,16 +300,16 @@ struct Inner {
     cfg: AggBoxConfig,
     transport: Arc<dyn Transport>,
     scheduler: Arc<TaskScheduler>,
-    apps: RwLock<HashMap<AppId, Arc<dyn DynAggregator>>>,
-    routes: RwLock<HashMap<(AppId, TreeId), Route>>,
-    states: Mutex<HashMap<(AppId, RequestId, TreeId), ReqState>>,
+    apps: OrderedRwLock<HashMap<AppId, Arc<dyn DynAggregator>>>,
+    routes: OrderedRwLock<HashMap<(AppId, TreeId), Route>>,
+    states: OrderedMutex<HashMap<(AppId, RequestId, TreeId), ReqState>>,
     /// Per-request output redirections (straggler bypass upstream of us).
-    out_redirects: Mutex<HashMap<(AppId, RequestId, TreeId), NodeId>>,
+    out_redirects: OrderedMutex<HashMap<(AppId, RequestId, TreeId), NodeId>>,
     /// Recently completed outputs, kept so a late per-request redirect can
     /// resend an aggregate that already went to the (slow or dead) parent.
-    out_replay: Mutex<OutReplay>,
+    out_replay: OrderedMutex<OutReplay>,
     /// Straggler event counts per child box.
-    straggler_counts: Mutex<HashMap<u32, u32>>,
+    straggler_counts: OrderedMutex<HashMap<u32, u32>>,
     /// Bounded hand-off to the egress thread (`DropOldest`: completion
     /// callbacks run on scheduler threads and must never block here).
     egress: Mailbox<(NodeId, Message)>,
@@ -358,12 +361,12 @@ impl AggBox {
             cfg,
             transport: transport.clone(),
             scheduler,
-            apps: RwLock::new(HashMap::new()),
-            routes: RwLock::new(HashMap::new()),
-            states: Mutex::new(HashMap::new()),
-            out_redirects: Mutex::new(HashMap::new()),
-            out_replay: Mutex::new(OutReplay::new(64)),
-            straggler_counts: Mutex::new(HashMap::new()),
+            apps: OrderedRwLock::new(lock_order::AGG_APPS, HashMap::new()),
+            routes: OrderedRwLock::new(lock_order::AGG_ROUTES, HashMap::new()),
+            states: OrderedMutex::new(lock_order::AGG_STATES, HashMap::new()),
+            out_redirects: OrderedMutex::new(lock_order::AGG_OUT_REDIRECTS, HashMap::new()),
+            out_replay: OrderedMutex::new(lock_order::AGG_OUT_REPLAY, OutReplay::new(64)),
+            straggler_counts: OrderedMutex::new(lock_order::AGG_STRAGGLER, HashMap::new()),
             egress,
             cancel,
             stats: BoxStats::default(),

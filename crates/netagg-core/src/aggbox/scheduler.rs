@@ -14,10 +14,11 @@
 //! `w_i = s_i / t_i  (normalised)`, which equalises achieved CPU shares
 //! (Fig. 26).
 
-use crate::lifecycle::{CancelToken, JoinScope, WakerGuard, DEFAULT_JOIN_DEADLINE};
+use crate::lifecycle::{CancelToken, JoinScope, OrderedMutex, WakerGuard, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::AppId;
+use netagg_net::lock_order;
 use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -100,7 +101,7 @@ struct State {
 }
 
 struct Inner {
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
     work_cv: Condvar,
     idle_cv: Condvar,
     cancel: CancelToken,
@@ -154,12 +155,15 @@ impl TaskScheduler {
             obs.as_ref(),
         );
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                apps: HashMap::new(),
-                queued: 0,
-                running: 0,
-                rng: cfg.seed | 1,
-            }),
+            state: OrderedMutex::new(
+                lock_order::SCHED_STATE,
+                State {
+                    apps: HashMap::new(),
+                    queued: 0,
+                    running: 0,
+                    rng: cfg.seed | 1,
+                },
+            ),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             cancel,
@@ -252,7 +256,7 @@ impl TaskScheduler {
             if now >= deadline {
                 return false;
             }
-            self.inner.idle_cv.wait_for(&mut s, deadline - now);
+            self.inner.idle_cv.wait_for(s.inner(), deadline - now);
         }
         true
     }
@@ -322,7 +326,7 @@ fn worker_loop(inner: &Inner) {
                 if s.queued > 0 {
                     break;
                 }
-                inner.work_cv.wait(&mut s);
+                inner.work_cv.wait(s.inner());
             }
             // Weighted random pick among apps with queued work.
             let total: f64 = s

@@ -11,5 +11,6 @@
 
 pub use netagg_net::lifecycle::{
     CancelToken, JoinScope, Mailbox, MailboxRecvError, MailboxRecvTimeoutError, MailboxSendError,
-    MailboxTryRecvError, OverflowPolicy, ScopeError, WakerGuard, DEFAULT_JOIN_DEADLINE,
+    MailboxTryRecvError, OrderedMutex, OrderedMutexGuard, OrderedRwLock, OrderedRwLockReadGuard,
+    OrderedRwLockWriteGuard, OverflowPolicy, ScopeError, WakerGuard, DEFAULT_JOIN_DEADLINE,
 };

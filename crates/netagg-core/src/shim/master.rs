@@ -8,17 +8,18 @@
 
 use crate::aggbox::runtime::ChildBoxInfo;
 use crate::ledger::{ChunkDisposition, FanInLedger, RepointOutcome};
-use crate::lifecycle::{CancelToken, JoinScope, WakerGuard, DEFAULT_JOIN_DEADLINE};
+use crate::lifecycle::{CancelToken, JoinScope, OrderedMutex, WakerGuard, DEFAULT_JOIN_DEADLINE};
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::shim::worker::per_request_tree;
 use crate::shim::TreeSelection;
 use crate::tree::{master_addr, Parent, TreeSpec};
 use crate::{AggError, DynAggregator};
 use bytes::Bytes;
+use netagg_net::lock_order;
 use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Condvar;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -180,20 +181,20 @@ struct Inner {
     transport: Arc<dyn Transport>,
     cfg: MasterShimConfig,
     specs: Vec<TreeSpec>,
-    routes: Mutex<HashMap<TreeId, TreeRoute>>,
-    pending: Mutex<HashMap<RequestId, Pending>>,
+    routes: OrderedMutex<HashMap<TreeId, TreeRoute>>,
+    pending: OrderedMutex<HashMap<RequestId, Pending>>,
     /// Recently delivered request ids (reaped from `pending` by `wait`).
     /// Late replayed chunks for these are duplicates and must not
     /// resurrect a fresh ledger entry — that would complete the request
     /// a second time and leak the resurrected entry. Bounded FIFO.
-    delivered: Mutex<(VecDeque<RequestId>, HashSet<RequestId>)>,
+    delivered: OrderedMutex<(VecDeque<RequestId>, HashSet<RequestId>)>,
     cv: Condvar,
     num_trees: u32,
     cancel: CancelToken,
     /// Cached control-plane connections (RequestMeta, Broadcast, straggler
     /// redirects), one per destination. Persistent connections keep
     /// control traffic ordered per peer and avoid a dial per message.
-    ctrl_conns: Mutex<HashMap<NodeId, Box<dyn Connection>>>,
+    ctrl_conns: OrderedMutex<HashMap<NodeId, Box<dyn Connection>>>,
     obs: Option<MasterObs>,
 }
 
@@ -254,13 +255,16 @@ impl MasterShim {
             transport,
             cfg,
             specs: specs.to_vec(),
-            routes: Mutex::new(routes),
-            pending: Mutex::new(HashMap::new()),
-            delivered: Mutex::new((VecDeque::new(), HashSet::new())),
+            routes: OrderedMutex::new(lock_order::MASTER_ROUTES, routes),
+            pending: OrderedMutex::new(lock_order::MASTER_PENDING, HashMap::new()),
+            delivered: OrderedMutex::new(
+                lock_order::MASTER_DELIVERED,
+                (VecDeque::new(), HashSet::new()),
+            ),
             cv: Condvar::new(),
             num_trees: specs.len() as u32,
             cancel: cancel.clone(),
-            ctrl_conns: Mutex::new(HashMap::new()),
+            ctrl_conns: OrderedMutex::new(lock_order::MASTER_CTRL_CONNS, HashMap::new()),
             obs,
         });
         // Wake condvar waiters on cancellation (takes the pending lock so a
@@ -624,6 +628,7 @@ fn send_ctrl(inner: &Inner, dest: NodeId, frame: Bytes) -> Result<(), NetError> 
         let conn = match conns.entry(dest) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
+                // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: the cache lock serializes racing dials to one per destination
                 match inner.transport.connect(inner.addr, dest) {
                     Ok(c) => v.insert(c),
                     Err(e) => {
@@ -633,6 +638,7 @@ fn send_ctrl(inner: &Inner, dest: NodeId, frame: Bytes) -> Result<(), NetError> 
                 }
             }
         };
+        // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: the first send must precede any racing redial that would replace the cached conn
         match conn.send(frame.clone()) {
             Ok(()) => return Ok(()),
             Err(e) => {
@@ -727,7 +733,7 @@ impl PendingRequest {
             if now >= deadline {
                 return Err(AggError::Timeout);
             }
-            self.inner.cv.wait_for(&mut pending, deadline - now);
+            self.inner.cv.wait_for(pending.inner(), deadline - now);
         }
     }
 

@@ -1,16 +1,17 @@
 //! Worker-side shim layer.
 
 use crate::lifecycle::{
-    CancelToken, JoinScope, Mailbox, MailboxRecvTimeoutError, OverflowPolicy, DEFAULT_JOIN_DEADLINE,
+    CancelToken, JoinScope, Mailbox, MailboxRecvTimeoutError, OrderedMutex, OrderedRwLock,
+    OverflowPolicy, DEFAULT_JOIN_DEADLINE,
 };
 use crate::protocol::{AppId, Message, RequestId, SourceId, TreeId};
 use crate::tree::{box_addr, master_addr, worker_addr, TreeSpec};
 use crate::AggError;
 use bytes::Bytes;
+use netagg_net::lock_order;
 use netagg_net::{Connection, NetError, NodeId, Transport};
 use netagg_obs::trace::{self, TraceCtx, TraceRecorder};
 use netagg_obs::{names, Counter, MetricsRegistry};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -91,10 +92,10 @@ struct Inner {
     selection: TreeSelection,
     num_trees: u32,
     /// Destination per tree: the worker's first on-path box, or the master.
-    assignments: RwLock<HashMap<TreeId, NodeId>>,
-    conns: Mutex<HashMap<NodeId, Box<dyn Connection>>>,
-    seqs: Mutex<HashMap<RequestId, u32>>,
-    replay: Mutex<ReplayBuffer>,
+    assignments: OrderedRwLock<HashMap<TreeId, NodeId>>,
+    conns: OrderedMutex<HashMap<NodeId, Box<dyn Connection>>>,
+    seqs: OrderedMutex<HashMap<RequestId, u32>>,
+    replay: OrderedMutex<ReplayBuffer>,
     /// Broadcasts received down the tree, delivered to the application
     /// through a bounded `DropOldest` mailbox (a non-consuming application
     /// keeps the newest [`BROADCAST_DEPTH`] payloads).
@@ -194,14 +195,17 @@ impl WorkerShim {
             transport,
             selection,
             num_trees: specs.len() as u32,
-            assignments: RwLock::new(assignments),
-            conns: Mutex::new(HashMap::new()),
-            seqs: Mutex::new(HashMap::new()),
-            replay: Mutex::new(ReplayBuffer {
-                per_request: HashMap::new(),
-                order: VecDeque::new(),
-                capacity: 64,
-            }),
+            assignments: OrderedRwLock::new(lock_order::WORKER_ASSIGNMENTS, assignments),
+            conns: OrderedMutex::new(lock_order::WORKER_CONNS, HashMap::new()),
+            seqs: OrderedMutex::new(lock_order::WORKER_SEQS, HashMap::new()),
+            replay: OrderedMutex::new(
+                lock_order::WORKER_REPLAY,
+                ReplayBuffer {
+                    per_request: HashMap::new(),
+                    order: VecDeque::new(),
+                    capacity: 64,
+                },
+            ),
             broadcasts,
             stats: WorkerStats::default(),
             obs: obs.as_ref().map(|reg| WorkerObs::new(reg, app, worker)),
@@ -476,6 +480,7 @@ impl Inner {
                 let conn = match conns.entry(dest) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(v) => {
+                        // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: the cache lock serializes racing dials to one per destination
                         match self.transport.connect(self.addr, dest) {
                             Ok(c) => v.insert(c),
                             Err(e) => {
@@ -487,6 +492,7 @@ impl Inner {
                         }
                     }
                 };
+                // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: the first send must precede any racing redial that would replace the cached conn
                 match conn.send(frame.clone()) {
                     Ok(()) => return Ok(()),
                     Err(_) => {

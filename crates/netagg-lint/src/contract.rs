@@ -33,6 +33,44 @@ pub struct ConstEntry {
     pub line: u32,
 }
 
+/// One `pub const IDENT: LockRank = LockRank::new(N, "name");` from
+/// `netagg-net/src/lock_order.rs`.
+#[derive(Debug, Clone)]
+pub struct RankEntry {
+    /// The Rust constant identifier, e.g. `MASTER_PENDING`.
+    pub ident: String,
+    /// The numeric rank.
+    pub rank: u16,
+    /// The registry name, e.g. `master.pending`.
+    pub name: String,
+    /// 1-based line in `lock_order.rs`.
+    pub line: u32,
+}
+
+/// One row of the DESIGN.md §15 "Lock ranks" table.
+#[derive(Debug, Clone)]
+pub struct RankRow {
+    /// The numeric rank (first column).
+    pub rank: u16,
+    /// The registry name (second column, backticked).
+    pub name: String,
+    /// 1-based line in DESIGN.md.
+    pub line: u32,
+}
+
+/// One declared acquisition edge from the §15 "Declared cross-layer
+/// edges" table — a `held → acquired` pair the lexical analysis cannot
+/// see because the acquisition happens across a crate or file boundary.
+#[derive(Debug, Clone)]
+pub struct EdgeEntry {
+    /// Registry name of the held lock.
+    pub from: String,
+    /// Registry name of the lock acquired while `from` is held.
+    pub to: String,
+    /// 1-based line in DESIGN.md.
+    pub line: u32,
+}
+
 /// The full parsed contract.
 #[derive(Debug, Default)]
 pub struct Contract {
@@ -48,6 +86,12 @@ pub struct Contract {
     pub reactor_threads: Vec<Entry>,
     /// Constants declared in `netagg_obs::names`.
     pub consts: Vec<ConstEntry>,
+    /// Rank constants declared in `netagg_net::lock_order` (§15).
+    pub lock_ranks: Vec<RankEntry>,
+    /// §15 "Lock ranks" table rows (diffed against [`Self::lock_ranks`]).
+    pub rank_rows: Vec<RankRow>,
+    /// §15 declared cross-layer acquisition edges.
+    pub declared_edges: Vec<EdgeEntry>,
 }
 
 impl Contract {
@@ -56,7 +100,10 @@ impl Contract {
     pub fn load(root: &Path) -> io::Result<Self> {
         let design = fs::read_to_string(root.join("DESIGN.md"))?;
         let names = fs::read_to_string(root.join("crates/netagg-obs/src/names.rs"))?;
-        Ok(Self::from_sources(&design, &names))
+        let locks = fs::read_to_string(root.join("crates/netagg-net/src/lock_order.rs"))?;
+        let mut c = Self::from_sources(&design, &names);
+        c.lock_ranks = parse_rank_consts(&locks);
+        Ok(c)
     }
 
     /// Parse a contract out of in-memory documents (used by fixtures).
@@ -68,6 +115,9 @@ impl Contract {
             threads: table_names(design, "### Thread inventory"),
             reactor_threads: table_names(design, "### Reactor threads"),
             consts: parse_consts(names),
+            lock_ranks: Vec::new(),
+            rank_rows: parse_rank_rows(design),
+            declared_edges: parse_declared_edges(design),
         };
         // Event kinds double as `emit()` call-site names; keep them out of
         // the metric set (no overlap today, but be explicit).
@@ -150,6 +200,173 @@ fn parse_consts(src: &str) -> Vec<ConstEntry> {
             value: after[q1 + 1..q1 + 1 + q2_rel].to_string(),
             line: (i + 1) as u32,
         });
+    }
+    out
+}
+
+/// Extract every `pub const IDENT: LockRank = LockRank::new(N, "name");`
+/// declaration from `lock_order.rs`. Tolerates rustfmt splitting the
+/// initialiser across lines: the declaration is scanned from `pub const`
+/// to the terminating `;`.
+pub fn parse_rank_consts(src: &str) -> Vec<RankEntry> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        let Some(rest) = trimmed.strip_prefix("pub const ") else {
+            i += 1;
+            continue;
+        };
+        let Some(colon) = rest.find(':') else {
+            i += 1;
+            continue;
+        };
+        let ident = rest[..colon].trim().to_string();
+        if !rest[colon..].contains("LockRank") {
+            i += 1;
+            continue;
+        }
+        let lineno = (i + 1) as u32;
+        // Gather the whole declaration (up to `;`), which rustfmt may wrap.
+        let mut decl = String::from(rest);
+        while !decl.contains(';') && i + 1 < lines.len() {
+            i += 1;
+            decl.push(' ');
+            decl.push_str(lines[i].trim());
+        }
+        i += 1;
+        let Some(open) = decl.find("new(") else {
+            continue;
+        };
+        let args = &decl[open + 4..];
+        let Some(comma) = args.find(',') else {
+            continue;
+        };
+        let Ok(rank) = args[..comma].trim().parse::<u16>() else {
+            continue;
+        };
+        let after = &args[comma + 1..];
+        let Some(q1) = after.find('"') else { continue };
+        let Some(q2_rel) = after[q1 + 1..].find('"') else {
+            continue;
+        };
+        out.push(RankEntry {
+            ident,
+            rank,
+            name: after[q1 + 1..q1 + 1 + q2_rel].to_string(),
+            line: lineno,
+        });
+    }
+    out
+}
+
+/// Split a markdown table row into trimmed cell strings.
+fn table_cells(line: &str) -> Vec<&str> {
+    line.trim()
+        .trim_start_matches('|')
+        .trim_end_matches('|')
+        .split('|')
+        .map(str::trim)
+        .collect()
+}
+
+/// Every backticked name inside a table cell, in order.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let Some(close_rel) = rest[open + 1..].find('`') else {
+            break;
+        };
+        let name = &rest[open + 1..open + 1 + close_rel];
+        if !name.is_empty() {
+            out.push(name.to_string());
+        }
+        rest = &rest[open + 2 + close_rel..];
+    }
+    out
+}
+
+/// All data rows of the markdown table under `heading`, as
+/// `(cells, line)` pairs (header and `|---|` separator rows excluded).
+fn table_rows(doc: &str, heading: &str) -> Vec<(Vec<String>, u32)> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (i, line) in doc.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("### ") || trimmed.starts_with("## ") {
+            in_section = trimmed == heading;
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells = table_cells(trimmed);
+        // Skip the separator row and the header row (no backticks or
+        // digits in a data row's first cell means header).
+        if cells
+            .iter()
+            .all(|c| c.chars().all(|ch| ch == '-' || ch == ':'))
+        {
+            continue;
+        }
+        out.push((
+            cells.into_iter().map(str::to_string).collect(),
+            (i + 1) as u32,
+        ));
+    }
+    out
+}
+
+/// Parse the §15 "Lock ranks" table: `| <rank> | `name` | protects |`.
+fn parse_rank_rows(doc: &str) -> Vec<RankRow> {
+    let mut out = Vec::new();
+    for (cells, line) in table_rows(doc, "### Lock ranks") {
+        let Some(rank_cell) = cells.first() else {
+            continue;
+        };
+        let Ok(rank) = rank_cell.parse::<u16>() else {
+            continue; // header row
+        };
+        let Some(name) = cells.get(1).map(|c| backticked(c)).and_then(|mut v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        }) else {
+            continue;
+        };
+        out.push(RankRow { rank, name, line });
+    }
+    out
+}
+
+/// Parse the §15 "Declared cross-layer edges" table:
+/// `| `from` | `to-a`, `to-b` | why |` — one [`EdgeEntry`] per `to` name.
+fn parse_declared_edges(doc: &str) -> Vec<EdgeEntry> {
+    let mut out = Vec::new();
+    for (cells, line) in table_rows(doc, "### Declared cross-layer edges") {
+        let Some(from) = cells.first().map(|c| backticked(c)).and_then(|mut v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        }) else {
+            continue; // header row
+        };
+        let Some(tos) = cells.get(1).map(|c| backticked(c)) else {
+            continue;
+        };
+        for to in tos {
+            out.push(EdgeEntry {
+                from: from.clone(),
+                to,
+                line,
+            });
+        }
     }
     out
 }
@@ -237,12 +454,73 @@ pub fn expand(template: &str, args: &[&str]) -> String { String::new() }
         assert_eq!(c.const_for("failure").unwrap().ident, "EVENT_FAILURE");
     }
 
+    const LOCK_DESIGN: &str = "\
+## 15. Lock order
+
+### Lock ranks
+
+| Rank | Lock | Protects |
+|---|---|---|
+| 10 | `scn.pending` | armed impairments |
+| 20 | `master.pending` | in-flight requests |
+
+### Declared cross-layer edges
+
+| From | To | Via |
+|---|---|---|
+| `master.pending` | `scn.pending`, `master.pending` | example |
+";
+
+    #[test]
+    fn parses_lock_tables() {
+        let c = Contract::from_sources(LOCK_DESIGN, "");
+        assert_eq!(c.rank_rows.len(), 2);
+        assert_eq!(c.rank_rows[0].rank, 10);
+        assert_eq!(c.rank_rows[0].name, "scn.pending");
+        assert_eq!(c.rank_rows[1].rank, 20);
+        assert_eq!(c.rank_rows[1].name, "master.pending");
+        assert_eq!(c.declared_edges.len(), 2);
+        assert_eq!(c.declared_edges[0].from, "master.pending");
+        assert_eq!(c.declared_edges[0].to, "scn.pending");
+        assert_eq!(c.declared_edges[1].to, "master.pending");
+    }
+
+    #[test]
+    fn parses_rank_consts_including_wrapped() {
+        let src = "\
+pub const SCN_PENDING: LockRank = LockRank::new(10, \"scn.pending\");
+pub const MASTER_PENDING: LockRank =
+    LockRank::new(20, \"master.pending\");
+pub const NOT_A_RANK: &str = \"x\";
+";
+        let ranks = parse_rank_consts(src);
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0].ident, "SCN_PENDING");
+        assert_eq!(ranks[0].rank, 10);
+        assert_eq!(ranks[0].name, "scn.pending");
+        assert_eq!(ranks[0].line, 1);
+        assert_eq!(ranks[1].ident, "MASTER_PENDING");
+        assert_eq!(ranks[1].rank, 20);
+        assert_eq!(ranks[1].name, "master.pending");
+    }
+
+    #[test]
+    fn real_workspace_lock_registry_is_nontrivial() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let c = Contract::load(&root).unwrap();
+        assert!(c.lock_ranks.len() >= 20, "ranks: {}", c.lock_ranks.len());
+        assert!(
+            !c.declared_edges.is_empty(),
+            "DESIGN.md §15 must declare the cross-layer edges"
+        );
+    }
+
     #[test]
     fn real_workspace_contract_is_nontrivial() {
         let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let c = Contract::load(&root).unwrap();
         assert!(c.metrics.len() >= 40, "metrics: {}", c.metrics.len());
-        assert_eq!(c.events.len(), 3);
+        assert_eq!(c.events.len(), 4);
         assert!(c.spans.len() >= 10, "spans: {}", c.spans.len());
         assert!(c.threads.len() >= 15, "threads: {}", c.threads.len());
         assert!(

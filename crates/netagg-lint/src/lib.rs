@@ -15,6 +15,15 @@
 //! * **thread-inventory** — inline `JoinScope::spawn` names match the
 //!   DESIGN.md §9 thread table, and the §12 reactor-thread table stays a
 //!   subset of §9.
+//! * **lock-order** — the workspace-wide lock-acquisition graph (§15):
+//!   every blocking acquisition made while a lock is held must ascend
+//!   the `lock_order.rs` rank registry, the graph (including the §15
+//!   declared cross-layer edges) must be acyclic, and the registry stays
+//!   in exact bidirectional sync with the §15 "Lock ranks" table.
+//! * **no-block-while-locked** — no Mailbox send/recv, `Condvar` wait,
+//!   `JoinScope` join, sleep or socket I/O inside a lock scope (§15).
+//! * **no-lock-unwrap** — no `.lock().unwrap()`: poison is handled by
+//!   the lifecycle wrappers, not crashed through (§15).
 //!
 //! Suppress a finding with a comment on (or immediately above) the line:
 //!
@@ -22,13 +31,15 @@
 //! // netagg-lint: allow(no-raw-spawn) test drives the scope from outside
 //! ```
 //!
-//! Suppressions that match nothing are reported as `unused-suppression`
-//! warnings so stale ones cannot accumulate.
+//! Suppressions that match nothing are `unused-suppression` **errors**:
+//! a stale `allow` silently widens the hole it once justified, so it
+//! fails the gate like any violation.
 
 #![warn(missing_docs)]
 
 pub mod contract;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
 
 use contract::Contract;
@@ -41,7 +52,7 @@ use std::path::{Path, PathBuf};
 pub enum Level {
     /// A contract violation; fails the run.
     Error,
-    /// Advisory (currently only `unused-suppression`).
+    /// Advisory.
     Warning,
 }
 
@@ -156,12 +167,27 @@ fn parse_suppressions(lexed: &lexer::Lexed) -> Vec<Suppression> {
 /// path used both for reporting and for per-rule scoping (the lifecycle
 /// exemption, test-directory handling).
 pub fn lint_source(path: &str, src: &str, contract: &Contract) -> Vec<Diagnostic> {
+    let reg = lockgraph::Registry::from_contract(contract);
+    lint_file(path, src, contract, &reg).0
+}
+
+/// Per-file pass shared by [`lint_source`] and [`lint_workspace`]: run
+/// every per-file rule, apply suppressions, and return the surviving
+/// diagnostics together with the file's lock-acquisition edges (the
+/// workspace pass feeds those into [`lockgraph::graph_checks`]).
+fn lint_file(
+    path: &str,
+    src: &str,
+    contract: &Contract,
+    reg: &lockgraph::Registry,
+) -> (Vec<Diagnostic>, Vec<lockgraph::Edge>) {
     let lexed = lexer::lex(src);
     let mut found = Vec::new();
 
     rules::no_raw_spawn(path, &lexed, &mut found);
     rules::no_unbounded_channel(path, &lexed, &mut found);
     rules::no_poll_shutdown(path, &lexed, &mut found);
+    rules::no_lock_unwrap(path, &lexed, &mut found);
 
     let test_path = path.starts_with("tests/")
         || path.starts_with("benches/")
@@ -177,6 +203,9 @@ pub fn lint_source(path: &str, src: &str, contract: &Contract) -> Vec<Diagnostic
         }
         rules::thread_inventory(path, &lexed, contract, &mut found);
     }
+
+    let fa = lockgraph::analyze_file(path, &lexed, reg);
+    found.extend(fa.diags);
 
     // Apply suppressions.
     let mut sups = parse_suppressions(&lexed);
@@ -211,16 +240,17 @@ pub fn lint_source(path: &str, src: &str, contract: &Contract) -> Vec<Diagnostic
                 file: path.into(),
                 line: s.line,
                 col: 1,
-                level: Level::Warning,
+                level: Level::Error,
                 message: format!(
                     "`allow({})` suppresses nothing — remove the stale \
-                     suppression",
+                     suppression (stale allows silently widen the hole they \
+                     once justified)",
                     s.rule
                 ),
             });
         }
     }
-    kept
+    (kept, fa.edges)
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -258,6 +288,9 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut diags = Vec::new();
     rules::metrics_contract_sync(&contract, &mut diags);
     rules::thread_inventory_sync(&contract, &mut diags);
+    lockgraph::sync_checks(&contract, &mut diags);
+    let reg = lockgraph::Registry::from_contract(&contract);
+    let mut edges = Vec::new();
     for file in &files {
         let src = fs::read_to_string(file)?;
         let rel = file
@@ -265,10 +298,45 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_source(&rel, &src, &contract));
+        let (d, e) = lint_file(&rel, &src, &contract, &reg);
+        diags.extend(d);
+        edges.extend(e);
     }
+    // Graph-level checks run over the merged edge set; their findings are
+    // global properties, not per-line ones, so they bypass suppressions.
+    lockgraph::graph_checks(&edges, &contract, &reg, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     Ok(diags)
+}
+
+/// The workspace's static lock-acquisition graph as a set of
+/// `(held, acquired)` registry-name pairs: every lexical edge (including
+/// `try_*` acquisitions and same-file indirect edges) plus the §15
+/// declared cross-layer edges. The runtime witness's observed edges must
+/// be a subset of this (`tests/lock_witness.rs`).
+pub fn lock_graph_names(root: &Path) -> io::Result<std::collections::BTreeSet<(String, String)>> {
+    let contract = Contract::load(root)?;
+    let reg = lockgraph::Registry::from_contract(&contract);
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = std::collections::BTreeSet::new();
+    for file in &files {
+        let src = fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lexed = lexer::lex(&src);
+        for e in lockgraph::analyze_file(&rel, &lexed, &reg).edges {
+            out.insert((e.from, e.to));
+        }
+    }
+    for de in &contract.declared_edges {
+        out.insert((de.from.clone(), de.to.clone()));
+    }
+    Ok(out)
 }
 
 /// Whether a diagnostic set should fail the run.
@@ -314,7 +382,7 @@ let v = std::thread::spawn(|| {});
     }
 
     #[test]
-    fn unused_suppression_warns_and_unknown_rule_errors() {
+    fn unused_and_unknown_suppressions_are_errors() {
         let c = mini_contract();
         let src = "// netagg-lint: allow(no-raw-spawn)\nlet x = 1;\n\
                    // netagg-lint: allow(no-such-rule)\nlet y = 2;\n";
@@ -322,10 +390,18 @@ let v = std::thread::spawn(|| {});
         assert_eq!(diags.len(), 2, "{diags:?}");
         assert!(diags
             .iter()
-            .any(|d| d.rule == "unused-suppression" && d.level == Level::Warning));
-        assert!(diags
-            .iter()
-            .any(|d| d.rule == "unused-suppression" && d.level == Level::Error));
+            .all(|d| d.rule == "unused-suppression" && d.level == Level::Error));
+        assert!(
+            diags.iter().any(|d| d.message.contains("unknown rule")),
+            "{diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("suppresses nothing")),
+            "{diags:?}"
+        );
+        assert!(has_errors(&diags));
     }
 
     #[test]

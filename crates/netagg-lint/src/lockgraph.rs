@@ -1,0 +1,1373 @@
+//! Cross-file concurrency analysis: the static lock-acquisition graph
+//! (DESIGN.md §15).
+//!
+//! The workspace declares every shared lock in
+//! `netagg-net/src/lock_order.rs` as a `LockRank` constant, and every hot
+//! lock site wraps its mutex in `OrderedMutex::new(RANK, ..)` /
+//! `OrderedRwLock::new(RANK, ..)`. This module recovers, per file and
+//! without `syn`:
+//!
+//! 1. **Bindings** — which receiver identifiers name which registered
+//!    lock. Inferred from construction sites
+//!    (`field: OrderedMutex::new(lock_order::RANK, ..)` binds `field`),
+//!    or declared explicitly with
+//!    `// netagg-lint: lock-binding(ident = registry.name)` when the
+//!    receiver is not lexically tied to a construction site.
+//! 2. **Acquisition edges** — a brace/statement-scoped walk of every `fn`
+//!    body tracks which guards are live; each `.lock()` / `.read()` /
+//!    `.write()` / `.try_lock()` on a bound receiver records one
+//!    `held → acquired` edge per live guard. A same-file transitive
+//!    closure (fn → locks it eventually takes) adds *indirect* edges for
+//!    calls made while a guard is held. `move` closures and nested `fn`
+//!    items run on other threads or later, so guards do not propagate
+//!    into them.
+//! 3. **Checks** — [`graph_checks`] requires every blocking edge to go
+//!    strictly *up* in rank and the whole graph (lexical + the §15
+//!    declared cross-layer edges) to be acyclic; `try_*` acquisitions are
+//!    recorded but exempt, since a failed try cannot complete a deadlock
+//!    cycle. [`sync_checks`] keeps `lock_order.rs` and the §15 "Lock
+//!    ranks" table in exact bidirectional sync — the same contract
+//!    pattern as the §7 metrics table.
+//!
+//! The debug-build runtime witness (`netagg-net`'s
+//! `lifecycle::witness_edges`) records the edges that *actually* occur;
+//! the root `tests/lock_witness.rs` suite asserts they are contained in
+//! this static graph, closing the loop in the other direction.
+//!
+//! Blocking-while-locked: while a guard is live, calls that can block
+//! indefinitely (Mailbox `send`/`recv`, `Condvar::wait*`, `JoinScope`
+//! joins, `sleep`, socket `connect`/`accept`/`write_all`/`read_exact`)
+//! are flagged — a blocked holder stalls every other acquirer. The
+//! guard a `Condvar` wait atomically releases is exempt.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::contract::Contract;
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::rules::{diag, is_called, matching_brace, LOCK_ORDER, NO_BLOCK_WHILE_LOCKED};
+use crate::{Diagnostic, Level};
+
+const LOCK_ORDER_FILE: &str = "crates/netagg-net/src/lock_order.rs";
+
+/// Method names that acquire a registered lock.
+const ACQUIRE_CALLS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Calls that can block indefinitely: forbidden while any registered
+/// guard is live.
+const BLOCKING_CALLS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_cancellable",
+    "recv_timeout",
+    "accept",
+    "accept_cancellable",
+    "connect",
+    "join_all",
+    "finish",
+    "sleep",
+    "wait",
+    "wait_for",
+    "wait_timeout",
+    "write_all",
+    "read_exact",
+];
+
+/// `Condvar` waits: the guard passed as the first argument is atomically
+/// released for the duration, so it alone is exempt at that call.
+const CONDVAR_WAITS: &[&str] = &["wait", "wait_for", "wait_timeout"];
+
+/// One acquisition edge of the static graph: `from` was held when `to`
+/// was acquired.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Registry name of the held lock.
+    pub from: String,
+    /// Registry name of the acquired lock.
+    pub to: String,
+    /// Workspace-relative file the acquisition is in.
+    pub file: String,
+    /// 1-based line of the acquisition (or call site for indirect edges).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Acquired via `try_*`: recorded in the graph, exempt from rank and
+    /// cycle checks (a failed try cannot complete a deadlock cycle).
+    pub non_blocking: bool,
+    /// For indirect edges: the same-file function whose transitive lock
+    /// set produced this edge.
+    pub via: Option<String>,
+}
+
+/// The lock registry, keyed both by constant identifier (for binding
+/// inference at construction sites) and by registry name (for ranks).
+#[derive(Debug, Default)]
+pub struct Registry {
+    by_ident: HashMap<String, (u16, String)>,
+    /// Registry name → rank.
+    pub by_name: BTreeMap<String, u16>,
+}
+
+impl Registry {
+    /// Build the registry view from the contract's parsed
+    /// `lock_order.rs` constants.
+    pub fn from_contract(c: &Contract) -> Self {
+        let mut reg = Self::default();
+        for r in &c.lock_ranks {
+            reg.by_ident
+                .insert(r.ident.clone(), (r.rank, r.name.clone()));
+            reg.by_name.insert(r.name.clone(), r.rank);
+        }
+        reg
+    }
+
+    /// Whether the registry has no locks (fixture contracts).
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+/// Result of analysing one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Acquisition edges observed in this file (direct and indirect).
+    pub edges: Vec<Edge>,
+    /// Per-file diagnostics: binding conflicts, unknown `lock-binding`
+    /// names, `no-block-while-locked` findings. These honour
+    /// suppressions like any other per-file rule.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Whether lock analysis applies to this path: test and bench code may
+/// nest locks adversarially (the witness suites do, on purpose), so only
+/// runtime code contributes to the graph.
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+}
+
+/// Analyse one file: infer bindings, walk every `fn` body, emit edges
+/// and `no-block-while-locked` diagnostics.
+pub fn analyze_file(path: &str, lexed: &Lexed, reg: &Registry) -> FileAnalysis {
+    let mut fa = FileAnalysis::default();
+    if reg.is_empty() || is_test_path(path) {
+        return fa;
+    }
+    let bindings = collect_bindings(path, lexed, reg, &mut fa.diags);
+    if bindings.is_empty() {
+        return fa;
+    }
+    let toks = &lexed.toks;
+    let fns = collect_fns(toks);
+    let fn_names: HashSet<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+    let types = collect_types(toks);
+
+    // Per-named-fn direct lock sets and call lists (same-name fns across
+    // impl blocks merge — an over-approximation that only widens the
+    // graph).
+    let mut fn_locks: HashMap<String, BTreeSet<(String, bool)>> = HashMap::new();
+    let mut fn_callees: HashMap<String, BTreeSet<String>> = HashMap::new();
+    let mut call_sites: Vec<CallSite> = Vec::new();
+
+    for f in &fns {
+        let mut acquired = Vec::new();
+        let mut callees = Vec::new();
+        simulate(
+            path,
+            lexed,
+            &bindings,
+            &fn_names,
+            &types,
+            f.open,
+            f.close,
+            &mut acquired,
+            &mut callees,
+            &mut call_sites,
+            &mut fa.edges,
+            &mut fa.diags,
+        );
+        fn_locks.entry(f.name.clone()).or_default().extend(acquired);
+        fn_callees
+            .entry(f.name.clone())
+            .or_default()
+            .extend(callees);
+    }
+
+    // Same-file transitive closure: locks a function eventually takes.
+    let mut closure = fn_locks;
+    loop {
+        let mut changed = false;
+        for (f, callees) in &fn_callees {
+            let mut add: BTreeSet<(String, bool)> = BTreeSet::new();
+            for callee in callees {
+                if callee == f {
+                    continue;
+                }
+                if let Some(locks) = closure.get(callee) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            let set = closure.entry(f.clone()).or_default();
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Indirect edges: calls made while a guard is held reach everything
+    // in the callee's transitive lock set.
+    for cs in &call_sites {
+        let Some(locks) = closure.get(&cs.callee) else {
+            continue;
+        };
+        for (lock, non_blocking) in locks {
+            for held in &cs.guards {
+                fa.edges.push(Edge {
+                    from: held.clone(),
+                    to: lock.clone(),
+                    file: path.to_string(),
+                    line: cs.line,
+                    col: cs.col,
+                    non_blocking: *non_blocking,
+                    via: Some(cs.callee.clone()),
+                });
+            }
+        }
+    }
+    fa
+}
+
+/// Map receiver identifier → registry lock name for one file.
+fn collect_bindings(
+    path: &str,
+    lexed: &Lexed,
+    reg: &Registry,
+    diags: &mut Vec<Diagnostic>,
+) -> HashMap<String, String> {
+    let toks = &lexed.toks;
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut bind = |recv: String, name: String, tok: &Tok, diags: &mut Vec<Diagnostic>| {
+        if let Some(prev) = map.get(&recv) {
+            if *prev != name {
+                diags.push(diag(
+                    LOCK_ORDER,
+                    path,
+                    tok,
+                    format!(
+                        "receiver `{recv}` is bound to both `{prev}` and \
+                         `{name}` in this file — rename one receiver or add \
+                         an explicit `lock-binding` comment"
+                    ),
+                ));
+            }
+            return;
+        }
+        map.insert(recv, name);
+    };
+
+    // Construction sites: `recv: OrderedMutex::new(RANK, ..)` (struct
+    // field) or `[let [mut]] recv = OrderedMutex::new(RANK, ..)`.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("OrderedMutex") || t.is_ident("OrderedRwLock")) {
+            continue;
+        }
+        let path_sep = toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false);
+        if !path_sep
+            || !toks.get(i + 3).map(|t| t.is_ident("new")).unwrap_or(false)
+            || !toks.get(i + 4).map(|t| t.is_punct('(')).unwrap_or(false)
+        {
+            continue;
+        }
+        if lexed.in_test_region(t.line) {
+            continue;
+        }
+        // The rank argument: last identifier before the first `,` at
+        // relative bracket depth 0 (handles `lock_order::RANK` paths).
+        let mut j = i + 5;
+        let mut depth = 0i32;
+        let mut rank_ident: Option<&str> = None;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct('(') || a.is_punct('[') {
+                depth += 1;
+            } else if a.is_punct(')') || a.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if a.is_punct(',') && depth == 0 {
+                break;
+            } else if a.kind == TokKind::Ident {
+                rank_ident = Some(&a.text);
+            }
+            j += 1;
+        }
+        let Some((_, name)) = rank_ident.and_then(|id| reg.by_ident.get(id)) else {
+            continue;
+        };
+        // The receiver: skip leading path segments (`lifecycle::`), then
+        // look at what introduces the constructor expression.
+        let mut start = i;
+        while start >= 3
+            && toks[start - 1].is_punct(':')
+            && toks[start - 2].is_punct(':')
+            && toks[start - 3].kind == TokKind::Ident
+        {
+            start -= 3;
+        }
+        if start == 0 {
+            continue;
+        }
+        let prev = &toks[start - 1];
+        let single_colon = prev.is_punct(':') && !(start >= 2 && toks[start - 2].is_punct(':'));
+        let recv = if single_colon {
+            // Struct-literal field init.
+            (start >= 2 && toks[start - 2].kind == TokKind::Ident)
+                .then(|| toks[start - 2].text.clone())
+        } else if prev.is_punct('=') {
+            // `let [mut] recv = ...` / `recv = ...` / `if let Pat(recv) =`:
+            // last non-`mut` identifier of the pattern.
+            let mut k = start - 1;
+            let mut found = None;
+            while k > 0 {
+                k -= 1;
+                let a = &toks[k];
+                if a.is_punct(';') || a.is_punct('{') || a.is_punct('}') {
+                    break;
+                }
+                if a.kind == TokKind::Ident && a.text != "mut" {
+                    found = Some(a.text.clone());
+                    break;
+                }
+            }
+            found
+        } else {
+            None
+        };
+        if let Some(recv) = recv {
+            bind(recv, name.clone(), t, diags);
+        }
+    }
+
+    // Explicit declarations: `// netagg-lint: lock-binding(recv = name)`.
+    for c in &lexed.comments {
+        let Some(rest) = c.text.strip_prefix("netagg-lint:") else {
+            continue;
+        };
+        let mut rest = rest.trim();
+        while let Some(pos) = rest.find("lock-binding(") {
+            let after = &rest[pos + 13..];
+            let Some(close) = after.find(')') else { break };
+            let inner = &after[..close];
+            if let Some((recv, name)) = inner.split_once('=') {
+                let (recv, name) = (recv.trim().to_string(), name.trim().to_string());
+                let at = Tok {
+                    kind: TokKind::Ident,
+                    text: recv.clone(),
+                    line: c.line,
+                    col: 1,
+                };
+                if reg.by_name.contains_key(&name) {
+                    bind(recv, name, &at, diags);
+                } else {
+                    diags.push(diag(
+                        LOCK_ORDER,
+                        path,
+                        &at,
+                        format!(
+                            "lock-binding names `{name}`, which is not in the \
+                             lock_order.rs registry"
+                        ),
+                    ));
+                }
+            }
+            rest = &after[close + 1..];
+        }
+    }
+    map
+}
+
+/// One function item with the token range of its body braces.
+struct FnDef {
+    name: String,
+    open: usize,
+    close: usize,
+}
+
+/// Find the body `{` of a `fn` whose name token sits at `name_idx`:
+/// first `{` at bracket depth 0 after the signature; `None` for
+/// body-less trait declarations.
+fn fn_body_open(toks: &[Tok], name_idx: usize) -> Option<usize> {
+    let mut j = name_idx + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(j);
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+fn collect_fns(toks: &[Tok]) -> Vec<FnDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+        {
+            if let Some(open) = fn_body_open(toks, i + 1) {
+                out.push(FnDef {
+                    name: toks[i + 1].text.clone(),
+                    open,
+                    close: matching_brace(toks, open),
+                });
+                // Keep scanning *inside* the body so nested fns are
+                // collected as their own items.
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Type names declared in this file (`struct`/`enum`/`trait`/`union`).
+/// A path-qualified call `X::f(..)` is attributed to a same-file `fn f`
+/// only when `X` is one of these (or `Self`) — otherwise
+/// `TcpStream::connect(..)` would be credited to the file's own
+/// `fn connect`, manufacturing edges that never execute.
+fn collect_types(toks: &[Tok]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "struct" | "enum" | "trait" | "union")
+        {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    out.insert(n.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A same-file call made while guards were held.
+struct CallSite {
+    callee: String,
+    /// Registry names of the locks held at the call.
+    guards: Vec<String>,
+    line: u32,
+    col: u32,
+}
+
+/// A live guard during the scope walk.
+struct Guard {
+    lock: String,
+    /// Local variable holding the guard, when let-bound (enables
+    /// `drop(ident)` and the `Condvar` first-argument exemption).
+    binding: Option<String>,
+    expire: Expire,
+    line: u32,
+}
+
+enum Expire {
+    /// Let-bound: lives until the block at this depth closes.
+    Block(i32),
+    /// Temporary: lives until the next `;` at (or below) this depth.
+    Stmt(i32),
+}
+
+/// Walk one body's tokens (`open`/`close` are the brace indices),
+/// tracking guard scopes. Appends:
+/// * direct edges to `edges`,
+/// * `(lock, non_blocking)` acquisitions to `acquired`,
+/// * same-file callee names to `callees`,
+/// * guard-holding call sites to `call_sites`,
+/// * `no-block-while-locked` findings to `diags`.
+///
+/// `move` closures and nested `fn` items execute on another thread or
+/// later: the walk recurses into them with a fresh (empty) guard stack
+/// and does not attribute their locks to the enclosing function.
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    path: &str,
+    lexed: &Lexed,
+    bindings: &HashMap<String, String>,
+    fn_names: &HashSet<&str>,
+    types: &HashSet<String>,
+    open: usize,
+    close: usize,
+    acquired: &mut Vec<(String, bool)>,
+    callees: &mut Vec<String>,
+    call_sites: &mut Vec<CallSite>,
+    edges: &mut Vec<Edge>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.toks;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 1;
+    let mut stmt_start = open + 1;
+    let mut j = open + 1;
+    while j < close.min(toks.len()) {
+        let t = &toks[j];
+
+        if t.is_punct('{') {
+            depth += 1;
+            stmt_start = j + 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| match g.expire {
+                Expire::Block(d) => depth >= d,
+                // A `}` back at (or above) the acquisition depth ends the
+                // enclosing statement — an `if`/`match` head temporary dies
+                // here, not at the end of the surrounding block.
+                Expire::Stmt(d) => depth > d,
+            });
+            stmt_start = j + 1;
+            j += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            guards.retain(|g| !matches!(g.expire, Expire::Stmt(d) if depth <= d));
+            stmt_start = j + 1;
+            j += 1;
+            continue;
+        }
+
+        // Nested fn item: its body does not run here.
+        if t.is_ident("fn")
+            && toks
+                .get(j + 1)
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+        {
+            if let Some(o) = fn_body_open(toks, j + 1) {
+                j = matching_brace(toks, o) + 1;
+                continue;
+            }
+        }
+
+        // `move` closure: runs on another thread (JoinScope spawns,
+        // scheduler tasks) — fresh guard stack, locks not attributed to
+        // the enclosing fn.
+        if t.is_ident("move") && toks.get(j + 1).map(|t| t.is_punct('|')).unwrap_or(false) {
+            let args_end = if toks.get(j + 2).map(|t| t.is_punct('|')).unwrap_or(false) {
+                j + 2
+            } else {
+                let mut k = j + 2;
+                while k < toks.len() && !toks[k].is_punct('|') {
+                    k += 1;
+                }
+                k
+            };
+            // Body: a brace block, or a bare expression up to the `,` /
+            // `)` that closes the closure argument.
+            let mut k = args_end + 1;
+            while k < toks.len()
+                && !toks[k].is_punct('{')
+                && !toks[k].is_punct(',')
+                && !toks[k].is_punct(')')
+            {
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct('{') {
+                let body_close = matching_brace(toks, k);
+                let mut sink_acq = Vec::new();
+                let mut sink_callees = Vec::new();
+                simulate(
+                    path,
+                    lexed,
+                    bindings,
+                    fn_names,
+                    types,
+                    k,
+                    body_close,
+                    &mut sink_acq,
+                    &mut sink_callees,
+                    call_sites,
+                    edges,
+                    diags,
+                );
+                j = body_close + 1;
+            } else {
+                j = k;
+            }
+            continue;
+        }
+
+        // `drop(guard)` releases a named guard early.
+        if t.is_ident("drop")
+            && toks.get(j + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+            && toks
+                .get(j + 2)
+                .map(|t| t.kind == TokKind::Ident)
+                .unwrap_or(false)
+            && toks.get(j + 3).map(|t| t.is_punct(')')).unwrap_or(false)
+        {
+            let name = &toks[j + 2].text;
+            guards.retain(|g| g.binding.as_deref() != Some(name));
+            j += 4;
+            continue;
+        }
+
+        if t.kind == TokKind::Ident && is_called(toks, j) {
+            let in_test = lexed.in_test_region(t.line);
+
+            // Acquisition of a bound receiver.
+            if ACQUIRE_CALLS.contains(&t.text.as_str()) && j >= 1 && toks[j - 1].is_punct('.') {
+                if let Some(lock) = receiver(toks, j - 1).and_then(|r| bindings.get(&r)) {
+                    if !in_test {
+                        let non_blocking = t.text.starts_with("try_");
+                        for g in &guards {
+                            edges.push(Edge {
+                                from: g.lock.clone(),
+                                to: lock.clone(),
+                                file: path.to_string(),
+                                line: t.line,
+                                col: t.col,
+                                non_blocking,
+                                via: None,
+                            });
+                        }
+                        acquired.push((lock.clone(), non_blocking));
+                        let stmt = &toks[stmt_start..j];
+                        let chained = call_is_chained(toks, j);
+                        guards.push(make_guard(lock.clone(), chained, stmt, depth, t.line));
+                    }
+                    j += 1;
+                    continue;
+                }
+            }
+
+            // Blocking call while holding a guard.
+            if !in_test && BLOCKING_CALLS.contains(&t.text.as_str()) && j >= 1 {
+                let qualified = toks[j - 1].is_punct('.') || toks[j - 1].is_punct(':');
+                if qualified && !guards.is_empty() {
+                    let exempt = if CONDVAR_WAITS.contains(&t.text.as_str()) {
+                        first_arg_idents(toks, j)
+                    } else {
+                        HashSet::new()
+                    };
+                    let held: Vec<&Guard> = guards
+                        .iter()
+                        .filter(|g| {
+                            g.binding
+                                .as_ref()
+                                .map(|b| !exempt.contains(b))
+                                .unwrap_or(true)
+                        })
+                        .collect();
+                    if !held.is_empty() {
+                        let names: Vec<String> = held
+                            .iter()
+                            .map(|g| format!("`{}` (line {})", g.lock, g.line))
+                            .collect();
+                        diags.push(diag(
+                            NO_BLOCK_WHILE_LOCKED,
+                            path,
+                            t,
+                            format!(
+                                "blocking call `{}` while holding {} — a \
+                                 blocked holder stalls every other acquirer; \
+                                 move the call outside the lock scope \
+                                 (DESIGN.md §15)",
+                                t.text,
+                                names.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+
+            // Same-file call: record for the interprocedural closure. A
+            // path-qualified call only counts when the path names a type
+            // declared in this file (or `Self`).
+            let foreign_path = j >= 2
+                && toks[j - 1].is_punct(':')
+                && toks[j - 2].is_punct(':')
+                && !(j >= 3
+                    && toks[j - 3].kind == TokKind::Ident
+                    && (toks[j - 3].text == "Self" || types.contains(&toks[j - 3].text)));
+            let is_fn_decl = j >= 1 && toks[j - 1].is_ident("fn");
+            if fn_names.contains(t.text.as_str()) && !foreign_path && !is_fn_decl && !in_test {
+                callees.push(t.text.clone());
+                if !guards.is_empty() {
+                    call_sites.push(CallSite {
+                        callee: t.text.clone(),
+                        guards: guards.iter().map(|g| g.lock.clone()).collect(),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+        }
+
+        j += 1;
+    }
+}
+
+/// `m.lock().get(..)` never binds the guard: the temporary dies at the
+/// statement even under a `let v = ...` head. True when the acquisition
+/// call's result is immediately consumed by a method chain or `?`.
+fn call_is_chained(toks: &[Tok], call_ident: usize) -> bool {
+    let mut i = call_ident + 1;
+    // Skip a turbofish between the name and the argument list.
+    if i + 1 < toks.len() && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+        i += 2;
+        if i < toks.len() && toks[i].is_punct('<') {
+            let mut angle = 0i32;
+            while i < toks.len() {
+                if toks[i].is_punct('<') {
+                    angle += 1;
+                } else if toks[i].is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if i >= toks.len() || !toks[i].is_punct('(') {
+        return false;
+    }
+    let mut paren = 0i32;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            paren += 1;
+        } else if toks[i].is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    toks.get(i + 1)
+        .map(|n| n.is_punct('.') || n.is_punct('?'))
+        .unwrap_or(false)
+}
+
+/// Decide how long a fresh guard lives, from its statement's tokens: an
+/// `=` before an unchained acquisition means a named binding living to
+/// the end of the enclosing block; otherwise it is a temporary dropped
+/// at the statement boundary — the next `;` at its depth, or the `}`
+/// closing the statement it heads (`if let`/`match` scrutinee
+/// temporaries stay live through the body, matching Rust 2021).
+fn make_guard(lock: String, chained: bool, stmt: &[Tok], depth: i32, line: u32) -> Guard {
+    if chained {
+        // The guard is consumed inside the expression; it cannot outlive
+        // the statement no matter what the statement binds.
+        return Guard {
+            lock,
+            binding: None,
+            expire: Expire::Stmt(depth),
+            line,
+        };
+    }
+    // Find a plain `=` (not `==`, `=>`, `<=`, `>=`, `!=`, `+=`, ...).
+    let mut eq = None;
+    for (k, t) in stmt.iter().enumerate() {
+        if !t.is_punct('=') {
+            continue;
+        }
+        let next_bad = stmt
+            .get(k + 1)
+            .map(|n| n.is_punct('=') || n.is_punct('>'))
+            .unwrap_or(false);
+        let prev_bad = k > 0
+            && matches!(
+                stmt[k - 1].text.as_str(),
+                "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+            )
+            && stmt[k - 1].kind == TokKind::Punct;
+        if !next_bad && !prev_bad {
+            eq = Some(k);
+            break;
+        }
+    }
+    if let Some(eq) = eq {
+        // Binding ident: last non-`mut` identifier before the `=`.
+        let ident = stmt[..eq]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone());
+        Guard {
+            lock,
+            binding: ident,
+            expire: Expire::Block(depth),
+            line,
+        }
+    } else {
+        Guard {
+            lock,
+            binding: None,
+            expire: Expire::Stmt(depth),
+            line,
+        }
+    }
+}
+
+/// Resolve the receiver of a method call: the identifier before the `.`,
+/// looking through one trailing call or index (`link_dir().lock()`,
+/// `links[i].lock()`).
+fn receiver(toks: &[Tok], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let t = &toks[dot - 1];
+    if t.kind == TokKind::Ident {
+        return Some(t.text.clone());
+    }
+    let (open_c, close_c) = if t.is_punct(')') {
+        ('(', ')')
+    } else if t.is_punct(']') {
+        ('[', ']')
+    } else {
+        return None;
+    };
+    let mut depth = 0i32;
+    let mut k = dot - 1;
+    loop {
+        let a = &toks[k];
+        if a.is_punct(close_c) {
+            depth += 1;
+        } else if a.is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    (k >= 1 && toks[k - 1].kind == TokKind::Ident).then(|| toks[k - 1].text.clone())
+}
+
+/// Identifiers in the first argument of the call at `call_idx` (which
+/// points at the called name), for the `Condvar` guard exemption.
+fn first_arg_idents(toks: &[Tok], call_idx: usize) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut j = call_idx + 1;
+    while j < toks.len() && !toks[j].is_punct('(') {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            break;
+        } else if t.kind == TokKind::Ident {
+            out.insert(t.text.clone());
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Workspace-level checks over the merged edge set (lexical edges from
+/// every file plus the §15 declared cross-layer edges): every blocking
+/// edge must go strictly up in rank, and the blocking subgraph must be
+/// acyclic. Edge diagnostics anchor at the first lexical occurrence.
+pub fn graph_checks(
+    edges: &[Edge],
+    contract: &Contract,
+    reg: &Registry,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Declared edges must name registered locks.
+    for de in &contract.declared_edges {
+        for name in [&de.from, &de.to] {
+            if !reg.by_name.contains_key(name) {
+                out.push(Diagnostic {
+                    rule: LOCK_ORDER.into(),
+                    file: "DESIGN.md".into(),
+                    line: de.line,
+                    col: 1,
+                    level: Level::Error,
+                    message: format!(
+                        "§15 declared edge names `{name}`, which is not in \
+                         the lock_order.rs registry"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rank monotonicity, deduped by (from, to) pair.
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in edges {
+        if e.non_blocking {
+            continue;
+        }
+        let (Some(&rf), Some(&rt)) = (reg.by_name.get(&e.from), reg.by_name.get(&e.to)) else {
+            continue;
+        };
+        if rt > rf {
+            continue;
+        }
+        if !reported.insert((e.from.clone(), e.to.clone())) {
+            continue;
+        }
+        let via = e
+            .via
+            .as_ref()
+            .map(|f| format!(" (via `{f}`)"))
+            .unwrap_or_default();
+        out.push(Diagnostic {
+            rule: LOCK_ORDER.into(),
+            file: e.file.clone(),
+            line: e.line,
+            col: e.col,
+            level: Level::Error,
+            message: format!(
+                "acquiring `{}` (rank {rt}) while holding `{}` (rank {rf}){via} \
+                 — acquisitions must ascend the §15 rank order",
+                e.to, e.from
+            ),
+        });
+    }
+
+    // Cycle detection over the blocking subgraph (lexical + declared).
+    // Strictly ascending ranks already imply acyclicity; this is the
+    // defence-in-depth check that also catches rank-table edits that
+    // reintroduce ties.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut anchor: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
+    for e in edges.iter().filter(|e| !e.non_blocking) {
+        if reg.by_name.contains_key(&e.from) && reg.by_name.contains_key(&e.to) {
+            adj.entry(&e.from).or_default().insert(&e.to);
+            anchor.entry((&e.from, &e.to)).or_insert((&e.file, e.line));
+        }
+    }
+    for de in &contract.declared_edges {
+        if reg.by_name.contains_key(&de.from) && reg.by_name.contains_key(&de.to) {
+            adj.entry(&de.from).or_default().insert(&de.to);
+            anchor
+                .entry((&de.from, &de.to))
+                .or_insert(("DESIGN.md", de.line));
+        }
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys() {
+        let mut on_path: Vec<&str> = Vec::new();
+        find_cycle(start, &adj, &mut on_path, &mut |cycle| {
+            // Normalise: rotate so the smallest name leads.
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut norm: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+            norm.rotate_left(min);
+            if seen_cycles.insert(norm.clone()) {
+                let (file, line) = anchor
+                    .get(&(cycle[0], cycle[1 % cycle.len()]))
+                    .copied()
+                    .unwrap_or(("DESIGN.md", 1));
+                out.push(Diagnostic {
+                    rule: LOCK_ORDER.into(),
+                    file: file.to_string(),
+                    line,
+                    col: 1,
+                    level: Level::Error,
+                    message: format!(
+                        "lock acquisition cycle: {} → {} — a deadlock is \
+                         reachable; break the cycle or make one side a \
+                         `try_lock`",
+                        norm.join(" → "),
+                        norm[0]
+                    ),
+                });
+            }
+        });
+    }
+}
+
+/// DFS from `node`, invoking `on_cycle` with each elementary cycle found
+/// through the current path.
+fn find_cycle<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    on_path: &mut Vec<&'a str>,
+    on_cycle: &mut impl FnMut(&[&'a str]),
+) {
+    if let Some(pos) = on_path.iter().position(|&n| n == node) {
+        on_cycle(&on_path[pos..]);
+        return;
+    }
+    on_path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        for &n in nexts {
+            find_cycle(n, adj, on_path, on_cycle);
+        }
+    }
+    on_path.pop();
+}
+
+/// Bidirectional sync between the `lock_order.rs` constants and the §15
+/// "Lock ranks" table, plus registry sanity (unique ranks, unique names).
+pub fn sync_checks(contract: &Contract, out: &mut Vec<Diagnostic>) {
+    for r in &contract.lock_ranks {
+        match contract.rank_rows.iter().find(|row| row.name == r.name) {
+            None => out.push(Diagnostic {
+                rule: LOCK_ORDER.into(),
+                file: LOCK_ORDER_FILE.into(),
+                line: r.line,
+                col: 1,
+                level: Level::Error,
+                message: format!(
+                    "lock `{}` (rank {}) has no row in the DESIGN.md §15 \
+                     Lock ranks table — the registry and the table have \
+                     drifted",
+                    r.name, r.rank
+                ),
+            }),
+            Some(row) if row.rank != r.rank => out.push(Diagnostic {
+                rule: LOCK_ORDER.into(),
+                file: "DESIGN.md".into(),
+                line: row.line,
+                col: 1,
+                level: Level::Error,
+                message: format!(
+                    "§15 lists `{}` at rank {} but lock_order.rs declares \
+                     rank {}",
+                    r.name, row.rank, r.rank
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for row in &contract.rank_rows {
+        if !contract.lock_ranks.iter().any(|r| r.name == row.name) {
+            out.push(Diagnostic {
+                rule: LOCK_ORDER.into(),
+                file: "DESIGN.md".into(),
+                line: row.line,
+                col: 1,
+                level: Level::Error,
+                message: format!(
+                    "§15 row `{}` has no LockRank constant in lock_order.rs \
+                     — the table and the registry have drifted",
+                    row.name
+                ),
+            });
+        }
+    }
+    // Ranks and names must be unique, or the witness's strict ordering
+    // cannot distinguish the locks.
+    for (i, a) in contract.lock_ranks.iter().enumerate() {
+        for b in &contract.lock_ranks[i + 1..] {
+            if a.rank == b.rank || a.name == b.name {
+                out.push(Diagnostic {
+                    rule: LOCK_ORDER.into(),
+                    file: LOCK_ORDER_FILE.into(),
+                    line: b.line,
+                    col: 1,
+                    level: Level::Error,
+                    message: format!(
+                        "`{}` and `{}` collide (rank {} vs {}, name `{}` vs \
+                         `{}`) — ranks and names must be unique",
+                        a.ident, b.ident, a.rank, b.rank, a.name, b.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_contract() -> (Contract, Registry) {
+        let mut c = Contract::from_sources(
+            "## 15. Lock order\n\n\
+             ### Lock ranks\n\n\
+             | Rank | Lock | Protects |\n|---|---|---|\n\
+             | 1 | `fx.alpha` | a |\n\
+             | 2 | `fx.beta` | b |\n\
+             | 3 | `fx.gamma` | c |\n",
+            "",
+        );
+        c.lock_ranks = crate::contract::parse_rank_consts(
+            "pub const ALPHA: LockRank = LockRank::new(1, \"fx.alpha\");\n\
+             pub const BETA: LockRank = LockRank::new(2, \"fx.beta\");\n\
+             pub const GAMMA: LockRank = LockRank::new(3, \"fx.gamma\");\n",
+        );
+        let reg = Registry::from_contract(&c);
+        (c, reg)
+    }
+
+    fn edges_of(src: &str) -> (Vec<Edge>, Vec<Diagnostic>) {
+        let (_, reg) = fixture_contract();
+        let lexed = crate::lexer::lex(src);
+        let fa = analyze_file("crates/x/src/lib.rs", &lexed, &reg);
+        (fa.edges, fa.diags)
+    }
+
+    const STRUCT_SRC: &str = "\
+struct S { alpha: OrderedMutex<u8>, beta: OrderedMutex<u8>, gamma: OrderedRwLock<u8> }
+impl S {
+    fn new() -> Self {
+        Self {
+            alpha: OrderedMutex::new(ALPHA, 0),
+            beta: OrderedMutex::new(BETA, 0),
+            gamma: OrderedRwLock::new(lock_order::GAMMA, 0),
+        }
+    }
+";
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn nest(&self) {{
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }}
+}}"
+        );
+        let (edges, diags) = edges_of(&src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(
+            (edges[0].from.as_str(), edges[0].to.as_str()),
+            ("fx.alpha", "fx.beta")
+        );
+        assert!(!edges[0].non_blocking);
+    }
+
+    #[test]
+    fn block_scope_and_drop_end_guards() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn scoped(&self) {{
+        {{ let a = self.alpha.lock(); }}
+        let b = self.beta.lock();
+        drop(b);
+        let g = self.gamma.read();
+    }}
+}}"
+        );
+        let (edges, _) = edges_of(&src);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn tmp(&self) {{
+        self.beta.lock().wrapping_add(1);
+        let a = self.alpha.lock();
+    }}
+}}"
+        );
+        let (edges, _) = edges_of(&src);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn try_lock_edges_are_non_blocking() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn t(&self) {{
+        let b = self.beta.lock();
+        if let Some(a) = self.alpha.try_lock() {{ let _ = a; }}
+    }}
+}}"
+        );
+        let (edges, _) = edges_of(&src);
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert!(edges[0].non_blocking);
+    }
+
+    #[test]
+    fn interprocedural_edge_via_same_file_call() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn inner(&self) {{ let b = self.beta.lock(); }}
+    fn outer(&self) {{
+        let a = self.alpha.lock();
+        self.inner();
+    }}
+}}"
+        );
+        let (edges, _) = edges_of(&src);
+        let indirect: Vec<&Edge> = edges.iter().filter(|e| e.via.is_some()).collect();
+        assert_eq!(indirect.len(), 1, "{edges:?}");
+        assert_eq!(indirect[0].to, "fx.beta");
+        assert_eq!(indirect[0].via.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn move_closures_do_not_inherit_guards() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn spawns(&self, scope: &JoinScope) {{
+        let a = self.alpha.lock();
+        scope.spawn(\"w\", move || {{
+            let b = self.beta.lock();
+            mailbox.recv();
+        }});
+    }}
+}}"
+        );
+        let (edges, diags) = edges_of(&src);
+        assert!(edges.is_empty(), "{edges:?}");
+        // The recv inside the closure holds fx.beta — that one is real.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("fx.beta"), "{diags:?}");
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_flagged_and_condvar_guard_exempt() {
+        let src = format!(
+            "{STRUCT_SRC}
+    fn blocks(&self, mb: &Mailbox<u8>) {{
+        let a = self.alpha.lock();
+        mb.send(1);
+    }}
+    fn waits(&self, cv: &Condvar) {{
+        let mut a = self.alpha.lock();
+        cv.wait(a.inner());
+    }}
+}}"
+        );
+        let (_, diags) = edges_of(&src);
+        let blocked: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.rule == NO_BLOCK_WHILE_LOCKED)
+            .collect();
+        assert_eq!(blocked.len(), 1, "{diags:?}");
+        assert!(blocked[0].message.contains("`send`"));
+    }
+
+    #[test]
+    fn rank_inversion_and_cycle_fire_graph_checks() {
+        let (c, reg) = fixture_contract();
+        let src = format!(
+            "{STRUCT_SRC}
+    fn ok(&self) {{ let a = self.alpha.lock(); let b = self.beta.lock(); }}
+    fn bad(&self) {{ let b = self.beta.lock(); let a = self.alpha.lock(); }}
+}}"
+        );
+        let lexed = crate::lexer::lex(&src);
+        let fa = analyze_file("crates/x/src/lib.rs", &lexed, &reg);
+        let mut out = Vec::new();
+        graph_checks(&fa.edges, &c, &reg, &mut out);
+        assert!(out.iter().any(|d| d.message.contains("ascend")), "{out:?}");
+        assert!(out.iter().any(|d| d.message.contains("cycle")), "{out:?}");
+    }
+
+    #[test]
+    fn sync_checks_catch_drift_both_ways() {
+        let (mut c, _) = fixture_contract();
+        // Registry gains a lock the table lacks.
+        c.lock_ranks.push(crate::contract::RankEntry {
+            ident: "DELTA".into(),
+            rank: 4,
+            name: "fx.delta".into(),
+            line: 9,
+        });
+        // Table gains a row the registry lacks, plus a rank mismatch.
+        c.rank_rows.push(crate::contract::RankRow {
+            rank: 9,
+            name: "fx.ghost".into(),
+            line: 30,
+        });
+        c.rank_rows[0].rank = 7;
+        let mut out = Vec::new();
+        sync_checks(&c, &mut out);
+        assert!(
+            out.iter().any(|d| d.message.contains("fx.delta")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|d| d.message.contains("fx.ghost")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|d| d.message.contains("rank 7") || d.message.contains("at rank 7")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn lock_binding_comment_binds_and_unknown_name_errors() {
+        let (_, reg) = fixture_contract();
+        let src = "\
+// netagg-lint: lock-binding(shared = fx.alpha)
+// netagg-lint: lock-binding(ghost = fx.nope)
+fn f() { let a = shared.lock(); let b = shared.lock(); }
+";
+        let lexed = crate::lexer::lex(src);
+        let fa = analyze_file("crates/x/src/lib.rs", &lexed, &reg);
+        assert!(
+            fa.diags.iter().any(|d| d.message.contains("fx.nope")),
+            "{:?}",
+            fa.diags
+        );
+        // Both acquisitions resolve through the comment binding: the
+        // second records a (self-)edge while the first is held.
+        assert_eq!(fa.edges.len(), 1, "{:?}", fa.edges);
+        assert_eq!(fa.edges[0].from, "fx.alpha");
+    }
+
+    #[test]
+    fn test_paths_and_test_regions_are_ignored() {
+        let (_, reg) = fixture_contract();
+        let src = format!(
+            "{STRUCT_SRC}
+}}
+#[cfg(test)]
+mod tests {{
+    fn t(s: &super::S) {{ let b = s.beta.lock(); let a = s.alpha.lock(); }}
+}}"
+        );
+        let lexed = crate::lexer::lex(&src);
+        let fa = analyze_file("crates/x/src/lib.rs", &lexed, &reg);
+        assert!(fa.edges.is_empty(), "{:?}", fa.edges);
+        let fa2 = analyze_file("crates/x/tests/e2e.rs", &lexed, &reg);
+        assert!(fa2.edges.is_empty() && fa2.diags.is_empty());
+    }
+}

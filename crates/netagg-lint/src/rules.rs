@@ -15,6 +15,14 @@ pub const NO_POLL_SHUTDOWN: &str = "no-poll-shutdown";
 pub const METRICS_CONTRACT: &str = "metrics-contract";
 /// See [`NO_RAW_SPAWN`].
 pub const THREAD_INVENTORY: &str = "thread-inventory";
+/// See [`NO_RAW_SPAWN`]. Graph-level findings (rank inversions, cycles,
+/// §15 table drift) are global and cannot be suppressed; only the
+/// per-file binding diagnostics honour `allow(lock-order)`.
+pub const LOCK_ORDER: &str = "lock-order";
+/// See [`NO_RAW_SPAWN`].
+pub const NO_BLOCK_WHILE_LOCKED: &str = "no-block-while-locked";
+/// See [`NO_RAW_SPAWN`].
+pub const NO_LOCK_UNWRAP: &str = "no-lock-unwrap";
 
 /// All suppressible rule names (for validating `allow(...)` arguments).
 pub const ALL_RULES: &[&str] = &[
@@ -23,6 +31,9 @@ pub const ALL_RULES: &[&str] = &[
     NO_POLL_SHUTDOWN,
     METRICS_CONTRACT,
     THREAD_INVENTORY,
+    LOCK_ORDER,
+    NO_BLOCK_WHILE_LOCKED,
+    NO_LOCK_UNWRAP,
 ];
 
 // ---------------------------------------------------------------------------
@@ -129,7 +140,7 @@ fn matches_template(template: &str, site: &[Frag]) -> bool {
 
 /// Whether the token at `i` is called: followed by `(`, optionally with a
 /// turbofish (`::<...>`) in between.
-fn is_called(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn is_called(toks: &[Tok], i: usize) -> bool {
     let mut j = i + 1;
     if toks.get(j).map(|t| t.is_punct(':')).unwrap_or(false)
         && toks.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false)
@@ -153,7 +164,7 @@ fn is_called(toks: &[Tok], i: usize) -> bool {
     toks.get(j).map(|t| t.is_punct('(')).unwrap_or(false)
 }
 
-fn diag(rule: &str, path: &str, t: &Tok, message: String) -> Diagnostic {
+pub(crate) fn diag(rule: &str, path: &str, t: &Tok, message: String) -> Diagnostic {
     Diagnostic {
         rule: rule.to_string(),
         file: path.to_string(),
@@ -192,7 +203,7 @@ fn first_string_arg(toks: &[Tok], i: usize) -> Option<(Vec<Frag>, &Tok, bool)> {
 
 /// Find the index of the `}` matching the `{` at `open` (which must point
 /// at a `{`). Returns `toks.len()` when unbalanced.
-fn matching_brace(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     let mut i = open;
     while i < toks.len() {
@@ -598,12 +609,75 @@ pub fn thread_inventory_sync(contract: &Contract, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: no-lock-unwrap
+// ---------------------------------------------------------------------------
+
+const RAW_LOCK_CALLS: &[&str] = &["lock", "read", "write", "try_lock"];
+
+/// `.lock().unwrap()` / `.read().unwrap()` (and `.expect(...)`) mean raw
+/// `std::sync` locks whose poison `Result` is being crashed through.
+/// Poisoning is handled by the lifecycle layer: `OrderedMutex` /
+/// `OrderedRwLock` (and the `parking_lot` shim underneath) never poison —
+/// a guard dropped during unwind surfaces as a `lock_poison` event
+/// instead (DESIGN.md §15).
+pub fn no_lock_unwrap(path: &str, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !RAW_LOCK_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `.lock()` with an empty argument list (excludes `io::Read::read`
+        // and friends, which always take a buffer), then `.unwrap(` /
+        // `.expect(`.
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let empty_call = toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+            && toks.get(i + 2).map(|t| t.is_punct(')')).unwrap_or(false);
+        if !empty_call || !toks.get(i + 3).map(|t| t.is_punct('.')).unwrap_or(false) {
+            continue;
+        }
+        let Some(m) = toks.get(i + 4) else { continue };
+        if !(m.is_ident("unwrap") || m.is_ident("expect")) || !is_called(toks, i + 4) {
+            continue;
+        }
+        out.push(diag(
+            NO_LOCK_UNWRAP,
+            path,
+            t,
+            format!(
+                "`.{}().{}()` crashes through a poison `Result` — use the \
+                 lifecycle `OrderedMutex`/`OrderedRwLock` wrappers (their \
+                 locks never poison; unwind is surfaced as a `lock_poison` \
+                 event, DESIGN.md §15)",
+                t.text, m.text
+            ),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn f(s: &str) -> Vec<Frag> {
         lits(s)
+    }
+
+    #[test]
+    fn lock_unwrap_fires_and_io_read_does_not() {
+        let l = crate::lexer::lex(
+            "fn a(m: &std::sync::Mutex<u8>) { *m.lock().unwrap() += 1; }\n\
+             fn b(s: &mut impl std::io::Read, buf: &mut [u8]) { s.read(buf).unwrap(); }\n\
+             fn c(m: &std::sync::RwLock<u8>) { let _ = m.read().expect(\"poisoned\"); }\n",
+        );
+        let mut out = Vec::new();
+        no_lock_unwrap("crates/x/src/lib.rs", &l, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[1].line, 3);
     }
 
     #[test]

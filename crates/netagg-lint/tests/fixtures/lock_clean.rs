@@ -1,0 +1,35 @@
+// Disciplined locking: ascending ranks, a try_lock against the order
+// (legal — it cannot complete a deadlock cycle), an early drop, and a
+// chained temporary that dies at its statement.
+struct Fx {
+    alpha: OrderedMutex<u32>,
+    beta: OrderedMutex<Vec<u32>>,
+}
+
+impl Fx {
+    fn build() -> Self {
+        Self {
+            alpha: OrderedMutex::new(lock_order::FX_ALPHA, 0),
+            beta: OrderedMutex::new(lock_order::FX_BETA, Vec::new()),
+        }
+    }
+
+    fn ascend(&self) {
+        let a = self.alpha.lock();
+        self.beta.lock().push(*a);
+    }
+
+    fn descend_try(&self) {
+        let _b = self.beta.lock();
+        if let Some(a) = self.alpha.try_lock() {
+            let _ = *a;
+        }
+    }
+
+    fn drop_then_send(&self, tx: &Mailbox<u32>) {
+        let a = self.alpha.lock();
+        let v = *a;
+        drop(a);
+        let _ = tx.send(v);
+    }
+}

@@ -1,0 +1,27 @@
+// Seeded lock-order violation: `forward` takes alpha → beta while
+// `backward` takes beta → alpha — a cycle the gate must refuse.
+struct Fx {
+    alpha: OrderedMutex<u32>,
+    beta: OrderedMutex<u32>,
+}
+
+impl Fx {
+    fn build() -> Self {
+        Self {
+            alpha: OrderedMutex::new(lock_order::FX_ALPHA, 0),
+            beta: OrderedMutex::new(lock_order::FX_BETA, 0),
+        }
+    }
+
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let mut b = self.beta.lock();
+        *b += *a;
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock();
+        let mut a = self.alpha.lock();
+        *a += *b;
+    }
+}

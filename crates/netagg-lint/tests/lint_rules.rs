@@ -3,7 +3,7 @@
 //! `names.rs` sync check fails on either direction of drift.
 
 use netagg_lint::contract::Contract;
-use netagg_lint::{lint_source, lint_workspace, Diagnostic, Level};
+use netagg_lint::{lint_source, lint_workspace, lockgraph, Diagnostic, Level};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -136,7 +136,7 @@ fn clean_fixture_produces_zero_findings() {
 }
 
 #[test]
-fn suppressions_cover_standalone_and_trailing_and_warn_when_stale() {
+fn suppressions_cover_standalone_and_trailing_and_stale_is_an_error() {
     let diags = run("suppressed.rs");
     assert!(
         !diags.iter().any(|d| d.rule == "no-raw-spawn"),
@@ -148,7 +148,11 @@ fn suppressions_cover_standalone_and_trailing_and_warn_when_stale() {
         .collect();
     assert_eq!(stale.len(), 1, "{diags:?}");
     assert_eq!(stale[0].line, 10);
-    assert_eq!(stale[0].level, Level::Warning);
+    assert_eq!(
+        stale[0].level,
+        Level::Error,
+        "stale allows must fail the gate"
+    );
 }
 
 #[test]
@@ -292,4 +296,139 @@ fn workspace_is_clean() {
         diags.is_empty(),
         "stale suppressions or warnings: {diags:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order, blocking-while-locked, and guard-unwrap rules (§15)
+// ---------------------------------------------------------------------------
+
+/// A two-lock registry matching the `fx.*` fixtures.
+fn lock_contract() -> Contract {
+    let mut c = Contract::from_sources(
+        "### Lock ranks\n\
+         | Rank | Lock | Protects |\n|---|---|---|\n\
+         | 1 | `fx.alpha` | fixture |\n\
+         | 2 | `fx.beta` | fixture |\n",
+        "",
+    );
+    c.lock_ranks = netagg_lint::contract::parse_rank_consts(
+        "pub const FX_ALPHA: LockRank = LockRank::new(1, \"fx.alpha\");\n\
+         pub const FX_BETA: LockRank = LockRank::new(2, \"fx.beta\");\n",
+    );
+    c
+}
+
+#[test]
+fn lock_block_fixture_flags_blocking_calls_and_guard_unwraps() {
+    let c = lock_contract();
+    let diags = lint_source("crates/x/src/lock_block.rs", &fixture("lock_block.rs"), &c);
+    assert_eq!(
+        spans(&diags, "no-block-while-locked"),
+        vec![15, 20],
+        "{diags:?}"
+    );
+    assert_eq!(spans(&diags, "no-lock-unwrap"), vec![25, 29], "{diags:?}");
+}
+
+#[test]
+fn seeded_lock_cycle_fixture_fails_the_gate() {
+    let c = lock_contract();
+    let reg = lockgraph::Registry::from_contract(&c);
+    let lexed = netagg_lint::lexer::lex(&fixture("lock_cycle.rs"));
+    let fa = lockgraph::analyze_file("crates/x/src/lock_cycle.rs", &lexed, &reg);
+    assert!(fa.diags.is_empty(), "per-file noise: {:?}", fa.diags);
+    let mut diags = Vec::new();
+    lockgraph::graph_checks(&fa.edges, &c, &reg, &mut diags);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "lock-order" && d.message.contains("cycle")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "lock-order" && d.message.contains("must ascend")),
+        "{diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.level == Level::Error), "{diags:?}");
+}
+
+#[test]
+fn clean_lock_fixture_is_silent() {
+    let c = lock_contract();
+    let src = fixture("lock_clean.rs");
+    let diags = lint_source("crates/x/src/lock_clean.rs", &src, &c);
+    assert!(diags.is_empty(), "false positives: {diags:?}");
+    let reg = lockgraph::Registry::from_contract(&c);
+    let lexed = netagg_lint::lexer::lex(&src);
+    let fa = lockgraph::analyze_file("crates/x/src/lock_clean.rs", &lexed, &reg);
+    let mut out = Vec::new();
+    lockgraph::graph_checks(&fa.edges, &c, &reg, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Vendored code is out of scope, end to end
+// ---------------------------------------------------------------------------
+
+/// One file that violates three rules at once: a raw spawn, a guard
+/// unwrap, and a rank-inverted acquisition against the real registry.
+const PLANTED: &str = "use std::thread;\n\
+    // netagg-lint: lock-binding(pending = scn.pending)\n\
+    // netagg-lint: lock-binding(applied = scn.applied)\n\
+    fn inverted(pending: &OrderedMutex<u32>, applied: &OrderedMutex<u32>) -> u32 {\n\
+        let b = applied.lock();\n\
+        let a = pending.lock();\n\
+        *a + *b\n\
+    }\n\
+    fn spawned() {\n\
+        thread::spawn(|| {});\n\
+    }\n\
+    fn unwrapped(m: &std::sync::Mutex<u32>) -> u32 {\n\
+        *m.lock().unwrap()\n\
+    }\n";
+
+/// A throwaway workspace root carrying the real contract files, with the
+/// planted violation at `rel`.
+fn planted_root(tag: &str, rel: &str) -> PathBuf {
+    let real = workspace_root();
+    let root = std::env::temp_dir().join(format!("netagg-lint-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for f in [
+        "DESIGN.md",
+        "crates/netagg-obs/src/names.rs",
+        "crates/netagg-net/src/lock_order.rs",
+    ] {
+        let dst = root.join(f);
+        fs::create_dir_all(dst.parent().unwrap()).unwrap();
+        fs::copy(real.join(f), dst).unwrap();
+    }
+    let planted = root.join(rel);
+    fs::create_dir_all(planted.parent().unwrap()).unwrap();
+    fs::write(planted, PLANTED).unwrap();
+    root
+}
+
+#[test]
+fn planted_violation_under_vendor_does_not_fire() {
+    let root = planted_root("vendor", "vendor/evil/src/evil.rs");
+    let diags = lint_workspace(&root).unwrap();
+    assert!(diags.is_empty(), "vendored code was linted: {diags:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn planted_violation_under_crates_fails_the_gate() {
+    let root = planted_root("crates", "crates/x/src/evil.rs");
+    let diags = lint_workspace(&root).unwrap();
+    for rule in ["no-raw-spawn", "no-lock-unwrap", "lock-order"] {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == rule && d.level == Level::Error),
+            "{rule} did not fire: {diags:?}"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
 }

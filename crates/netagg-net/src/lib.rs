@@ -27,8 +27,12 @@
 //! * [`fault`] — fault injection (killing endpoints, delaying messages) for
 //!   failure-recovery and straggler experiments.
 //! * [`lifecycle`] — the unified lifecycle & backpressure runtime:
-//!   [`CancelToken`], bounded [`Mailbox`]es with overflow policies, and
-//!   deadline-joining [`JoinScope`]s (DESIGN.md §9).
+//!   [`CancelToken`], bounded [`Mailbox`]es with overflow policies,
+//!   deadline-joining [`JoinScope`]s (DESIGN.md §9), and the rank-checked
+//!   [`lifecycle::OrderedMutex`] / [`lifecycle::OrderedRwLock`] wrappers
+//!   with their debug-build acquisition witness (§15).
+//! * [`lock_order`] — the static lock-rank registry backing §15's
+//!   acquisition order, single-sourced for the wrappers and `netagg-lint`.
 //! * [`metered`] — [`metered::MeteredTransport`]: a decorator that counts
 //!   frames and bytes per link into a metrics registry.
 //! * [`wire`] — small binary (de)serialisation helpers over [`bytes`].
@@ -41,6 +45,7 @@ pub mod fault;
 pub mod flow;
 pub mod framing;
 pub mod lifecycle;
+pub mod lock_order;
 pub mod metered;
 pub mod ratelimit;
 pub mod tcp;

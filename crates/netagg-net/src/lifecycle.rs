@@ -33,6 +33,7 @@
 //! token — a mailbox queue may hold items that themselves own mailboxes
 //! (the TCP reactor's accept queue holds connections owning inboxes).
 
+use crate::lock_order::LockRank;
 use netagg_obs::{names, Counter, Gauge, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -890,6 +891,437 @@ impl JoinScope {
 impl Drop for JoinScope {
     fn drop(&mut self) {
         self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered locks & the lock-order witness (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Debug-build runtime witness backing the static lock-acquisition graph
+/// (DESIGN.md §15).
+///
+/// Every [`OrderedMutex`] / [`OrderedRwLock`] acquisition consults a
+/// thread-local stack of held ranks: acquiring a lock whose rank is not
+/// strictly greater than every rank already held panics immediately —
+/// *before* blocking, so the offending stack is the one reported — and
+/// every `(held, acquired)` pair is recorded into a process-wide edge set
+/// that the soak test diffs against `netagg-lint`'s static graph. In
+/// release builds the wrappers compile down to the plain `parking_lot`
+/// shims: no thread-local, no edge set, no rank check.
+#[cfg(debug_assertions)]
+mod witness {
+    use crate::lock_order::LockRank;
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    struct Held {
+        rank: u16,
+        name: &'static str,
+        token: u64,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+    type EdgeSet = BTreeSet<(&'static str, &'static str)>;
+
+    fn edges() -> &'static StdMutex<EdgeSet> {
+        static EDGES: OnceLock<StdMutex<EdgeSet>> = OnceLock::new();
+        EDGES.get_or_init(|| StdMutex::new(BTreeSet::new()))
+    }
+
+    fn poisoned() -> &'static StdMutex<Vec<&'static str>> {
+        static POISONED: OnceLock<StdMutex<Vec<&'static str>>> = OnceLock::new();
+        POISONED.get_or_init(|| StdMutex::new(Vec::new()))
+    }
+
+    pub(super) fn sink() -> &'static StdMutex<Option<netagg_obs::MetricsRegistry>> {
+        static SINK: OnceLock<StdMutex<Option<netagg_obs::MetricsRegistry>>> = OnceLock::new();
+        SINK.get_or_init(|| StdMutex::new(None))
+    }
+
+    /// Record the acquisition edges `held → rank` and enforce rank
+    /// monotonicity. Runs *before* the real lock operation so a would-be
+    /// deadlock panics with the offending stack instead of hanging.
+    /// Non-blocking attempts (`try_lock`) record their edges but are
+    /// exempt from the rank check — they cannot complete a deadlock cycle.
+    pub(super) fn check(rank: LockRank, non_blocking: bool) {
+        HELD.with(|h| {
+            let h = h.borrow();
+            if h.is_empty() {
+                return;
+            }
+            {
+                let mut e = edges().lock().unwrap_or_else(PoisonError::into_inner);
+                for held in h.iter() {
+                    e.insert((held.name, rank.name));
+                }
+            }
+            if non_blocking || std::thread::panicking() {
+                return;
+            }
+            if let Some(max) = h.iter().max_by_key(|x| x.rank) {
+                if rank.rank <= max.rank {
+                    let stack: Vec<&str> = h.iter().map(|x| x.name).collect();
+                    panic!(
+                        "lock-order violation: acquiring '{}' (rank {}) while \
+                         holding '{}' (rank {}); held stack: {:?} — the \
+                         acquisition order is DESIGN.md §15's rank order",
+                        rank.name, rank.rank, max.name, max.rank, stack
+                    );
+                }
+            }
+        });
+    }
+
+    /// Push a successfully acquired lock onto the held stack; the
+    /// returned token pops it (in any order — guards may outlive
+    /// later-acquired ones) when dropped.
+    pub(super) fn acquired(rank: LockRank) -> HeldToken {
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        HELD.with(|h| {
+            h.borrow_mut().push(Held {
+                rank: rank.rank,
+                name: rank.name,
+                token,
+            })
+        });
+        HeldToken {
+            token,
+            name: rank.name,
+        }
+    }
+
+    /// RAII member of every ordered guard; declared *after* the inner
+    /// guard so the real lock is released before the stack pops.
+    pub(super) struct HeldToken {
+        token: u64,
+        name: &'static str,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(i) = h.iter().rposition(|x| x.token == self.token) {
+                    h.remove(i);
+                }
+            });
+            if std::thread::panicking() {
+                // The holder is unwinding: the shim lock never poisons
+                // (§15 witness protocol), so surface the event for the
+                // observability plane instead of cascading the panic.
+                poisoned()
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(self.name);
+                let sink = sink().lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(obs) = sink.as_ref() {
+                    obs.emit(
+                        netagg_obs::names::EVENT_LOCK_POISON,
+                        format!(
+                            "lock '{}' released during a panic unwind; \
+                             state may be mid-update",
+                            self.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    pub(super) fn snapshot_edges() -> Vec<(String, String)> {
+        edges()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    pub(super) fn reset() {
+        edges()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        poisoned()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    pub(super) fn snapshot_poisoned() -> Vec<String> {
+        poisoned()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// Release-build witness: zero-cost no-ops so [`OrderedMutex`] and
+/// [`OrderedRwLock`] are exactly the `parking_lot` shims.
+#[cfg(not(debug_assertions))]
+mod witness {
+    use crate::lock_order::LockRank;
+
+    #[inline(always)]
+    pub(super) fn check(_rank: LockRank, _non_blocking: bool) {}
+
+    pub(super) struct HeldToken;
+
+    #[inline(always)]
+    pub(super) fn acquired(_rank: LockRank) -> HeldToken {
+        HeldToken
+    }
+}
+
+/// Every `(held, acquired)` lock pair observed by the witness since
+/// process start (or the last [`witness_reset`]). Debug builds only;
+/// release builds return an empty set.
+pub fn witness_edges() -> Vec<(String, String)> {
+    #[cfg(debug_assertions)]
+    {
+        witness::snapshot_edges()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Clear the witness edge set and poison log (test isolation).
+pub fn witness_reset() {
+    #[cfg(debug_assertions)]
+    witness::reset();
+}
+
+/// Registry names of locks whose holder panicked while the guard was
+/// live. Debug builds only.
+pub fn poisoned_locks() -> Vec<String> {
+    #[cfg(debug_assertions)]
+    {
+        witness::snapshot_poisoned()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Attach the registry that receives a `lock_poison` structured event
+/// (§7) whenever an ordered guard is dropped during a panic unwind.
+/// No-op in release builds.
+pub fn set_poison_sink(obs: &MetricsRegistry) {
+    #[cfg(debug_assertions)]
+    {
+        use std::sync::PoisonError;
+        *witness::sink()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(obs.clone());
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = obs;
+    }
+}
+
+/// A [`Mutex`] with a static position in the global acquisition order
+/// (DESIGN.md §15).
+///
+/// Debug builds enforce the order at runtime via the witness; release
+/// builds are a zero-cost wrapper. Like the `parking_lot` shim it never
+/// poisons — a panicked holder's partial update stays visible, surfaced
+/// as a `lock_poison` event rather than a poisoned `Result`.
+pub struct OrderedMutex<T: ?Sized> {
+    rank: LockRank,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Create an ordered mutex at `rank` protecting `value`.
+    pub const fn new(rank: LockRank, value: T) -> Self {
+        Self {
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// Acquire the lock. Debug builds panic on a rank inversion *before*
+    /// blocking.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        witness::check(self.rank, false);
+        let guard = self.inner.lock();
+        OrderedMutexGuard {
+            guard,
+            _held: witness::acquired(self.rank),
+        }
+    }
+
+    /// Try to acquire the lock without blocking. Exempt from the rank
+    /// check (a non-blocking attempt cannot complete a deadlock cycle),
+    /// but the attempted edge is still recorded.
+    pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        witness::check(self.rank, true);
+        let guard = self.inner.try_lock()?;
+        Some(OrderedMutexGuard {
+            guard,
+            _held: witness::acquired(self.rank),
+        })
+    }
+
+    /// This lock's static rank.
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard returned by [`OrderedMutex::lock`]. Field order matters:
+/// the inner guard releases the lock before `_held` pops the witness
+/// stack.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    guard: parking_lot::MutexGuard<'a, T>,
+    _held: witness::HeldToken,
+}
+
+impl<'a, T: ?Sized> OrderedMutexGuard<'a, T> {
+    /// The underlying shim guard, for [`Condvar`] waits
+    /// (`cv.wait(guard.inner())`). The wait releases and reacquires the
+    /// same lock, so the witness stack entry stays valid across it.
+    pub fn inner(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// An [`RwLock`](parking_lot::RwLock) with a static position in the
+/// global acquisition order (DESIGN.md §15). Readers and writers share
+/// one rank: even a shared read must respect the global order, because a
+/// blocked writer makes readers wait on each other transitively.
+pub struct OrderedRwLock<T: ?Sized> {
+    rank: LockRank,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Create an ordered rwlock at `rank` protecting `value`.
+    pub const fn new(rank: LockRank, value: T) -> Self {
+        Self {
+            rank,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// Acquire a shared read guard (rank-checked like a write).
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        witness::check(self.rank, false);
+        let guard = self.inner.read();
+        OrderedRwLockReadGuard {
+            guard,
+            _held: witness::acquired(self.rank),
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        witness::check(self.rank, false);
+        let guard = self.inner.write();
+        OrderedRwLockWriteGuard {
+            guard,
+            _held: witness::acquired(self.rank),
+        }
+    }
+
+    /// This lock's static rank.
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII shared-read guard returned by [`OrderedRwLock::read`].
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    guard: parking_lot::RwLockReadGuard<'a, T>,
+    _held: witness::HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// RAII exclusive-write guard returned by [`OrderedRwLock::write`].
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    guard: parking_lot::RwLockWriteGuard<'a, T>,
+    _held: witness::HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
     }
 }
 

@@ -53,13 +53,13 @@ use crate::flow::FlowWindow;
 use crate::framing::{FrameDecoder, MAX_FRAME};
 use crate::lifecycle::{
     CancelToken, JoinScope, Mailbox, MailboxRecvError, MailboxRecvTimeoutError, MailboxSendError,
-    MailboxTryRecvError, OverflowPolicy, DEFAULT_JOIN_DEADLINE,
+    MailboxTryRecvError, OrderedMutex, OverflowPolicy, DEFAULT_JOIN_DEADLINE,
 };
+use crate::lock_order;
 use crate::transport::{Connection, Listener, NetError, NodeId, Transport};
 use crate::units;
 use bytes::{BufMut, Bytes, BytesMut};
 use netagg_obs::{names, Counter, Gauge, MetricsRegistry};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -131,12 +131,13 @@ fn be_u32(b: &[u8]) -> u32 {
 /// global, not per transport, because loopback pairs may span transport
 /// instances; sockets whose twin lives in another process simply never
 /// get hints and are re-armed by the park tick instead.
+// netagg-lint: lock-binding(link_dir = net.link_dir)
 fn link_dir() -> &'static LinkDir {
     static DIR: OnceLock<LinkDir> = OnceLock::new();
-    DIR.get_or_init(|| Mutex::new(HashMap::new()))
+    DIR.get_or_init(|| OrderedMutex::new(lock_order::NET_LINK_DIR, HashMap::new()))
 }
 
-type LinkDir = Mutex<HashMap<(SocketAddr, SocketAddr), Weak<LinkState>>>;
+type LinkDir = OrderedMutex<HashMap<(SocketAddr, SocketAddr), Weak<LinkState>>>;
 
 fn dir_remove(key: Option<(SocketAddr, SocketAddr)>) {
     if let Some(k) = key {
@@ -371,15 +372,15 @@ struct LinkState {
     obs: ReactorObs,
     /// Wire chunks injected by the in-process twin's writer, bypassing
     /// the kernel. A leaf lock: never held while taking any other.
-    inj: Mutex<VecDeque<Bytes>>,
+    inj: OrderedMutex<VecDeque<Bytes>>,
     /// Byte count of `inj`, readable without the lock (backpressure).
     inj_bytes: AtomicUsize,
     /// Socket-prefix length published by the twin's writer when it
     /// switches to direct delivery; `u64::MAX` until then. The read side
     /// consumes exactly this many socket bytes before touching `inj`.
     inj_gate: AtomicU64,
-    out: Mutex<OutBuf>,
-    rin: Mutex<ReadHalf>,
+    out: OrderedMutex<OutBuf>,
+    rin: OrderedMutex<ReadHalf>,
 }
 
 impl LinkState {
@@ -403,33 +404,39 @@ impl LinkState {
             stalled_flag: AtomicBool::new(false),
             key,
             obs,
-            inj: Mutex::new(VecDeque::new()),
+            inj: OrderedMutex::new(lock_order::NET_INJ, VecDeque::new()),
             inj_bytes: AtomicUsize::new(0),
             inj_gate: AtomicU64::new(u64::MAX),
-            out: Mutex::new(OutBuf {
-                q: VecDeque::new(),
-                wq: VecDeque::new(),
-                wq_off: 0,
-                wq_bytes: 0,
-                staging: BytesMut::new(),
-                stream: wstream,
-                opened: Vec::new(),
-                retired: Vec::new(),
-                sock_bytes: 0,
-                twin: None,
-                direct: false,
-                pending_inj: Vec::new(),
-            }),
-            rin: Mutex::new(ReadHalf {
-                stream,
-                decoder: FrameDecoder::with_max(MAX_FRAME + MUX_HEADROOM),
-                chans: HashMap::new(),
-                inbound,
-                stalled: None,
-                scratch: vec![0u8; READ_CHUNK],
-                sock_consumed: 0,
-                done: false,
-            }),
+            out: OrderedMutex::new(
+                lock_order::NET_OUT,
+                OutBuf {
+                    q: VecDeque::new(),
+                    wq: VecDeque::new(),
+                    wq_off: 0,
+                    wq_bytes: 0,
+                    staging: BytesMut::new(),
+                    stream: wstream,
+                    opened: Vec::new(),
+                    retired: Vec::new(),
+                    sock_bytes: 0,
+                    twin: None,
+                    direct: false,
+                    pending_inj: Vec::new(),
+                },
+            ),
+            rin: OrderedMutex::new(
+                lock_order::NET_RIN,
+                ReadHalf {
+                    stream,
+                    decoder: FrameDecoder::with_max(MAX_FRAME + MUX_HEADROOM),
+                    chans: HashMap::new(),
+                    inbound,
+                    stalled: None,
+                    scratch: vec![0u8; READ_CHUNK],
+                    sock_consumed: 0,
+                    done: false,
+                },
+            ),
         });
         if let Some(k) = key {
             link_dir().lock().insert(k, Arc::downgrade(&link));
@@ -549,8 +556,8 @@ impl Shard {
 struct Reactor {
     cancel: CancelToken,
     shards: Vec<Arc<Shard>>,
-    scope: Mutex<Option<JoinScope>>,
-    obs: Mutex<Option<MetricsRegistry>>,
+    scope: OrderedMutex<Option<JoinScope>>,
+    obs: OrderedMutex<Option<MetricsRegistry>>,
     /// Metric handles shared with every link (set at first start).
     robs: OnceLock<ReactorObs>,
     next: AtomicUsize,
@@ -577,8 +584,8 @@ impl Reactor {
         Self {
             cancel,
             shards,
-            scope: Mutex::new(None),
-            obs: Mutex::new(None),
+            scope: OrderedMutex::new(lock_order::NET_SCOPE, None),
+            obs: OrderedMutex::new(lock_order::NET_OBS, None),
             robs: OnceLock::new(),
             next: AtomicUsize::new(0),
         }
@@ -1340,8 +1347,8 @@ impl LinkState {
 // --- public transport ------------------------------------------------------
 
 struct TcpShared {
-    registry: Mutex<HashMap<NodeId, SocketAddr>>,
-    links: Mutex<HashMap<SocketAddr, Arc<LinkState>>>,
+    registry: OrderedMutex<HashMap<NodeId, SocketAddr>>,
+    links: OrderedMutex<HashMap<SocketAddr, Arc<LinkState>>>,
     reactor: Reactor,
 }
 
@@ -1354,6 +1361,7 @@ impl TcpShared {
                 return Ok(l.clone());
             }
         }
+        // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: the link table lock serializes racing dials to one physical link per address
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
@@ -1361,6 +1369,7 @@ impl TcpShared {
         let link = LinkState::register(&shard, stream, None, self.reactor.link_obs())?;
         shard
             .cmds
+            // netagg-lint: allow(no-block-while-locked) deliberate §15 exception: AddLink must reach the reactor before a second dial can observe the link
             .send(Cmd::AddLink { link: link.clone() })
             .map_err(|_| NetError::Closed)?;
         shard.notify();
@@ -1410,8 +1419,8 @@ impl TcpTransport {
     pub fn with_shards(shards: usize) -> Self {
         Self {
             inner: Arc::new(TcpShared {
-                registry: Mutex::new(HashMap::new()),
-                links: Mutex::new(HashMap::new()),
+                registry: OrderedMutex::new(lock_order::NET_REGISTRY, HashMap::new()),
+                links: OrderedMutex::new(lock_order::NET_LINKS, HashMap::new()),
                 reactor: Reactor::new(shards.max(1)),
             }),
         }

@@ -160,6 +160,8 @@ pub const EVENT_FAILURE: &str = "failure";
 pub const EVENT_STRAGGLER: &str = "straggler";
 /// Behind-sources of a failed box moved into direct fan-in entries (§8).
 pub const EVENT_REPOINT: &str = "repoint";
+/// An ordered lock's guard was dropped during a panic unwind (§15).
+pub const EVENT_LOCK_POISON: &str = "lock_poison";
 
 /// The span and stage names of the DESIGN.md §11 tracing contract.
 ///

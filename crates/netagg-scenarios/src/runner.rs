@@ -19,12 +19,13 @@ use minisearch::netagg::{SearchCluster, SearchFunction};
 use netagg_core::prelude::*;
 use netagg_core::shim::TreeSelection;
 use netagg_core::tree::worker_addr;
-use netagg_net::lifecycle::{CancelToken, JoinScope};
+use netagg_net::lifecycle::{CancelToken, JoinScope, OrderedMutex};
+use netagg_net::lock_order;
 use netagg_net::{DetRng, FaultController, FaultStep, FaultTransport, NodeId, Transport};
 use netagg_obs::{names, MetricsRegistry, MetricsSnapshot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -196,9 +197,9 @@ struct Engine {
     /// `at` of the earliest still-pending action (`u64::MAX` when none);
     /// keeps the per-tick fast path to one atomic load.
     next_due: AtomicU64,
-    pending: Mutex<Vec<Armed>>,
-    applied: Mutex<Vec<String>>,
-    max_depths: Mutex<HashMap<String, f64>>,
+    pending: OrderedMutex<Vec<Armed>>,
+    applied: OrderedMutex<Vec<String>>,
+    max_depths: OrderedMutex<HashMap<String, f64>>,
     sample_every: u64,
 }
 
@@ -211,9 +212,9 @@ impl Engine {
             obs,
             issued: AtomicU64::new(0),
             next_due: AtomicU64::new(next),
-            pending: Mutex::new(pending),
-            applied: Mutex::new(Vec::new()),
-            max_depths: Mutex::new(HashMap::new()),
+            pending: OrderedMutex::new(lock_order::SCN_PENDING, pending),
+            applied: OrderedMutex::new(lock_order::SCN_APPLIED, Vec::new()),
+            max_depths: OrderedMutex::new(lock_order::SCN_DEPTHS, HashMap::new()),
             sample_every: 8192,
         }
     }
@@ -230,7 +231,7 @@ impl Engine {
     }
 
     fn apply_due(&self, n: u64) {
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self.pending.lock();
         while pending.first().map(|a| a.at <= n).unwrap_or(false) {
             let armed = pending.remove(0);
             match &armed.action {
@@ -241,7 +242,6 @@ impl Engine {
             }
             self.applied
                 .lock()
-                .unwrap()
                 .push(format!("{} (at request {n})", armed.label));
         }
         let next = pending.first().map_or(u64::MAX, |a| a.at);
@@ -250,7 +250,7 @@ impl Engine {
 
     fn sample(&self) {
         let snap = self.obs.snapshot();
-        contract::sample_depths(&snap, &mut self.max_depths.lock().unwrap());
+        contract::sample_depths(&snap, &mut self.max_depths.lock());
     }
 }
 
@@ -630,21 +630,23 @@ impl ScenarioHarness {
                 self.engine
                     .applied
                     .lock()
-                    .unwrap()
                     .push(format!("seeded kill of box {slot} armed +{draw} frames"));
             }
         }
 
         let total_workers = self.spec.topology.total_workers();
-        let stats: Vec<Arc<Mutex<AppStats>>> = self
+        let stats: Vec<Arc<OrderedMutex<AppStats>>> = self
             .spec
             .apps
             .iter()
             .map(|a| {
-                Arc::new(Mutex::new(AppStats {
-                    name: a.name.clone(),
-                    ..AppStats::default()
-                }))
+                Arc::new(OrderedMutex::new(
+                    lock_order::SCN_APP_STATS,
+                    AppStats {
+                        name: a.name.clone(),
+                        ..AppStats::default()
+                    },
+                ))
             })
             .collect();
 
@@ -703,10 +705,10 @@ impl ScenarioHarness {
             scope.finish();
         }
         self.elapsed = started.elapsed();
-        self.stats = stats.iter().map(|s| s.lock().unwrap().clone()).collect();
+        self.stats = stats.iter().map(|s| s.lock().clone()).collect();
     }
 
-    fn drive_interactive(&self, stats: &[Arc<Mutex<AppStats>>]) {
+    fn drive_interactive(&self, stats: &[Arc<OrderedMutex<AppStats>>]) {
         let mut cursors: Vec<u64> = vec![0; self.apps.len()];
         loop {
             let mut progressed = false;
@@ -724,13 +726,13 @@ impl ScenarioHarness {
                             (mix(self.spec.seed, q, 0x5EA7C4) % cluster.corpus_vocabulary as u64)
                                 as usize,
                         );
-                        let mut stat = stats[idx].lock().unwrap();
+                        let mut stat = stats[idx].lock();
                         stat.issued += 1;
                         drop(stat);
                         self.engine.tick();
                         match cluster.frontend.query(&[term]) {
-                            Ok(_) => stats[idx].lock().unwrap().completed += 1,
-                            Err(_) => stats[idx].lock().unwrap().failures += 1,
+                            Ok(_) => stats[idx].lock().completed += 1,
+                            Err(_) => stats[idx].lock().failures += 1,
                         }
                     }
                     LaunchedApp::MapReduce { jobs, cluster } => {
@@ -748,7 +750,7 @@ impl ScenarioHarness {
                             request_id: self.spec.request_base + j,
                             ..JobConfig::default()
                         };
-                        let mut stat = stats[idx].lock().unwrap();
+                        let mut stat = stats[idx].lock();
                         stat.issued += 1;
                         drop(stat);
                         self.engine.tick();
@@ -759,13 +761,13 @@ impl ScenarioHarness {
                                     .iter()
                                     .find(|p| p.key.as_ref() == b"common")
                                     .and_then(|p| minimr::types::parse_u64(&p.value));
-                                let mut stat = stats[idx].lock().unwrap();
+                                let mut stat = stats[idx].lock();
                                 stat.completed += 1;
                                 if common != Some(mappers as u64) {
                                     stat.mismatches += 1;
                                 }
                             }
-                            Err(_) => stats[idx].lock().unwrap().failures += 1,
+                            Err(_) => stats[idx].lock().failures += 1,
                         }
                     }
                 }
@@ -805,9 +807,7 @@ impl ScenarioHarness {
         let snapshot = obs.snapshot();
 
         let mut violations = contract::teardown_violations(&snapshot);
-        violations.extend(contract::depth_violations(
-            &self.engine.max_depths.lock().unwrap(),
-        ));
+        violations.extend(contract::depth_violations(&self.engine.max_depths.lock()));
         let wait = snapshot.histogram(names::SHIM_MASTER_REQUEST_WAIT_US);
         let issued: u64 = self.stats.iter().map(|s| s.issued).sum();
         let completed: u64 = self.stats.iter().map(|s| s.completed).sum();
@@ -829,7 +829,7 @@ impl ScenarioHarness {
             p99_wait_us: wait.map(|h| h.p99).unwrap_or(0),
             detections: snapshot.counter(names::FAILURE_DETECTIONS).unwrap_or(0),
             repoints: snapshot.counter(names::FAILURE_REPOINTS).unwrap_or(0),
-            impairments_applied: self.engine.applied.lock().unwrap().clone(),
+            impairments_applied: self.engine.applied.lock().clone(),
             violations,
             per_app: self.stats.clone(),
             snapshot,
@@ -851,7 +851,7 @@ fn drive_synthetic(
     inflight: usize,
     timeout: Duration,
     engine: &Engine,
-    stat: &Mutex<AppStats>,
+    stat: &OrderedMutex<AppStats>,
 ) {
     let mut window: VecDeque<(u64, netagg_core::shim::PendingRequest)> = VecDeque::new();
     let settle = |window: &mut VecDeque<(u64, netagg_core::shim::PendingRequest)>| {
@@ -860,19 +860,19 @@ fn drive_synthetic(
         };
         match pending.wait(timeout) {
             Ok(result) => {
-                let mut s = stat.lock().unwrap();
+                let mut s = stat.lock();
                 s.completed += 1;
                 if result.combined != expected_result(kind, seed, rid, total_workers) {
                     s.mismatches += 1;
                 }
             }
-            Err(_) => stat.lock().unwrap().failures += 1,
+            Err(_) => stat.lock().failures += 1,
         }
     };
     for i in 0..requests {
         let rid = base + i;
         let pending = master.register_request(rid, workers.len());
-        stat.lock().unwrap().issued += 1;
+        stat.lock().issued += 1;
         engine.tick();
         for (w, shim) in workers.iter().enumerate() {
             // A send into a just-killed box is expected to fail; the

@@ -1,0 +1,108 @@
+//! The nightly scenario matrix: sweep the [`ScenarioSpec`] grid —
+//! topology shapes × impairment profiles — running every cell's full
+//! workload mix on both transport providers and asserting the §7/§14
+//! teardown contract. CI's per-commit gate runs the single quick soak;
+//! this sweep covers the rest of the grid on a schedule.
+//!
+//! Run with: `cargo run --release --example scenario_matrix [filter]`
+//! where `filter` is a substring of the cell names to run (the nightly
+//! workflow shards on it; no filter runs everything).
+
+use netagg_scenarios::{
+    builtin_providers, run_scenario, Impairment, ScenarioSpec, SyntheticKind, TopologySpec,
+};
+
+/// Topology axis: rack count × workers per rack × boxes per rack.
+fn topologies() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("flat", TopologySpec::single_rack(6, 1)),
+        ("racked", TopologySpec::multi_rack(2, 3, 1)),
+        ("wide", TopologySpec::multi_rack(3, 4, 2)),
+    ]
+}
+
+/// Impairment axis, from clean to the full storm. Thresholds are
+/// fractions of the cell's synthetic request count so every topology
+/// sees the fault mid-run.
+fn impairments(requests: u64) -> Vec<(&'static str, Vec<Impairment>)> {
+    vec![
+        ("clean", vec![]),
+        (
+            "failover",
+            vec![Impairment::BoxKill {
+                slot: 0,
+                after_requests: requests / 3,
+            }],
+        ),
+        (
+            "partition",
+            vec![Impairment::Partition {
+                slots: vec![0],
+                at_requests: requests / 3,
+                heal_after_requests: requests / 3,
+            }],
+        ),
+        (
+            "storm",
+            vec![
+                Impairment::SeededBoxKill {
+                    slot: 0,
+                    frames_lo: 500,
+                    frames_hi: 1_500,
+                },
+                Impairment::StragglerStorm {
+                    workers: vec![1, 2],
+                    delay_ms: 1,
+                    from_requests: requests / 4,
+                    until_requests: requests / 2,
+                },
+            ],
+        ),
+    ]
+}
+
+fn cells() -> Vec<(String, ScenarioSpec)> {
+    let requests = 1_200;
+    let mut out = Vec::new();
+    for (tname, topo) in topologies() {
+        for (iname, faults) in impairments(requests) {
+            let name = format!("{tname}-{iname}");
+            let mut spec = ScenarioSpec::new(&name, topo)
+                .synthetic("sum", SyntheticKind::Sum, requests, 2.0)
+                .synthetic("topk", SyntheticKind::TopK { k: 4 }, requests / 2, 1.0)
+                .mapreduce(8, 1.0)
+                .with_fast_detector()
+                .with_inflight(8);
+            for f in faults {
+                spec = spec.impair(f);
+            }
+            out.push((name, spec));
+        }
+    }
+    out
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut ran = 0;
+    for (name, spec) in cells() {
+        if !name.contains(&filter) {
+            continue;
+        }
+        for provider in builtin_providers() {
+            let report = run_scenario(&spec, provider.as_ref()).unwrap();
+            println!("{}", report.summary());
+            assert!(
+                report.passed(),
+                "{name}/{}: failures={} mismatches={} violations={:?}",
+                report.provider,
+                report.failures,
+                report.mismatches,
+                report.violations
+            );
+            ran += 1;
+        }
+    }
+    assert!(ran > 0, "filter {filter:?} matched no matrix cells");
+    println!("scenario matrix ok: {ran} runs");
+}

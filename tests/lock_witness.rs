@@ -1,0 +1,63 @@
+//! §15 closing the loop: every lock-acquisition edge the runtime witness
+//! observes during the quick scenario mix must be contained in the static
+//! graph `netagg-lint` recovers (lexical edges plus the declared
+//! cross-layer table). The lint proves the graph is safe; this proves the
+//! graph is the one the runtime actually walks — the same bidirectional
+//! discipline as the §7 metrics contract.
+
+use std::path::Path;
+
+use netagg_net::lifecycle::{witness_edges, witness_reset};
+use netagg_scenarios::{
+    builtin_providers, run_scenario, Impairment, ScenarioSpec, SyntheticKind, TopologySpec,
+};
+
+#[test]
+fn every_witnessed_edge_is_in_the_static_graph() {
+    if !cfg!(debug_assertions) {
+        // Release builds compile the witness out; nothing to check.
+        return;
+    }
+    witness_reset();
+
+    // The quick mix: all three workloads, a box kill and a straggler
+    // storm, on both transports — the same drive the soak harness uses,
+    // shrunk to seconds.
+    let spec = ScenarioSpec::new("lock-witness", TopologySpec::multi_rack(2, 3, 1))
+        .synthetic("sum", SyntheticKind::Sum, 600, 2.0)
+        .synthetic("topk", SyntheticKind::TopK { k: 4 }, 300, 1.0)
+        .mapreduce(6, 1.0)
+        .impair(Impairment::BoxKill {
+            slot: 0,
+            after_requests: 250,
+        })
+        .impair(Impairment::StragglerStorm {
+            workers: vec![1, 4],
+            delay_ms: 1,
+            from_requests: 100,
+            until_requests: 200,
+        })
+        .with_fast_detector()
+        .with_inflight(8);
+    for provider in builtin_providers() {
+        let report = run_scenario(&spec, provider.as_ref()).unwrap();
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    let observed = witness_edges();
+    assert!(
+        !observed.is_empty(),
+        "the witness recorded no edges — are the hot paths still on OrderedMutex?"
+    );
+
+    let graph = netagg_lint::lock_graph_names(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+    let missing: Vec<&(String, String)> = observed
+        .iter()
+        .filter(|(from, to)| !graph.contains(&(from.clone(), to.clone())))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "runtime acquisition edges missing from the static §15 graph \
+         (add a declared edge or fix the code): {missing:?}"
+    );
+}
